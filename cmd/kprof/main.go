@@ -1,0 +1,248 @@
+// Command kprof drives the full profiling workflow on the simulated
+// machine: pick a scenario, instrument the kernel (optionally just selected
+// modules), arm the Profiler, run, and print the analysis — the same
+// workflow the paper describes against real hardware.
+//
+// Examples:
+//
+//	kprof -scenario netrecv -duration 400ms -report summary -top 12
+//	kprof -scenario forkexec -count 3 -report trace -maxlines 120
+//	kprof -scenario netrecv -modules if_we,ip_input,tcp_input -report summary
+//	kprof -scenario mixed -save run.kprof -tagsout run.tags
+//	kprof -load run.kprof -tags run.tags -report groups
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kprof/internal/analyze"
+	"kprof/internal/core"
+	"kprof/internal/hw"
+	"kprof/internal/kernel"
+	"kprof/internal/netstack"
+	"kprof/internal/sim"
+	"kprof/internal/tagfile"
+	"kprof/internal/workload"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "netrecv", "workload: netrecv, forkexec, ffswrite, ffsread, nfsftp, mixed, embedded, embedded-old")
+		duration = flag.Duration("duration", 400*time.Millisecond, "virtual duration for time-based scenarios")
+		count    = flag.Int("count", 3, "iterations for count-based scenarios (forkexec)")
+		report   = flag.String("report", "summary", "report: summary, trace, groups, hist, timeline, callgraph, json")
+		top      = flag.Int("top", 20, "rows in the summary report (0 = all)")
+		maxlines = flag.Int("maxlines", 80, "lines in the trace report (0 = all)")
+		fn       = flag.String("fn", "bcopy", "function for -report hist")
+		modules  = flag.String("modules", "", "comma-separated modules to instrument (selective profiling); empty = whole kernel")
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+		depth    = flag.Int("depth", 0, "profiler RAM depth (0 = 16384)")
+		save     = flag.String("save", "", "write the raw capture to this file")
+		tagsOut  = flag.String("tagsout", "", "write the name/tag file to this file")
+		load     = flag.String("load", "", "analyze a saved capture instead of running a scenario")
+		tagsIn   = flag.String("tags", "", "name/tag file for -load")
+	)
+	flag.Parse()
+
+	if *load != "" {
+		if err := analyzeSaved(*load, *tagsIn, *report, *top, *maxlines, *fn); err != nil {
+			fmt.Fprintln(os.Stderr, "kprof:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var mods []string
+	if *modules != "" {
+		mods = strings.Split(*modules, ",")
+	}
+	if *scenario == "embedded" || *scenario == "embedded-old" {
+		if err := runEmbedded(*scenario == "embedded-old", sim.Time(duration.Nanoseconds()),
+			*seed, mods, *report, *top, *maxlines, *fn); err != nil {
+			fmt.Fprintln(os.Stderr, "kprof:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	m := core.NewMachine(kernel.Config{Seed: *seed})
+	s, err := core.NewSession(m, core.ProfileConfig{Modules: mods, Depth: *depth})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kprof:", err)
+		os.Exit(1)
+	}
+
+	s.Arm()
+	if err := runScenario(m, *scenario, sim.Time(duration.Nanoseconds()), *count); err != nil {
+		fmt.Fprintln(os.Stderr, "kprof:", err)
+		os.Exit(1)
+	}
+	s.Disarm()
+
+	if s.Card.Overflowed() {
+		fmt.Fprintf(os.Stderr, "kprof: note: profiler RAM overflowed after %d events; the capture is the head of the run\n", s.Card.Stored())
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kprof:", err)
+			os.Exit(1)
+		}
+		if _, err := s.Capture().WriteTo(f); err != nil {
+			fmt.Fprintln(os.Stderr, "kprof:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if *tagsOut != "" {
+		f, err := os.Create(*tagsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kprof:", err)
+			os.Exit(1)
+		}
+		if err := s.Tags.Format(f); err != nil {
+			fmt.Fprintln(os.Stderr, "kprof:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	a := s.Analyze()
+	printReport(a, m, *report, *top, *maxlines, *fn)
+}
+
+func runScenario(m *core.Machine, scenario string, d sim.Time, count int) error {
+	switch scenario {
+	case "netrecv":
+		res, err := workload.NetReceive(m, d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("netrecv: %d bytes delivered, %d frames, %d ring drops\n\n",
+			res.BytesDelivered, res.Frames, res.Drops)
+	case "forkexec":
+		res := workload.ForkExec(m, count)
+		fmt.Printf("forkexec: %d cycles, vfork %v avg, execve %v avg, pmap_pte %d calls/fork\n\n",
+			res.Cycles, res.ForkTime, res.ExecTime, res.PmapPteCallsPerFork)
+	case "ffswrite":
+		res := workload.FFSWrite(m, d)
+		fmt.Printf("ffswrite: %d bytes, %d sectors, %d disk interrupts (%d back-to-back <100us)\n\n",
+			res.BytesWritten, res.WriteSectors, res.DiskInterrupts, res.ShortGaps)
+	case "ffsread":
+		res := workload.FFSRead(m, count*10)
+		fmt.Printf("ffsread: %d bytes, mean read latency %v\n\n", res.BytesRead, res.MeanReadLatency)
+	case "nfsftp":
+		nres, err := workload.NFSTransfer(m, 128*1024)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("nfs: %d bytes, elapsed %v, CPU proxy %v\n", nres.Bytes, nres.Elapsed, nres.CPUProxy)
+		m2 := core.NewMachine(kernel.Config{Seed: 1})
+		fres, err := workload.FTPTransfer(m2, 128*1024)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ftp: %d bytes, elapsed %v, CPU proxy %v\n\n", fres.Bytes, fres.Elapsed, fres.CPUProxy)
+	case "mixed":
+		workload.Mixed(m, d)
+		fmt.Printf("mixed: ran for %v\n\n", d)
+	default:
+		return fmt.Errorf("unknown scenario %q", scenario)
+	}
+	return nil
+}
+
+func printReport(a *analyze.Analysis, m *core.Machine, report string, top, maxlines int, fn string) {
+	switch report {
+	case "summary":
+		a.WriteSummary(os.Stdout, top)
+	case "trace":
+		a.WriteTrace(os.Stdout, analyze.TraceOptions{MaxLines: maxlines})
+	case "groups":
+		var groupOf map[string]string
+		if m != nil {
+			groupOf = m.SubsystemOf()
+		}
+		analyze.WriteGroups(os.Stdout, a.Groups(groupOf))
+	case "hist":
+		a.HistogramOf(fn).Write(os.Stdout)
+	case "timeline":
+		var groupOf map[string]string
+		if m != nil {
+			groupOf = m.SubsystemOf()
+		}
+		a.Timeline(groupOf, 72).Write(os.Stdout)
+	case "callgraph":
+		g := a.CallGraph()
+		g.Write(os.Stdout, top)
+		if fn != "" {
+			fmt.Println()
+			g.WriteFunction(os.Stdout, fn)
+		}
+	case "json":
+		if err := a.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "kprof:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "kprof: unknown report %q\n", report)
+		os.Exit(1)
+	}
+}
+
+// runEmbedded profiles the Megadata 68020 platform (the paper's first case
+// study): `-scenario embedded` uses the recoded Ethernet driver,
+// `-scenario embedded-old` the original double-copy one.
+func runEmbedded(oldDriver bool, d sim.Time, seed uint64, mods []string, report string, top, maxlines int, fn string) error {
+	style := netstack.DriverRecoded
+	if oldDriver {
+		style = netstack.DriverOld
+	}
+	m, le := core.NewEmbeddedMachine(kernel.Config{Seed: seed}, style)
+	s, err := core.NewSession(m, core.ProfileConfig{Modules: mods})
+	if err != nil {
+		return err
+	}
+	s.Arm()
+	res, err := workload.EmbeddedNetReceive(m, le, d)
+	if err != nil {
+		return err
+	}
+	s.Disarm()
+	fmt.Printf("embedded (68020, %v driver): %d bytes delivered, %d frames, %d drops\n\n",
+		style, res.BytesDelivered, res.Frames, res.Drops)
+	printReport(s.Analyze(), m, report, top, maxlines, fn)
+	return nil
+}
+
+func analyzeSaved(capPath, tagsPath, report string, top, maxlines int, fn string) error {
+	if tagsPath == "" {
+		return fmt.Errorf("-load requires -tags")
+	}
+	cf, err := os.Open(capPath)
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	c, err := hw.ReadCapture(cf)
+	if err != nil {
+		return err
+	}
+	tf, err := os.Open(tagsPath)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	tags, err := tagfile.Parse(tf)
+	if err != nil {
+		return err
+	}
+	events, stats := analyze.Decode(c, tags)
+	a := analyze.Reconstruct(events, stats)
+	printReport(a, nil, report, top, maxlines, fn)
+	return nil
+}

@@ -1,0 +1,102 @@
+// Command ksim runs the simulated kernel without the Profiler attached —
+// the baseline for the paper's claim that "no noticeable difference can be
+// detected between a profiled and a non-profiled kernel". It prints the
+// kernel's traditional event counters (the coarse measurement facility the
+// Profiler supersedes) and, with -compare, runs the same scenario
+// instrumented to report the trigger overhead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kprof/internal/core"
+	"kprof/internal/kernel"
+	"kprof/internal/sim"
+	"kprof/internal/workload"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "netrecv", "workload: netrecv, forkexec, ffswrite, mixed")
+		duration = flag.Duration("duration", 400*time.Millisecond, "virtual duration")
+		count    = flag.Int("count", 3, "iterations for forkexec")
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+		compare  = flag.Bool("compare", false, "also run instrumented and report the overhead")
+	)
+	flag.Parse()
+
+	bare := run(*scenario, *seed, sim.Time(duration.Nanoseconds()), *count, false)
+	fmt.Printf("bare kernel:        work metric = %v\n", bare)
+	printStats(*scenario, *seed, sim.Time(duration.Nanoseconds()), *count)
+
+	if *compare {
+		prof := run(*scenario, *seed, sim.Time(duration.Nanoseconds()), *count, true)
+		fmt.Printf("profiled kernel:    work metric = %v\n", prof)
+		if bare > 0 {
+			fmt.Printf("trigger overhead:   %+.2f%%\n", 100*(float64(prof)/float64(bare)-1))
+		}
+	}
+}
+
+// run executes the scenario and returns a scenario-specific work metric
+// (time for fixed work, so overhead comparisons are meaningful).
+func run(scenario string, seed uint64, d sim.Time, count int, instrumented bool) sim.Time {
+	m := core.NewMachine(kernel.Config{Seed: seed})
+	if instrumented {
+		if _, err := core.NewSession(m, core.ProfileConfig{}); err != nil {
+			fmt.Fprintln(os.Stderr, "ksim:", err)
+			os.Exit(1)
+		}
+	}
+	switch scenario {
+	case "netrecv":
+		res, err := workload.NetReceive(m, d)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ksim:", err)
+			os.Exit(1)
+		}
+		if res.BytesDelivered == 0 {
+			return 0
+		}
+		// Time per delivered byte.
+		return d / sim.Time(res.BytesDelivered)
+	case "forkexec":
+		res := workload.ForkExec(m, count)
+		return res.ForkTime + res.ExecTime
+	case "ffswrite":
+		res := workload.FFSWrite(m, d)
+		if res.BytesWritten == 0 {
+			return 0
+		}
+		return d / sim.Time(res.BytesWritten/1024)
+	case "mixed":
+		start := m.K.Now()
+		workload.Mixed(m, d)
+		return m.K.Now() - start
+	default:
+		fmt.Fprintf(os.Stderr, "ksim: unknown scenario %q\n", scenario)
+		os.Exit(1)
+	}
+	return 0
+}
+
+// printStats reruns briefly and dumps the kernel's event-counter block.
+func printStats(scenario string, seed uint64, d sim.Time, count int) {
+	m := core.NewMachine(kernel.Config{Seed: seed})
+	switch scenario {
+	case "netrecv":
+		workload.NetReceive(m, d)
+	case "forkexec":
+		workload.ForkExec(m, count)
+	case "ffswrite":
+		workload.FFSWrite(m, d)
+	case "mixed":
+		workload.Mixed(m, d)
+	}
+	st := m.K.Stats
+	fmt.Printf("event counters:     syscalls=%d interrupts=%d softintrs=%d ctxsw=%d ticks=%d faults=%d forks=%d execs=%d\n",
+		st.Syscalls, st.Interrupts, st.SoftIntrs, st.ContextSw, st.Ticks, st.PageFaults, st.Forks, st.Execs)
+}

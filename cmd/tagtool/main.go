@@ -1,0 +1,192 @@
+// Command tagtool maintains name/tag files: create one from scratch with a
+// starting dummy entry, verify a file, merge per-module-group files, assign
+// tags to new function names, and mark modifiers — the housekeeping the
+// paper's modified compiler and build scripts performed.
+//
+//	tagtool new -start 500 -o kernel.tags
+//	tagtool verify kernel.tags
+//	tagtool merge -o all.tags net.tags fs.tags vm.tags
+//	tagtool assign -o kernel.tags kernel.tags myfunc otherfunc
+//	tagtool mark -o kernel.tags kernel.tags swtch
+//	tagtool resolve kernel.tags 1386
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"kprof/internal/tagfile"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "new":
+		err = cmdNew(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
+	case "assign":
+		err = cmdAssign(os.Args[2:])
+	case "mark":
+		err = cmdMark(os.Args[2:])
+	case "resolve":
+		err = cmdResolve(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tagtool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tagtool {new|verify|merge|assign|mark|resolve} ...")
+	os.Exit(2)
+}
+
+// popFlag extracts "-name value" pairs from a simple argument list.
+func popFlag(args []string, name string) (string, []string) {
+	for i := 0; i+1 < len(args); i++ {
+		if args[i] == "-"+name {
+			return args[i+1], append(args[:i:i], args[i+2:]...)
+		}
+	}
+	return "", args
+}
+
+func writeOut(f *tagfile.File, out string) error {
+	if out == "" || out == "-" {
+		return f.Format(os.Stdout)
+	}
+	fh, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	return f.Format(fh)
+}
+
+func loadFile(path string) (*tagfile.File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return tagfile.Parse(fh)
+}
+
+func cmdNew(args []string) error {
+	startStr, args := popFlag(args, "start")
+	out, _ := popFlag(args, "o")
+	start := uint64(500)
+	if startStr != "" {
+		var err error
+		start, err = strconv.ParseUint(startStr, 10, 16)
+		if err != nil {
+			return err
+		}
+	}
+	f, err := tagfile.NewStartingAt(uint16(start))
+	if err != nil {
+		return err
+	}
+	return writeOut(f, out)
+}
+
+func cmdVerify(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("verify takes one file")
+	}
+	f, err := loadFile(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d entries, %d functions, next tag %d\n",
+		args[0], f.Len(), len(f.Functions()), f.NextTag())
+	return nil
+}
+
+func cmdMerge(args []string) error {
+	out, args := popFlag(args, "o")
+	if len(args) < 1 {
+		return fmt.Errorf("merge needs input files")
+	}
+	merged := tagfile.New()
+	for _, path := range args {
+		f, err := loadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := merged.Merge(f); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return writeOut(merged, out)
+}
+
+func cmdAssign(args []string) error {
+	out, args := popFlag(args, "o")
+	if len(args) < 2 {
+		return fmt.Errorf("assign needs a file and function names")
+	}
+	f, err := loadFile(args[0])
+	if err != nil {
+		return err
+	}
+	for _, name := range args[1:] {
+		e, err := f.Assign(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s\n", e)
+	}
+	return writeOut(f, out)
+}
+
+func cmdMark(args []string) error {
+	out, args := popFlag(args, "o")
+	if len(args) != 2 {
+		return fmt.Errorf("mark needs a file and a function name")
+	}
+	f, err := loadFile(args[0])
+	if err != nil {
+		return err
+	}
+	if err := f.MarkContextSwitch(args[1]); err != nil {
+		return err
+	}
+	return writeOut(f, out)
+}
+
+func cmdResolve(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("resolve needs a file and a tag value")
+	}
+	f, err := loadFile(args[0])
+	if err != nil {
+		return err
+	}
+	v, err := strconv.ParseUint(args[1], 10, 16)
+	if err != nil {
+		return err
+	}
+	e, kind := f.Resolve(uint16(v))
+	switch kind {
+	case tagfile.FunctionEntry:
+		fmt.Printf("%d: entry of %s\n", v, e.Name)
+	case tagfile.FunctionExit:
+		fmt.Printf("%d: exit of %s\n", v, e.Name)
+	case tagfile.InlineTag:
+		fmt.Printf("%d: inline %s\n", v, e.Name)
+	default:
+		fmt.Printf("%d: unknown tag\n", v)
+	}
+	return nil
+}

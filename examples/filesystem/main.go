@@ -1,0 +1,66 @@
+// Filesystem: the paper's FFS and NFS studies.
+//
+// Streams writes to the ST3144 model (per-sector write interrupts ≈200 µs,
+// mostly back-to-back), performs seek-heavy reads (18-26 ms each), and runs
+// the NFS-versus-FTP transfer comparison showing NFS's lower CPU overhead
+// with UDP checksums off.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"kprof"
+)
+
+func main() {
+	// --- FFS write study ---
+	m := kprof.NewMachine(kprof.MachineConfig{Seed: 3})
+	s, err := kprof.NewSession(m, kprof.ProfileConfig{
+		// Micro-profile just the storage stack, the paper's selective
+		// profiling: compile only these modules with triggers.
+		Modules: []string{"wd", "vfs_bio", "ufs_vnops", "ffs_alloc", "locore", "kern_synch", "trap"},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s.Arm()
+	wres := kprof.FFSWrite(m, 2*kprof.Second)
+	s.Disarm()
+	a := s.Analyze()
+
+	fmt.Println("=== FFS write study ===")
+	fmt.Printf("wrote %d KB; %d sectors; %d disk interrupts, %d back-to-back (<100 µs)\n",
+		wres.BytesWritten/1024, wres.WriteSectors, wres.DiskInterrupts, wres.ShortGaps)
+	fmt.Printf("CPU busy %.1f%% of elapsed (the paper measured ≈28%%)\n\n",
+		100*float64(a.RunTime())/float64(a.Elapsed()))
+	a.WriteSummary(os.Stdout, 8)
+
+	// --- FFS read study ---
+	m2 := kprof.NewMachine(kprof.MachineConfig{Seed: 4})
+	rres := kprof.FFSRead(m2, 40)
+	fmt.Printf("\n=== FFS read study ===\nmean read latency %v over %d KB (the paper: 18-26 ms)\n",
+		rres.MeanReadLatency, rres.BytesRead/1024)
+
+	// --- NFS versus FTP ---
+	fmt.Println("\n=== NFS (UDP, cksum off) versus FTP-style TCP ===")
+	m3 := kprof.NewMachine(kprof.MachineConfig{Seed: 5})
+	nres, err := kprof.NFSTransfer(m3, 256*1024)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m4 := kprof.NewMachine(kprof.MachineConfig{Seed: 5})
+	fres, err := kprof.FTPTransfer(m4, 256*1024)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	nPB := float64(nres.CPUProxy) / float64(nres.Bytes)
+	fPB := float64(fres.CPUProxy) / float64(fres.Bytes)
+	fmt.Printf("NFS: %d KB, CPU %4.0f ns/byte\n", nres.Bytes/1024, nPB)
+	fmt.Printf("FTP: %d KB, CPU %4.0f ns/byte\n", fres.Bytes/1024, fPB)
+	fmt.Printf("NFS overhead is %.1fx lower — \"NFS actually provides less overhead\n"+
+		"and better throughput than an FTP style connection!\"\n", fPB/nPB)
+}

@@ -1,0 +1,61 @@
+// Userprof: the paper's User Code Profiling section, end to end.
+//
+// "A driver stub may be configured in the kernel that reserves the
+// Profiler's physical memory address space; a modified profiling crt.o ...
+// calls mmap to memory map the Profiler's address space into a fixed
+// location within the process address space. ... This approach is
+// especially applicable in debugging and tuning communication protocol
+// stacks."
+//
+// An snmpd user process, instrumented through the mmap'd window, services
+// GETNEXT requests arriving over UDP. One capture shows the whole path:
+// Ethernet interrupt → ipintr → udp_input → soreceive → user-mode BER and
+// MIB code → the UDP transmit path — kernel and user frames interleaved.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"kprof"
+)
+
+func main() {
+	m := kprof.NewMachine(kprof.MachineConfig{Seed: 11})
+	s, err := kprof.NewSession(m, kprof.ProfileConfig{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// The profiling crt.o: open /dev/prof, mmap the window.
+	u := s.MapUser("snmpd")
+
+	store := kprof.NewBTreeMIB()
+	kprof.PopulateMIB(store, 500)
+
+	s.Arm()
+	res, err := kprof.SNMPServe(m, u, store, 25)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s.Disarm()
+
+	fmt.Printf("served %d requests, mean response %v over the wire\n\n",
+		res.Requests, res.MeanResponse)
+
+	a := s.Analyze()
+	fmt.Println("=== Mixed user/kernel summary ===")
+	a.WriteSummary(os.Stdout, 14)
+
+	fmt.Println("\n=== One request, user and kernel frames interleaved ===")
+	a.WriteTrace(os.Stdout, kprof.TraceOptions{From: 5 * kprof.Millisecond, MaxLines: 50})
+
+	fmt.Println("\n=== Subsystem timeline ===")
+	groupOf := m.SubsystemOf()
+	for _, fn := range []string{"snmpd_main", "snmp_input", "mib_getnext", "ber_encode"} {
+		groupOf[fn] = "user"
+	}
+	a.Timeline(groupOf, 72).Write(os.Stdout)
+}

@@ -1,0 +1,3 @@
+module kprof
+
+go 1.22

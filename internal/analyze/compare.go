@@ -1,0 +1,114 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"kprof/internal/sim"
+)
+
+// Before/after comparison — the workflow the Profiler exists for:
+// "quantitative comparison may guide design and implementation improvements
+// as performance bottlenecks are highlighted in the kernel, and accurate
+// before and after measurements may be made to test the success of such
+// changes."
+//
+// Because two runs rarely cover identical wall time, the comparison is made
+// in *net share of run time* and *per-call* terms, which are rate-free.
+
+// Delta is one function's before/after movement.
+type Delta struct {
+	Name string
+
+	BeforeShare, AfterShare     float64  // net time / run time
+	BeforePerCall, AfterPerCall sim.Time // avg net per call
+	BeforeCalls, AfterCalls     int
+}
+
+// ShareChange is the movement in net share (negative = improvement for a
+// function you were trying to shrink).
+func (d Delta) ShareChange() float64 { return d.AfterShare - d.BeforeShare }
+
+// Comparison is the full before/after report.
+type Comparison struct {
+	Deltas []Delta
+
+	BeforeIdle, AfterIdle float64
+}
+
+// Compare builds a before/after comparison of two analyses.
+func Compare(before, after *Analysis) *Comparison {
+	names := map[string]bool{}
+	for _, s := range before.Functions() {
+		names[s.Name] = true
+	}
+	for _, s := range after.Functions() {
+		names[s.Name] = true
+	}
+	c := &Comparison{}
+	if e := before.Elapsed(); e > 0 {
+		c.BeforeIdle = float64(before.Idle) / float64(e)
+	}
+	if e := after.Elapsed(); e > 0 {
+		c.AfterIdle = float64(after.Idle) / float64(e)
+	}
+	share := func(a *Analysis, name string) (float64, sim.Time, int) {
+		s, ok := a.Fn(name)
+		if !ok || a.RunTime() <= 0 {
+			return 0, 0, 0
+		}
+		return float64(s.Net) / float64(a.RunTime()), s.Avg(), s.Calls
+	}
+	for name := range names {
+		if name == "swtch" {
+			continue
+		}
+		var d Delta
+		d.Name = name
+		d.BeforeShare, d.BeforePerCall, d.BeforeCalls = share(before, name)
+		d.AfterShare, d.AfterPerCall, d.AfterCalls = share(after, name)
+		c.Deltas = append(c.Deltas, d)
+	}
+	sort.Slice(c.Deltas, func(i, j int) bool {
+		ai := abs64(c.Deltas[i].ShareChange())
+		aj := abs64(c.Deltas[j].ShareChange())
+		if ai != aj {
+			return ai > aj
+		}
+		return c.Deltas[i].Name < c.Deltas[j].Name
+	})
+	return c
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Write renders the biggest movers.
+func (c *Comparison) Write(w io.Writer, top int) error {
+	fmt.Fprintf(w, "idle: %5.2f%% -> %5.2f%%\n", 100*c.BeforeIdle, 100*c.AfterIdle)
+	fmt.Fprintf(w, "%-20s %9s %9s %8s %10s %10s\n",
+		"function", "before%", "after%", "change", "us/call", "->us/call")
+	deltas := c.Deltas
+	if top > 0 && len(deltas) > top {
+		deltas = deltas[:top]
+	}
+	for _, d := range deltas {
+		fmt.Fprintf(w, "%-20s %8.2f%% %8.2f%% %+7.2f%% %10d %10d\n",
+			d.Name, 100*d.BeforeShare, 100*d.AfterShare, 100*d.ShareChange(),
+			d.BeforePerCall.Micros(), d.AfterPerCall.Micros())
+	}
+	return nil
+}
+
+// String renders the top 20 movers.
+func (c *Comparison) String() string {
+	var b strings.Builder
+	_ = c.Write(&b, 20)
+	return b.String()
+}

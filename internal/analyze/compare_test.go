@@ -1,0 +1,73 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareFindsTheMover(t *testing.T) {
+	// Before: a dominates. After: a shrank, b grew.
+	before := analyzeCap(t, capOf(
+		[2]uint32{500, 0}, [2]uint32{501, 90},
+		[2]uint32{502, 90}, [2]uint32{503, 100},
+	))
+	after := analyzeCap(t, capOf(
+		[2]uint32{500, 0}, [2]uint32{501, 20},
+		[2]uint32{502, 20}, [2]uint32{503, 100},
+	))
+	c := Compare(before, after)
+	if len(c.Deltas) < 2 {
+		t.Fatalf("deltas = %+v", c.Deltas)
+	}
+	// The biggest movers are a (0.9 -> 0.2) and b (0.1 -> 0.8).
+	if c.Deltas[0].Name != "a" && c.Deltas[0].Name != "b" {
+		t.Fatalf("top mover = %s", c.Deltas[0].Name)
+	}
+	var aDelta Delta
+	for _, d := range c.Deltas {
+		if d.Name == "a" {
+			aDelta = d
+		}
+	}
+	if aDelta.ShareChange() > -0.6 {
+		t.Fatalf("a's change = %+.2f, want big negative", aDelta.ShareChange())
+	}
+	out := c.String()
+	if !strings.Contains(out, "idle:") || !strings.Contains(out, "a") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestCompareHandlesAppearingAndVanishingFunctions(t *testing.T) {
+	before := analyzeCap(t, capOf([2]uint32{500, 0}, [2]uint32{501, 50}))
+	after := analyzeCap(t, capOf([2]uint32{502, 0}, [2]uint32{503, 50}))
+	c := Compare(before, after)
+	var sawA, sawB bool
+	for _, d := range c.Deltas {
+		if d.Name == "a" {
+			sawA = true
+			if d.AfterShare != 0 || d.BeforeShare == 0 {
+				t.Fatalf("vanished a = %+v", d)
+			}
+		}
+		if d.Name == "b" {
+			sawB = true
+			if d.BeforeShare != 0 || d.AfterShare == 0 {
+				t.Fatalf("appeared b = %+v", d)
+			}
+		}
+	}
+	if !sawA || !sawB {
+		t.Fatalf("deltas missing functions: %+v", c.Deltas)
+	}
+}
+
+func TestCompareEmpty(t *testing.T) {
+	c := Compare(analyzeCap(t, capOf()), analyzeCap(t, capOf()))
+	if len(c.Deltas) != 0 {
+		t.Fatalf("deltas = %+v", c.Deltas)
+	}
+	if c.String() == "" {
+		t.Fatal("empty render")
+	}
+}

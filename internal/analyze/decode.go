@@ -1,0 +1,96 @@
+// Package analyze is the host-side analysis software: it decodes the raw
+// (tag, timestamp) list retrieved from the Profiler's RAM, reconstructs
+// nested code paths — splitting per-process paths at the context-switch
+// function marked '!' in the name/tag file and treating in-swtch time as
+// idle except for interrupts — and produces the paper's two reports: the
+// per-function summary (Figure 3) and the real-time code-path trace
+// (Figure 4), plus histograms, subsystem grouping and the what-if
+// estimators used in the network study.
+package analyze
+
+import (
+	"kprof/internal/hw"
+	"kprof/internal/sim"
+	"kprof/internal/tagfile"
+)
+
+// EventKind classifies a decoded event.
+type EventKind int
+
+const (
+	Entry EventKind = iota
+	Exit
+	Inline
+	Unknown
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Entry:
+		return "entry"
+	case Exit:
+		return "exit"
+	case Inline:
+		return "inline"
+	}
+	return "unknown"
+}
+
+// Event is one decoded capture record on the reconstructed timeline.
+type Event struct {
+	Time sim.Time // unwrapped, relative to the first record
+	Kind EventKind
+	Name string
+	Tag  uint16
+	// CtxSwitch marks events of the '!' function (swtch).
+	CtxSwitch bool
+}
+
+// DecodeStats reports capture-quality information alongside the events.
+type DecodeStats struct {
+	Records     int
+	UnknownTags int
+	// Overflowed propagates the card's overflow LED: the capture is the
+	// head of the run, and the tail was lost.
+	Overflowed bool
+	Dropped    uint64
+}
+
+// Decode unwraps the truncated counter stamps into a monotonic timeline
+// and resolves tags against the name/tag file. The card's counter is only
+// meaningful as intervals; the timeline starts at zero on the first record.
+// Events further apart than the counter's wrap interval (≈16.7 s on the
+// prototype's 24-bit 1 MHz counter) alias, exactly as on the real
+// hardware. The capture's clock configuration selects the tick period and
+// mask, so upgraded cards (the paper's future-work higher-precision clock
+// and wider RAM) decode transparently.
+func Decode(c hw.Capture, tags *tagfile.File) ([]Event, DecodeStats) {
+	stats := DecodeStats{Records: len(c.Records), Overflowed: c.Overflowed, Dropped: c.Dropped}
+	events := make([]Event, 0, len(c.Records))
+	cfg := c.ClockConfig()
+	mask, tick := cfg.Mask(), cfg.TickPeriod()
+	var now sim.Time
+	var last uint32
+	for i, r := range c.Records {
+		if i > 0 {
+			delta := (r.Stamp - last) & mask
+			now += sim.Time(delta) * tick
+		}
+		last = r.Stamp
+		e := Event{Time: now, Tag: r.Tag}
+		entry, kind := tags.Resolve(r.Tag)
+		switch kind {
+		case tagfile.FunctionEntry:
+			e.Kind, e.Name, e.CtxSwitch = Entry, entry.Name, entry.ContextSwitch
+		case tagfile.FunctionExit:
+			e.Kind, e.Name, e.CtxSwitch = Exit, entry.Name, entry.ContextSwitch
+		case tagfile.InlineTag:
+			e.Kind, e.Name = Inline, entry.Name
+		default:
+			e.Kind = Unknown
+			stats.UnknownTags++
+		}
+		events = append(events, e)
+	}
+	return events, stats
+}

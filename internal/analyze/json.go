@@ -1,0 +1,80 @@
+package analyze
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON export of an analysis, for downstream tooling (plotting, regression
+// tracking between kernel builds). Times are integer microseconds, the
+// Profiler's native resolution.
+
+// JSONReport is the serialized form of an Analysis.
+type JSONReport struct {
+	ElapsedUS  int64 `json:"elapsed_us"`
+	RunUS      int64 `json:"run_us"`
+	IdleUS     int64 `json:"idle_us"`
+	Records    int   `json:"records"`
+	Overflowed bool  `json:"overflowed"`
+	Switches   int   `json:"context_switches"`
+	Orphans    int   `json:"orphan_exits"`
+	Recovered  int   `json:"recovered_frames"`
+
+	Functions []JSONFn `json:"functions"`
+}
+
+// JSONFn is one function's statistics row.
+type JSONFn struct {
+	Name      string  `json:"name"`
+	Calls     int     `json:"calls"`
+	ElapsedUS int64   `json:"elapsed_us"`
+	NetUS     int64   `json:"net_us"`
+	MaxUS     int64   `json:"max_us"`
+	AvgUS     int64   `json:"avg_us"`
+	MinUS     int64   `json:"min_us"`
+	PctReal   float64 `json:"pct_real"`
+	PctNet    float64 `json:"pct_net"`
+	Inlines   int     `json:"inlines,omitempty"`
+}
+
+// Report builds the serializable form.
+func (a *Analysis) Report() JSONReport {
+	r := JSONReport{
+		ElapsedUS:  a.Elapsed().Micros(),
+		RunUS:      a.RunTime().Micros(),
+		IdleUS:     a.Idle.Micros(),
+		Records:    a.Stats.Records,
+		Overflowed: a.Stats.Overflowed,
+		Switches:   a.Switches,
+		Orphans:    a.OrphanExits,
+		Recovered:  a.Recovered,
+	}
+	elapsed, run := a.Elapsed(), a.RunTime()
+	for _, s := range a.Functions() {
+		fn := JSONFn{
+			Name:      s.Name,
+			Calls:     s.Calls,
+			ElapsedUS: s.Elapsed.Micros(),
+			NetUS:     s.Net.Micros(),
+			MaxUS:     s.Max.Micros(),
+			AvgUS:     s.Avg().Micros(),
+			MinUS:     s.MinOrZero().Micros(),
+			Inlines:   s.Inlines,
+		}
+		if elapsed > 0 {
+			fn.PctReal = 100 * float64(s.Net) / float64(elapsed)
+		}
+		if run > 0 {
+			fn.PctNet = 100 * float64(s.Net) / float64(run)
+		}
+		r.Functions = append(r.Functions, fn)
+	}
+	return r
+}
+
+// WriteJSON serializes the analysis as indented JSON.
+func (a *Analysis) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a.Report())
+}

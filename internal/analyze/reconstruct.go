@@ -1,0 +1,514 @@
+package analyze
+
+import (
+	"sort"
+
+	"kprof/internal/sim"
+)
+
+// Node is one reconstructed function invocation.
+type Node struct {
+	Name  string
+	Start sim.Time
+	End   sim.Time
+	// Complete is false for invocations force-closed by mismatch
+	// recovery or still open when the capture ended (their self time is
+	// unknowable and excluded from stats).
+	Complete bool
+	// outOfContext accumulates time this invocation spent switched out
+	// (its process suspended), which the paper's analysis excludes: a
+	// tsleep that blocks for seconds still reports only its in-context
+	// microseconds.
+	outOfContext sim.Time
+
+	Children []*Node
+	Marks    []Mark
+}
+
+// Mark is an inline ('=') trigger hit inside an invocation.
+type Mark struct {
+	Name string
+	Time sim.Time
+}
+
+// Elapsed is the invocation's in-context elapsed time.
+func (n *Node) Elapsed() sim.Time {
+	return n.End - n.Start - n.outOfContext
+}
+
+// Net is elapsed minus the in-context elapsed of direct children — the
+// time spent in this function alone.
+func (n *Node) Net() sim.Time {
+	net := n.Elapsed()
+	for _, c := range n.Children {
+		net -= c.Elapsed()
+	}
+	return net
+}
+
+// TraceItem is one line of the chronological code-path trace.
+type TraceItem struct {
+	Time  sim.Time
+	Depth int
+	Kind  TraceKind
+	Node  *Node  // nil for context-switch markers
+	Mark  string // inline mark name
+}
+
+// TraceKind classifies trace lines.
+type TraceKind int
+
+const (
+	TraceEnter TraceKind = iota
+	TraceExit
+	TraceInline
+	TraceSwitchOut // swtch entered: context switch out / idle begins
+	TraceSwitchIn  // swtch exited: context switch in
+)
+
+// Analysis is the full reconstruction of a capture.
+type Analysis struct {
+	Events []Event
+	Items  []TraceItem
+	Stats  DecodeStats
+
+	Start, End sim.Time
+
+	// Idle is time inside swtch (between '!' entry and the next '!'
+	// exit) minus interrupt activity within those windows.
+	Idle sim.Time
+	// Switches counts entries to the context-switch function.
+	Switches int
+
+	// OrphanExits counts exits that matched no open frame anywhere —
+	// usually functions entered before the capture began.
+	OrphanExits int
+	// Recovered counts frames force-closed by mismatch recovery.
+	Recovered int
+
+	fns map[string]*FnStat
+}
+
+// FnStat aggregates one function's invocations.
+type FnStat struct {
+	Name    string
+	Calls   int
+	Elapsed sim.Time // inclusive, in-context
+	Net     sim.Time
+	// Max/Min are per-call *net* extremes: the paper's (max/avg/min)
+	// columns report time in the function alone (Figure 3's soreceive
+	// line: 16391 µs net over 166 calls and an avg column of 98).
+	Max     sim.Time
+	Min     sim.Time
+	Inlines int // inline marks carrying this name
+}
+
+// stack is one process context's call stack.
+type stack struct {
+	open        []*Node
+	done        []*Node // completed top-level frames
+	suspendedAt sim.Time
+}
+
+// reconstructor is the analysis state machine.
+type reconstructor struct {
+	a *Analysis
+
+	current   *stack   // nil while idle / pending resume
+	suspended []*stack // stacks parked inside swtch, FIFO
+	pending   bool     // saw swtch exit, context not yet identified
+	tentative []*Node  // completed top-level frames since pending began
+
+	idleStart  sim.Time
+	idleOpen   bool
+	idleStack  *stack // interrupts that run in the idle loop
+	idleIntr   sim.Time
+	intrInIdle []*Node
+}
+
+// Reconstruct runs the full analysis over decoded events.
+func Reconstruct(events []Event, stats DecodeStats) *Analysis {
+	a := &Analysis{Events: events, Stats: stats, fns: make(map[string]*FnStat)}
+	if len(events) > 0 {
+		a.Start = events[0].Time
+		a.End = events[len(events)-1].Time
+	}
+	r := &reconstructor{a: a, idleStack: &stack{}}
+	for _, ev := range events {
+		r.step(ev)
+	}
+	r.finish()
+	return a
+}
+
+func (r *reconstructor) fnStat(name string) *FnStat {
+	s, ok := r.a.fns[name]
+	if !ok {
+		s = &FnStat{Name: name, Min: 1 << 62}
+		r.a.fns[name] = s
+	}
+	return s
+}
+
+func (r *reconstructor) item(ev Event, kind TraceKind, n *Node, depth int) {
+	r.a.Items = append(r.a.Items, TraceItem{Time: ev.Time, Depth: depth, Kind: kind, Node: n, Mark: func() string {
+		if kind == TraceInline {
+			return ev.Name
+		}
+		return ""
+	}()})
+}
+
+func (r *reconstructor) step(ev Event) {
+	switch {
+	case ev.Kind == Unknown:
+		return
+	case ev.CtxSwitch && ev.Kind == Entry:
+		r.switchOut(ev)
+	case ev.CtxSwitch && ev.Kind == Exit:
+		r.switchIn(ev)
+	case ev.Kind == Inline:
+		r.inline(ev)
+	case ev.Kind == Entry:
+		r.enter(ev)
+	case ev.Kind == Exit:
+		r.exit(ev)
+	}
+}
+
+// switchOut: the process entered swtch. Its stack parks; the CPU is idle
+// (apart from interrupts) until the next swtch exit.
+func (r *reconstructor) switchOut(ev Event) {
+	r.a.Switches++
+	r.fnStat("swtch").Calls++
+	r.resolvePendingAsNew(ev.Time)
+	if r.current != nil {
+		r.current.suspendedAt = ev.Time
+		r.suspended = append(r.suspended, r.current)
+		r.current = nil
+	}
+	r.idleOpen = true
+	r.idleStart = ev.Time
+	r.idleIntr = 0
+	r.item(ev, TraceSwitchOut, nil, 0)
+}
+
+// switchIn: some process came out of swtch; which one becomes clear from
+// the next orphan exit (or doesn't, in which case it is a fresh context).
+func (r *reconstructor) switchIn(ev Event) {
+	if r.idleOpen {
+		idle := ev.Time - r.idleStart - r.idleIntr
+		if idle < 0 {
+			idle = 0
+		}
+		r.a.Idle += idle
+		r.idleOpen = false
+	}
+	// Interrupt frames opened in the idle loop but never closed stay on
+	// the idle stack; they will close on later events in whatever
+	// context — treat unclosed idle frames as recovered.
+	r.pending = true
+	r.current = nil
+	r.tentative = nil
+	r.item(ev, TraceSwitchIn, nil, 0)
+}
+
+// resolvePendingAsNew turns an unresolved resumed block into a fresh
+// context (a process making its first appearance).
+func (r *reconstructor) resolvePendingAsNew(now sim.Time) {
+	if !r.pending {
+		return
+	}
+	r.pending = false
+	if len(r.tentative) > 0 {
+		// Completed top-level frames of the anonymous block: they are
+		// already in the stats; nothing further to attach.
+		r.tentative = nil
+	}
+	if r.current == nil {
+		r.current = &stack{}
+	}
+}
+
+// contextStack returns the stack events should apply to right now.
+func (r *reconstructor) contextStack() *stack {
+	if r.idleOpen {
+		return r.idleStack
+	}
+	if r.current == nil {
+		r.current = &stack{}
+	}
+	return r.current
+}
+
+func (r *reconstructor) enter(ev Event) {
+	if r.pending {
+		// New frames in an unresolved block accumulate on a fresh
+		// current stack; resolution may later splice them.
+		r.pending = r.pendingEnter(ev)
+		return
+	}
+	st := r.contextStack()
+	r.push(st, ev)
+}
+
+// pendingEnter handles an entry during pending-resume: frames stack up
+// normally on a tentative current stack; reports whether still pending.
+func (r *reconstructor) pendingEnter(ev Event) bool {
+	if r.current == nil {
+		r.current = &stack{}
+	}
+	r.push(r.current, ev)
+	return true // stays pending until an orphan exit or next switch
+}
+
+func (r *reconstructor) push(st *stack, ev Event) {
+	n := &Node{Name: ev.Name, Start: ev.Time}
+	if len(st.open) > 0 {
+		parent := st.open[len(st.open)-1]
+		parent.Children = append(parent.Children, n)
+	}
+	depth := len(st.open)
+	if st == r.idleStack {
+		r.intrInIdle = append(r.intrInIdle, n)
+	}
+	st.open = append(st.open, n)
+	r.item(ev, TraceEnter, n, depth)
+}
+
+func (r *reconstructor) inline(ev Event) {
+	st := r.contextStack()
+	if len(st.open) > 0 {
+		top := st.open[len(st.open)-1]
+		top.Marks = append(top.Marks, Mark{Name: ev.Name, Time: ev.Time})
+	}
+	r.fnStat(ev.Name).Inlines++
+	r.item(ev, TraceInline, nil, len(st.open))
+}
+
+func (r *reconstructor) exit(ev Event) {
+	if r.idleOpen {
+		// Interrupt activity inside swtch.
+		if r.closeOn(r.idleStack, ev, true) {
+			return
+		}
+		// Exit with no matching frame in idle: orphan.
+		r.a.OrphanExits++
+		return
+	}
+	if r.pending {
+		// Try the tentative stack first (balanced calls since resume).
+		if r.current != nil && r.closeOn(r.current, ev, false) {
+			return
+		}
+		// Orphan exit: identifies the resumed process. Adopt the oldest
+		// suspended stack whose top frame matches.
+		for i, st := range r.suspended {
+			if len(st.open) > 0 && st.open[len(st.open)-1].Name == ev.Name {
+				r.adopt(i, ev)
+				return
+			}
+		}
+		// No match anywhere: truly orphan (entered before capture).
+		r.a.OrphanExits++
+		r.fnStat(ev.Name).Calls++ // count the call even without timing
+		r.pending = false
+		if r.current == nil {
+			r.current = &stack{}
+		}
+		return
+	}
+	st := r.contextStack()
+	if r.closeOn(st, ev, true) {
+		return
+	}
+	r.a.OrphanExits++
+}
+
+// adopt resolves pending-resume onto suspended stack i: credit its frames
+// with the out-of-context interval, splice tentative children, close the
+// matching frame.
+func (r *reconstructor) adopt(i int, ev Event) {
+	st := r.suspended[i]
+	r.suspended = append(r.suspended[:i:i], r.suspended[i+1:]...)
+	resumeAt := r.lastSwitchInTime()
+	for _, n := range st.open {
+		n.outOfContext += resumeAt - st.suspendedAt
+	}
+	// Frames completed since the switch-in belong to the resumed frame.
+	if r.current != nil {
+		top := st.open[len(st.open)-1]
+		for _, c := range r.current.doneRoots() {
+			top.Children = append(top.Children, c)
+		}
+		// Unclosed tentative frames would be a malformed capture;
+		// recover by discarding (counted).
+		if len(r.current.open) > 0 {
+			r.a.Recovered += len(r.current.open)
+		}
+	}
+	r.current = st
+	r.tentative = nil
+	r.pending = false
+	r.closeOn(st, ev, true)
+}
+
+// lastSwitchInTime finds the time of the most recent switch-in marker.
+func (r *reconstructor) lastSwitchInTime() sim.Time {
+	for i := len(r.a.Items) - 1; i >= 0; i-- {
+		if r.a.Items[i].Kind == TraceSwitchIn {
+			return r.a.Items[i].Time
+		}
+	}
+	return r.a.Start
+}
+
+// doneRoots reports a stack's completed top-level frames (used when
+// splicing a tentative block into an adopted stack).
+func (st *stack) doneRoots() []*Node {
+	return st.done
+}
+
+// closeOn closes the frame named by ev on st. With recovery enabled,
+// a mismatched exit force-closes intervening frames (lost events); it
+// reports whether the exit was consumed.
+func (r *reconstructor) closeOn(st *stack, ev Event, recover bool) bool {
+	idx := -1
+	for i := len(st.open) - 1; i >= 0; i-- {
+		if st.open[i].Name == ev.Name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	if !recover && idx != len(st.open)-1 {
+		return false
+	}
+	// Force-close anything above the match (missing exits in the
+	// capture — e.g. RAM overflow mid-run).
+	for len(st.open)-1 > idx {
+		top := st.open[len(st.open)-1]
+		top.End = ev.Time
+		top.Complete = false
+		st.open = st.open[:len(st.open)-1]
+		r.a.Recovered++
+		r.record(top)
+	}
+	n := st.open[idx]
+	n.End = ev.Time
+	n.Complete = true
+	st.open = st.open[:idx]
+	if len(st.open) == 0 {
+		st.done = append(st.done, n)
+	}
+	r.record(n)
+	r.item(ev, TraceExit, n, len(st.open))
+	if st == r.idleStack && len(st.open) == 0 && r.idleOpen {
+		r.idleIntr += n.Elapsed()
+	}
+	return true
+}
+
+// record folds a closed node into the per-function statistics.
+func (r *reconstructor) record(n *Node) {
+	s := r.fnStat(n.Name)
+	s.Calls++
+	if !n.Complete {
+		return
+	}
+	s.Elapsed += n.Elapsed()
+	net := n.Net()
+	s.Net += net
+	if net > s.Max {
+		s.Max = net
+	}
+	if net < s.Min {
+		s.Min = net
+	}
+}
+
+// finish closes the books at capture end.
+func (r *reconstructor) finish() {
+	if r.idleOpen {
+		idle := r.a.End - r.idleStart - r.idleIntr
+		if idle > 0 {
+			r.a.Idle += idle
+		}
+	}
+	// Open frames at capture end: count calls, no timing.
+	countOpen := func(st *stack) {
+		if st == nil {
+			return
+		}
+		for _, n := range st.open {
+			n.End = r.a.End
+			r.fnStat(n.Name).Calls++
+		}
+	}
+	countOpen(r.current)
+	countOpen(r.idleStack)
+	for _, st := range r.suspended {
+		countOpen(st)
+	}
+}
+
+// Functions returns the per-function statistics sorted by net time
+// descending (ties by name for determinism).
+func (a *Analysis) Functions() []*FnStat {
+	out := make([]*FnStat, 0, len(a.fns))
+	for _, s := range a.fns {
+		out = append(out, s)
+	}
+	sortStats(out)
+	return out
+}
+
+// Fn returns one function's stats.
+func (a *Analysis) Fn(name string) (*FnStat, bool) {
+	s, ok := a.fns[name]
+	return s, ok
+}
+
+// Elapsed is the capture's wall span.
+func (a *Analysis) Elapsed() sim.Time { return a.End - a.Start }
+
+// RunTime is elapsed minus idle: the accumulated run time of Figure 3.
+func (a *Analysis) RunTime() sim.Time { return a.Elapsed() - a.Idle }
+
+// Avg reports a stat's mean per-call net time (the paper's avg column).
+func (s *FnStat) Avg() sim.Time {
+	if s.Calls == 0 {
+		return 0
+	}
+	return s.Net / sim.Time(s.Calls)
+}
+
+// AvgElapsed reports mean per-call inclusive time — Table 1's "times are
+// inclusive of subroutines that are called" basis.
+func (s *FnStat) AvgElapsed() sim.Time {
+	if s.Calls == 0 {
+		return 0
+	}
+	return s.Elapsed / sim.Time(s.Calls)
+}
+
+// MinOrZero is Min, or zero when no timed call completed.
+func (s *FnStat) MinOrZero() sim.Time {
+	if s.Min == 1<<62 {
+		return 0
+	}
+	return s.Min
+}
+
+// sortStats orders by net time descending, ties broken by name so reports
+// are deterministic.
+func sortStats(stats []*FnStat) {
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Net != stats[j].Net {
+			return stats[i].Net > stats[j].Net
+		}
+		return stats[i].Name < stats[j].Name
+	})
+}

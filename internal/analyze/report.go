@@ -1,0 +1,126 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"kprof/internal/sim"
+)
+
+// WriteSummary renders the per-function summary in the paper's Figure 3
+// format: an overall header (elapsed, accumulated run time, idle time),
+// then one line per function sorted by net CPU usage — elapsed, net,
+// number of calls, (max/avg/min), % real, % net, name.
+func (a *Analysis) WriteSummary(w io.Writer, top int) error {
+	elapsed := a.Elapsed()
+	run := a.RunTime()
+	var runPct, idlePct float64
+	if elapsed > 0 {
+		runPct = 100 * float64(run) / float64(elapsed)
+		idlePct = 100 * float64(a.Idle) / float64(elapsed)
+	}
+	fmt.Fprintf(w, "Elapsed time = %d sec %d us (%d tags)\n",
+		elapsed/sim.Second, (elapsed%sim.Second)/sim.Microsecond, a.Stats.Records)
+	fmt.Fprintf(w, "Accumulated run time = %d sec %d us (%5.2f%%)\n",
+		run/sim.Second, (run%sim.Second)/sim.Microsecond, runPct)
+	fmt.Fprintf(w, "Idle time = %d sec %d us (%5.2f%%)\n",
+		a.Idle/sim.Second, (a.Idle%sim.Second)/sim.Microsecond, idlePct)
+	fmt.Fprintln(w, strings.Repeat("-", 72))
+	fmt.Fprintf(w, "%9s %9s %8s %18s %8s %8s   %s\n",
+		"Elapsed", "Net", "# calls", "(max/avg/min)", "% real", "% net", "")
+	stats := a.Functions()
+	if top > 0 && len(stats) > top {
+		stats = stats[:top]
+	}
+	for _, s := range stats {
+		if s.Name == "swtch" {
+			continue // idle is reported in the header
+		}
+		var pctReal, pctNet float64
+		if elapsed > 0 {
+			pctReal = 100 * float64(s.Net) / float64(elapsed)
+		}
+		if run > 0 {
+			pctNet = 100 * float64(s.Net) / float64(run)
+		}
+		fmt.Fprintf(w, "%9d %9d %8d %18s %7.2f%% %7.2f%%   %s\n",
+			s.Elapsed.Micros(), s.Net.Micros(), s.Calls,
+			fmt.Sprintf("(%d/%d/%d)", s.Max.Micros(), s.Avg().Micros(), s.MinOrZero().Micros()),
+			pctReal, pctNet, s.Name)
+	}
+	return nil
+}
+
+// SummaryString renders the summary to a string.
+func (a *Analysis) SummaryString(top int) string {
+	var b strings.Builder
+	_ = a.WriteSummary(&b, top)
+	return b.String()
+}
+
+// TraceOptions controls the code-path trace rendering.
+type TraceOptions struct {
+	// From/To bound the rendered window; zero To means the whole capture.
+	From, To sim.Time
+	// MaxLines bounds output; 0 means unlimited.
+	MaxLines int
+}
+
+// WriteTrace renders the real-time code-path trace in the paper's Figure 4
+// format: a timestamp, nesting by call depth, "-> name (net us, total us)"
+// on entries (total omitted for leaves), bare "<-" on exits (annotated for
+// frames whose entry line was outside the window), '==' inline marks, and
+// context-switch flags.
+func (a *Analysis) WriteTrace(w io.Writer, opts TraceOptions) error {
+	to := opts.To
+	if to == 0 {
+		to = a.End + 1
+	}
+	lines := 0
+	for _, it := range a.Items {
+		if it.Time < opts.From || it.Time > to {
+			continue
+		}
+		if opts.MaxLines > 0 && lines >= opts.MaxLines {
+			fmt.Fprintf(w, "... (truncated at %d lines)\n", opts.MaxLines)
+			break
+		}
+		indent := strings.Repeat("    ", it.Depth)
+		switch it.Kind {
+		case TraceEnter:
+			n := it.Node
+			if len(n.Children) == 0 && len(n.Marks) == 0 {
+				fmt.Fprintf(w, "%s %s-> %s (%d us)\n", it.Time, indent, n.Name, n.Net().Micros())
+			} else {
+				fmt.Fprintf(w, "%s %s-> %s (%d us, %d total)\n",
+					it.Time, indent, n.Name, n.Net().Micros(), n.Elapsed().Micros())
+			}
+		case TraceExit:
+			n := it.Node
+			// Exits are annotated when the matching entry is far away
+			// (after a context switch), as Figure 4's "<- tsleep".
+			if n.Start < opts.From || n.outOfContext > 0 {
+				fmt.Fprintf(w, "%s %s<- %s (%d us, %d total)\n",
+					it.Time, indent, n.Name, n.Net().Micros(), n.Elapsed().Micros())
+			} else {
+				fmt.Fprintf(w, "%s %s<-\n", it.Time, indent)
+			}
+		case TraceInline:
+			fmt.Fprintf(w, "%s %s== %s\n", it.Time, indent, it.Mark)
+		case TraceSwitchOut:
+			fmt.Fprintf(w, "%s -> swtch ---- Context switch out ----\n", it.Time)
+		case TraceSwitchIn:
+			fmt.Fprintf(w, "%s <- ---- Context switch in ----\n", it.Time)
+		}
+		lines++
+	}
+	return nil
+}
+
+// TraceString renders the trace to a string.
+func (a *Analysis) TraceString(opts TraceOptions) string {
+	var b strings.Builder
+	_ = a.WriteTrace(&b, opts)
+	return b.String()
+}

@@ -1,0 +1,89 @@
+// Package bus models the memory-system timing of the paper's target PC: a
+// 40 MHz i386 with 64 KB of external cache on a fast main-memory bus, and an
+// 8-bit ISA expansion bus that is — as the paper measures — up to 20 times
+// slower to move data across.
+//
+// The calibration points come straight from the paper's Network Performance
+// section: the WD8003E driver's bcopy of a 1500-byte packet out of the
+// 8-bit controller memory takes ≈1045 µs (≈700 ns/byte), while copyout of a
+// 1 KiB mbuf cluster within main memory takes ≈40 µs (≈39 ns/byte).
+package bus
+
+import "kprof/internal/sim"
+
+// Region identifies where a buffer lives, which determines transfer rates.
+type Region int
+
+const (
+	// MainMemory is cached system RAM.
+	MainMemory Region = iota
+	// ISA8 is memory on an 8-bit ISA card (the WD8003E's packet RAM).
+	ISA8
+	// ISA16 is memory on a 16-bit ISA card, roughly twice as fast as
+	// ISA8; the paper wishes for EISA, but 16-bit cards existed.
+	ISA16
+)
+
+func (r Region) String() string {
+	switch r {
+	case MainMemory:
+		return "main"
+	case ISA8:
+		return "isa8"
+	case ISA16:
+		return "isa16"
+	}
+	return "region?"
+}
+
+// Per-byte access costs, calibrated as described in the package comment.
+const (
+	mainNsPerByte  = 39
+	isa8NsPerByte  = 730
+	isa16NsPerByte = 290
+
+	// copySetup is the fixed overhead of a block copy: call set-up,
+	// direction flag, alignment preamble.
+	copySetup = 2 * sim.Microsecond
+)
+
+// NsPerByte reports the per-byte cost of streaming access to a region.
+func NsPerByte(r Region) sim.Time {
+	switch r {
+	case MainMemory:
+		return mainNsPerByte * sim.Nanosecond
+	case ISA8:
+		return isa8NsPerByte * sim.Nanosecond
+	case ISA16:
+		return isa16NsPerByte * sim.Nanosecond
+	}
+	panic("bus: unknown region")
+}
+
+// CopyCost is the time to copy n bytes from src to dst: the slower side of
+// the transfer dominates, since the CPU performs the cycles synchronously.
+func CopyCost(n int, src, dst Region) sim.Time {
+	if n < 0 {
+		panic("bus: negative copy length")
+	}
+	rate := NsPerByte(src)
+	if d := NsPerByte(dst); d > rate {
+		rate = d
+	}
+	return copySetup + sim.Time(n)*rate
+}
+
+// TouchCost is the time to read n bytes from a region without writing
+// (checksumming in place, scanning).
+func TouchCost(n int, r Region) sim.Time {
+	if n < 0 {
+		panic("bus: negative touch length")
+	}
+	return sim.Time(n) * NsPerByte(r)
+}
+
+// SlowdownVsMain reports how many times slower a region is than main
+// memory, the paper's "ISA bus is up to 20 times slower" figure.
+func SlowdownVsMain(r Region) float64 {
+	return float64(NsPerByte(r)) / float64(NsPerByte(MainMemory))
+}

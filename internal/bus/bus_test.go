@@ -1,0 +1,84 @@
+package bus
+
+import (
+	"testing"
+
+	"kprof/internal/sim"
+)
+
+func TestCalibrationAgainstPaper(t *testing.T) {
+	// Driver bcopy: 1500 bytes out of 8-bit controller memory ≈ 1045 µs.
+	got := CopyCost(1500, ISA8, MainMemory)
+	if got < 1000*sim.Microsecond || got > 1100*sim.Microsecond {
+		t.Fatalf("1500B ISA8 copy = %v, want ≈1045 µs", got)
+	}
+	// copyout: 1 KiB within main memory ≈ 40 µs.
+	got = CopyCost(1024, MainMemory, MainMemory)
+	if got < 35*sim.Microsecond || got > 50*sim.Microsecond {
+		t.Fatalf("1KiB main copy = %v, want ≈40 µs", got)
+	}
+}
+
+func TestISAIsRoughly20xSlower(t *testing.T) {
+	f := SlowdownVsMain(ISA8)
+	if f < 15 || f > 20 {
+		t.Fatalf("ISA8 slowdown = %.1f, want 15-20x", f)
+	}
+	if s := SlowdownVsMain(ISA16); s >= f || s < 2 {
+		t.Fatalf("ISA16 slowdown = %.1f, want between main and ISA8", s)
+	}
+	if SlowdownVsMain(MainMemory) != 1 {
+		t.Fatal("main memory slowdown != 1")
+	}
+}
+
+func TestCopyCostDominatedBySlowerSide(t *testing.T) {
+	toISA := CopyCost(1000, MainMemory, ISA8)
+	fromISA := CopyCost(1000, ISA8, MainMemory)
+	if toISA != fromISA {
+		t.Fatalf("asymmetric: %v vs %v", toISA, fromISA)
+	}
+	if CopyCost(1000, ISA8, ISA8) != fromISA {
+		t.Fatal("ISA-to-ISA should cost the same as the slower side")
+	}
+}
+
+func TestZeroLengthCopyIsJustSetup(t *testing.T) {
+	if CopyCost(0, MainMemory, MainMemory) != copySetup {
+		t.Fatal("zero-length copy should cost only setup")
+	}
+	if TouchCost(0, ISA8) != 0 {
+		t.Fatal("zero-length touch should be free")
+	}
+}
+
+func TestTouchCost(t *testing.T) {
+	if TouchCost(1024, MainMemory) >= TouchCost(1024, ISA8) {
+		t.Fatal("touching ISA should cost more than main")
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	for _, r := range []Region{MainMemory, ISA8, ISA16, Region(99)} {
+		if r.String() == "" {
+			t.Fatal("empty region string")
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"negative copy":  func() { CopyCost(-1, MainMemory, MainMemory) },
+		"negative touch": func() { TouchCost(-1, MainMemory) },
+		"bad region":     func() { NsPerByte(Region(99)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

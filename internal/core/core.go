@@ -1,0 +1,239 @@
+// Package core assembles the full profiling system: a simulated 386BSD-0.1
+// class machine (kernel, allocators, VM, network stack, filesystem), the
+// instrumentation pass and two-stage link, and the Profiler card plugged
+// into a spare EPROM socket — the paper used the socket on the WD8003E
+// Ethernet card. A Session drives the paper's workflow: instrument selected
+// modules, arm the card, run a workload, pull the RAMs, analyze.
+package core
+
+import (
+	"fmt"
+
+	"kprof/internal/analyze"
+	"kprof/internal/fdesc"
+	"kprof/internal/fs"
+	"kprof/internal/hw"
+	"kprof/internal/instrument"
+	"kprof/internal/kernel"
+	"kprof/internal/mem"
+	"kprof/internal/netstack"
+	"kprof/internal/nfs"
+	"kprof/internal/tagfile"
+	"kprof/internal/vm"
+)
+
+// Machine is the complete simulated PC: the 40 MHz i386 with 8 MB running
+// the modeled kernel and all its subsystems.
+type Machine struct {
+	K     *kernel.Kernel
+	Alloc *mem.Allocator
+	VM    *vm.VM
+	Net   *netstack.Net
+	FS    *fs.FS
+	FD    *fdesc.FD
+
+	nfsClient *nfs.Client
+}
+
+// NewMachine boots a machine: every subsystem attached, clock ticking.
+func NewMachine(cfg kernel.Config) *Machine {
+	k := kernel.New(cfg)
+	alloc := mem.Attach(k)
+	m := &Machine{
+		K:     k,
+		Alloc: alloc,
+		VM:    vm.Attach(k, alloc),
+		Net:   netstack.Attach(k, alloc),
+		FS:    fs.Attach(k, alloc),
+		FD:    fdesc.Attach(k, alloc),
+	}
+	k.StartClock()
+	return m
+}
+
+// NFS lazily attaches the NFS-lite client (it binds a UDP port).
+func (m *Machine) NFS() (*nfs.Client, error) {
+	if m.nfsClient == nil {
+		c, err := nfs.NewClient(m.K, m.Net)
+		if err != nil {
+			return nil, err
+		}
+		m.nfsClient = c
+	}
+	return m.nfsClient, nil
+}
+
+// ProfileConfig selects what to instrument and where the card sits.
+type ProfileConfig struct {
+	// Modules restricts instrumentation (micro-profiling); empty
+	// instruments the whole kernel.
+	Modules []string
+	// Depth is the card RAM depth; 0 means the prototype's 16384.
+	Depth int
+	// ClockHz selects the card's counter rate (the paper's future-work
+	// precision upgrade); 0 means the prototype's 1 MHz.
+	ClockHz int64
+	// TimerBits selects the stored counter width; 0 means 24.
+	TimerBits uint
+	// EPROMPhys is the physical address of the borrowed EPROM socket;
+	// 0 means the WD8003E's socket at 0xD0000.
+	EPROMPhys uint32
+	// KernelSize feeds the two-stage link; 0 means a representative
+	// 640 KB kernel.
+	KernelSize uint32
+	// Tags supplies an existing name/tag file to extend; nil starts
+	// fresh at tag 500.
+	Tags *tagfile.File
+	// NoMGETInline disables the MGET inline trigger the paper's sample
+	// tag file shows.
+	NoMGETInline bool
+}
+
+// Session is one profiling setup: an instrumented kernel with the card
+// attached.
+type Session struct {
+	M      *Machine
+	Card   *hw.Profiler
+	Socket *hw.EPROMSocket
+	Inst   *instrument.Result
+	Linked *instrument.Linked
+	Tags   *tagfile.File
+}
+
+// NewSession instruments the machine's kernel per cfg, performs the
+// two-stage link, and plugs the card into the EPROM socket.
+func NewSession(m *Machine, cfg ProfileConfig) (*Session, error) {
+	epromPhys := cfg.EPROMPhys
+	if epromPhys == 0 {
+		epromPhys = 0xD0000
+	}
+	kernelSize := cfg.KernelSize
+	if kernelSize == 0 {
+		kernelSize = 640 * 1024
+	}
+	var inlines []string
+	if !cfg.NoMGETInline {
+		inlines = []string{"MGET"}
+	}
+	inst, err := instrument.Instrument(m.K, instrument.Options{
+		Modules: cfg.Modules,
+		Tags:    cfg.Tags,
+		Inlines: inlines,
+	})
+	if err != nil {
+		return nil, err
+	}
+	linked, err := inst.Link(instrument.Layout{KernelSize: kernelSize, EPROMPhys: epromPhys})
+	if err != nil {
+		return nil, err
+	}
+	card := hw.NewWithConfig(hw.Config{
+		Depth:     cfg.Depth,
+		ClockHz:   cfg.ClockHz,
+		TimerBits: cfg.TimerBits,
+	}, m.K.Now)
+	socket := hw.NewEPROMSocket(epromPhys, card)
+	// The kernel's trigger loads hit kernel-virtual addresses; the MMU
+	// translation puts them on the ISA bus where the socket decodes them.
+	m.K.SetTrigger(func(va uint32) {
+		socket.Read(linked.VirtToPhys(va))
+	})
+	if addr, ok := inst.InlineAddr(linked, "MGET"); ok {
+		m.Net.Pool().SetMGetInline(addr)
+	}
+	return &Session{M: m, Card: card, Socket: socket, Inst: inst, Linked: linked, Tags: inst.Tags}, nil
+}
+
+// Detach unplugs the Profiler: trigger instructions remain (and still cost
+// their 400 ns) but latch nothing — the configuration used to show that a
+// profiled and unprofiled kernel behave indistinguishably.
+func (s *Session) Detach() { s.M.K.SetTrigger(nil) }
+
+// Reattach plugs the card back in.
+func (s *Session) Reattach() {
+	sock, linked := s.Socket, s.Linked
+	s.M.K.SetTrigger(func(va uint32) { sock.Read(linked.VirtToPhys(va)) })
+}
+
+// Arm flips the front-panel switch to begin capture.
+func (s *Session) Arm() { s.Card.Arm() }
+
+// Disarm stops capture.
+func (s *Session) Disarm() { s.Card.Disarm() }
+
+// Reset clears the card for a fresh run.
+func (s *Session) Reset() { s.Card.Reset() }
+
+// Capture pulls the battery-backed RAMs: the raw event list.
+func (s *Session) Capture() hw.Capture { return s.Card.Dump() }
+
+// Analyze decodes and reconstructs the current capture.
+func (s *Session) Analyze() *analyze.Analysis {
+	events, stats := analyze.Decode(s.Capture(), s.Tags)
+	return analyze.Reconstruct(events, stats)
+}
+
+// ModuleOf maps function names to their kernel module, for subsystem
+// grouping of analysis results.
+func (m *Machine) ModuleOf() map[string]string {
+	out := make(map[string]string)
+	for _, fn := range m.K.Functions() {
+		out[fn.Name] = fn.Module
+	}
+	return out
+}
+
+// SubsystemOf maps function names to coarse subsystems (net, fs, vm, mem,
+// kern, dev) for the grouping report.
+func (m *Machine) SubsystemOf() map[string]string {
+	coarse := map[string]string{
+		"if_we": "netdev", "ip_input": "net", "ip_output": "net",
+		"in_cksum": "net", "in_pcb": "net", "tcp_input": "net",
+		"tcp_output": "net", "udp_usrreq": "net", "uipc_socket": "net",
+		"uipc_socket2": "net", "nfs_socket": "nfs",
+		"wd": "disk", "vfs_bio": "fs", "ufs_vnops": "fs",
+		"ffs_alloc": "fs", "vfs_lookup": "fs", "ufs_lookup": "fs",
+		"ufs_inode": "fs",
+		"vm_fault":  "vm", "vm_page": "vm", "vm_map": "vm", "pmap": "vm",
+		"vm_kern": "vm", "kern_malloc": "mem",
+		"locore": "kern", "kern_synch": "kern", "kern_clock": "kern",
+		"trap": "kern", "kern_descrip": "kern",
+	}
+	out := make(map[string]string)
+	for _, fn := range m.K.Functions() {
+		if g, ok := coarse[fn.Module]; ok {
+			out[fn.Name] = g
+		} else {
+			out[fn.Name] = fn.Module
+		}
+	}
+	return out
+}
+
+func (s *Session) String() string {
+	return fmt.Sprintf("session(%d fns instrumented, ProfileBase=%#x, %d/%d records)",
+		s.Inst.Functions(), s.Linked.ProfileBase, s.Card.Stored(), s.Card.Depth())
+}
+
+// NewEmbeddedMachine boots the paper's first case-study platform: the
+// Megadata 68020 embedded board running a kernel with the 4.3BSD Tahoe
+// networking code. The 68020 has real multi-priority interrupt levels
+// (cheap spl*), the Tahoe stack carries the assembler in_cksum, the
+// Ethernet controller DMAs into shared memory, and with no MMU there is no
+// user/kernel boundary — application code traces straight into the kernel.
+func NewEmbeddedMachine(cfg kernel.Config, style netstack.DriverStyle) (*Machine, *netstack.LE) {
+	cfg.Arch = kernel.ArchM68K
+	k := kernel.New(cfg)
+	alloc := mem.Attach(k)
+	m := &Machine{
+		K:     k,
+		Alloc: alloc,
+		Net:   netstack.Attach(k, alloc),
+	}
+	le := netstack.NewLE(m.Net, style)
+	m.Net.SetOutputDevice(le)
+	// Tahoe's in_cksum is the assembler version.
+	m.Net.CksumMode = netstack.CksumOptimized
+	k.StartClock()
+	return m, le
+}

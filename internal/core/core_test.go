@@ -1,0 +1,231 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"kprof/internal/analyze"
+	"kprof/internal/hw"
+	"kprof/internal/kernel"
+	"kprof/internal/sim"
+)
+
+func TestSessionSetup(t *testing.T) {
+	m := NewMachine(kernel.Config{Seed: 1})
+	s, err := NewSession(m, ProfileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Inst.Functions() < 60 {
+		t.Fatalf("only %d functions instrumented", s.Inst.Functions())
+	}
+	if s.Inst.AsmFunctions == 0 {
+		t.Fatal("no assembler routines instrumented")
+	}
+	// swtch is marked '!' in the tag file.
+	e, ok := s.Tags.Lookup("swtch")
+	if !ok || !e.ContextSwitch {
+		t.Fatalf("swtch entry = %+v ok=%v", e, ok)
+	}
+	// MGET inline tag allocated.
+	e, ok = s.Tags.Lookup("MGET")
+	if !ok || !e.Inline {
+		t.Fatalf("MGET entry = %+v ok=%v", e, ok)
+	}
+	// ProfileBase is a kernel-virtual ISA address above the kernel image.
+	if s.Linked.ProfileBase < 0xFE000000 {
+		t.Fatalf("ProfileBase = %#x", s.Linked.ProfileBase)
+	}
+	if s.Socket.Base() != 0xD0000 {
+		t.Fatalf("socket base = %#x", s.Socket.Base())
+	}
+}
+
+func TestTriggersReachCardThroughSocket(t *testing.T) {
+	m := NewMachine(kernel.Config{Seed: 1})
+	s, err := NewSession(m, ProfileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	// Run a little kernel activity in process context.
+	m.K.Spawn("worker", func(p *kernel.Proc) {
+		m.K.Syscall(p, func() {
+			blk := m.Alloc.Malloc(512)
+			m.Alloc.Free(blk)
+		})
+	})
+	m.K.Run(50 * sim.Millisecond)
+	s.Disarm()
+	c := s.Capture()
+	if c.Len() == 0 {
+		t.Fatal("no events captured")
+	}
+	a := s.Analyze()
+	if _, ok := a.Fn("malloc"); !ok {
+		t.Fatalf("malloc not in analysis; functions: %d", len(a.Functions()))
+	}
+	if _, ok := a.Fn("hardclock"); !ok {
+		t.Fatal("clock interrupt not captured")
+	}
+}
+
+func TestSelectiveProfiling(t *testing.T) {
+	m := NewMachine(kernel.Config{Seed: 1})
+	s, err := NewSession(m, ProfileConfig{Modules: []string{"kern_malloc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	m.K.Spawn("worker", func(p *kernel.Proc) {
+		blk := m.Alloc.Malloc(512)
+		m.Alloc.Free(blk)
+	})
+	m.K.Run(30 * sim.Millisecond)
+	a := s.Analyze()
+	if _, ok := a.Fn("malloc"); !ok {
+		t.Fatal("selected module not profiled")
+	}
+	if _, ok := a.Fn("hardclock"); ok {
+		t.Fatal("unselected module leaked into the capture")
+	}
+}
+
+func TestDetachKeepsTriggerCostOnly(t *testing.T) {
+	m := NewMachine(kernel.Config{Seed: 1})
+	s, err := NewSession(m, ProfileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	s.Detach()
+	m.K.Spawn("worker", func(p *kernel.Proc) {
+		m.K.Syscall(p, func() { m.K.Advance(sim.Millisecond) })
+	})
+	m.K.Run(20 * sim.Millisecond)
+	if s.Card.Stored() != 0 {
+		t.Fatalf("detached card stored %d events", s.Card.Stored())
+	}
+	s.Reattach()
+	m.K.Spawn("worker2", func(p *kernel.Proc) {
+		m.K.Syscall(p, func() { m.K.Advance(sim.Millisecond) })
+	})
+	m.K.Run(40 * sim.Millisecond)
+	if s.Card.Stored() == 0 {
+		t.Fatal("reattached card captured nothing")
+	}
+}
+
+func TestAnalysisSurvivesCardOverflow(t *testing.T) {
+	m := NewMachine(kernel.Config{Seed: 1})
+	s, err := NewSession(m, ProfileConfig{Depth: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	m.K.Spawn("worker", func(p *kernel.Proc) {
+		for i := 0; i < 200; i++ {
+			m.K.Syscall(p, func() {
+				blk := m.Alloc.Malloc(256)
+				m.Alloc.Free(blk)
+			})
+			p.Yield()
+		}
+	})
+	m.K.Run(time500ms)
+	if !s.Card.Overflowed() {
+		t.Fatal("card should have overflowed")
+	}
+	a := s.Analyze()
+	if !a.Stats.Overflowed {
+		t.Fatal("overflow not propagated")
+	}
+	// The analysis still produces sane numbers from the truncated head.
+	if len(a.Functions()) == 0 || a.Elapsed() <= 0 {
+		t.Fatal("no analysis from overflowed capture")
+	}
+}
+
+const time500ms = 500 * sim.Millisecond
+
+func TestSubsystemMaps(t *testing.T) {
+	m := NewMachine(kernel.Config{Seed: 1})
+	mods := m.ModuleOf()
+	if mods["tcp_input"] != "tcp_input" || mods["malloc"] != "kern_malloc" {
+		t.Fatalf("ModuleOf: %v %v", mods["tcp_input"], mods["malloc"])
+	}
+	subs := m.SubsystemOf()
+	if subs["tcp_input"] != "net" || subs["pmap_pte"] != "vm" || subs["bread"] != "fs" {
+		t.Fatalf("SubsystemOf: tcp=%v pmap=%v bread=%v", subs["tcp_input"], subs["pmap_pte"], subs["bread"])
+	}
+}
+
+func TestSessionString(t *testing.T) {
+	m := NewMachine(kernel.Config{Seed: 1})
+	s, err := NewSession(m, ProfileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.String(), "ProfileBase") {
+		t.Fatalf("String: %s", s)
+	}
+}
+
+func TestNFSLazyAttach(t *testing.T) {
+	m := NewMachine(kernel.Config{Seed: 1})
+	c1, err := m.NFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := m.NFS()
+	if err != nil || c1 != c2 {
+		t.Fatal("NFS client not cached")
+	}
+}
+
+// The future-work fast readout: pull the capture back through the EPROM
+// window instead of unsocketing the RAMs, and get an identical analysis.
+func TestReadoutViaSocketMatchesDirectDump(t *testing.T) {
+	m := NewMachine(kernel.Config{Seed: 4})
+	s, err := NewSession(m, ProfileConfig{Depth: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	m.K.Spawn("worker", func(p *kernel.Proc) {
+		for i := 0; i < 10; i++ {
+			m.K.Syscall(p, func() {
+				blk := m.Alloc.Malloc(128)
+				m.Alloc.Free(blk)
+			})
+			p.Yield()
+		}
+	})
+	m.K.Run(200 * sim.Millisecond)
+	s.Disarm()
+
+	direct := s.Capture()
+	viaSocket, err := hw.ReadoutViaSocket(s.Socket, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaSocket.Len() != direct.Len() {
+		t.Fatalf("readout %d records, direct %d", viaSocket.Len(), direct.Len())
+	}
+	a1 := s.Analyze()
+	events, stats := analyze.Decode(viaSocket, s.Tags)
+	a2 := analyze.Reconstruct(events, stats)
+	if a1.SummaryString(0) != a2.SummaryString(0) {
+		t.Fatal("readout analysis differs from direct dump")
+	}
+	// And the card still latches normally afterwards.
+	s.Arm()
+	before := s.Card.Stored()
+	m.K.Spawn("again", func(p *kernel.Proc) {
+		m.K.Syscall(p, func() { m.K.Advance(sim.Microsecond) })
+	})
+	m.K.Run(m.K.Now() + 50*sim.Millisecond)
+	if s.Card.Stored() == before {
+		t.Fatal("card dead after readout")
+	}
+}

@@ -1,0 +1,102 @@
+package fdesc
+
+import (
+	"testing"
+
+	"kprof/internal/kernel"
+	"kprof/internal/mem"
+	"kprof/internal/sim"
+)
+
+func newFD() (*kernel.Kernel, *FD) {
+	k := kernel.New(kernel.Config{Seed: 1})
+	return k, Attach(k, mem.Attach(k))
+}
+
+func TestFallocAssignsLowestSlot(t *testing.T) {
+	_, fd := newFD()
+	tab := fd.NewTable()
+	s0, f0 := fd.Falloc(tab, "stdin")
+	s1, _ := fd.Falloc(tab, "stdout")
+	if s0 != 0 || s1 != 1 {
+		t.Fatalf("slots = %d, %d", s0, s1)
+	}
+	if f0.Obj != "stdin" || f0.RefCount != 1 {
+		t.Fatalf("file = %+v", f0)
+	}
+	if err := fd.Close(tab, 0); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := fd.Falloc(tab, "again")
+	if s2 != 0 {
+		t.Fatalf("freed slot not reused: %d", s2)
+	}
+}
+
+func TestFallocTimingMatchesFigure4(t *testing.T) {
+	k, fd := newFD()
+	tab := fd.NewTable()
+	// Warm the malloc bucket so we measure the steady-state path.
+	fd.Falloc(tab, "warm")
+	start := k.Now()
+	fd.Falloc(tab, "x")
+	d := k.Now() - start
+	// Figure 4: falloc 83 µs total (22 net + fdalloc 18 + malloc 43).
+	if d < 60*sim.Microsecond || d > 110*sim.Microsecond {
+		t.Fatalf("falloc total = %v, want ≈83 µs", d)
+	}
+}
+
+func TestTableGrowth(t *testing.T) {
+	_, fd := newFD()
+	tab := fd.NewTable()
+	for i := 0; i < initialSlots+5; i++ {
+		fd.Falloc(tab, i)
+	}
+	if tab.Size() <= initialSlots {
+		t.Fatalf("table did not grow: %d", tab.Size())
+	}
+	if tab.OpenCount() != initialSlots+5 {
+		t.Fatalf("open = %d", tab.OpenCount())
+	}
+}
+
+func TestGetAndCloseErrors(t *testing.T) {
+	_, fd := newFD()
+	tab := fd.NewTable()
+	if _, err := fd.Get(tab, 0); err == nil {
+		t.Fatal("Get on empty slot should fail")
+	}
+	if _, err := fd.Get(tab, -1); err == nil {
+		t.Fatal("negative fd should fail")
+	}
+	if _, err := fd.Get(tab, 1000); err == nil {
+		t.Fatal("out-of-range fd should fail")
+	}
+	if err := fd.Close(tab, 3); err == nil {
+		t.Fatal("closing unused fd should fail")
+	}
+}
+
+func TestCopySharesFiles(t *testing.T) {
+	_, fd := newFD()
+	tab := fd.NewTable()
+	_, f := fd.Falloc(tab, "shared")
+	child := fd.Copy(tab)
+	if f.RefCount != 2 {
+		t.Fatalf("refcount = %d", f.RefCount)
+	}
+	got, err := fd.Get(child, 0)
+	if err != nil || got != f {
+		t.Fatal("child table does not share the file")
+	}
+	// Closing in one table keeps the file alive in the other.
+	fd.Close(tab, 0)
+	if f.RefCount != 1 || fd.Ffrees != 0 {
+		t.Fatalf("refcount = %d, ffrees = %d", f.RefCount, fd.Ffrees)
+	}
+	fd.Close(child, 0)
+	if fd.Ffrees != 1 {
+		t.Fatalf("ffrees = %d", fd.Ffrees)
+	}
+}

@@ -1,0 +1,58 @@
+package fs
+
+import "kprof/internal/sim"
+
+// Calibrated filesystem and disk costs, from the paper's Filesystems
+// section:
+//
+//   - disk reads "varied from 18 milliseconds up to 26 milliseconds" on
+//     the Seagate ST3144 IDE disk: seek + rotation + transfer.
+//   - "Each write interrupt took about 200 microseconds in total, with
+//     about 149 microseconds of that being actual transfer time of the
+//     data to the controller": one interrupt per 512-byte sector, PIO over
+//     the 16-bit bus (the bus package's ISA16 rate of 290 ns/byte gives
+//     512 × 0.29 ≈ 148 µs).
+//   - "Interrupts seemed to be close together most of the time
+//     (< 100 microseconds)": while the controller's track buffer has
+//     room it accepts the next sector almost immediately; when the buffer
+//     flushes to the media the gap is milliseconds. The emergent CPU
+//     utilisation on a pure write load is ≈28%, matching the paper.
+const (
+	// Disk timing.
+	seekBase        = 12 * sim.Millisecond
+	seekPerSpan     = 4 * sim.Millisecond // worst extra seek across the disk
+	rotMin          = 2 * sim.Millisecond // rotational latency bounds
+	rotMax          = 8300 * sim.Microsecond
+	sectorGapShort  = 30 * sim.Microsecond // controller ready again (buffered)
+	sectorGapLong   = 80 * sim.Microsecond
+	trackFlushEvery = 16                  // sectors per media flush
+	trackFlushMin   = 6 * sim.Millisecond // media write + seek + settle
+	trackFlushMax   = 16 * sim.Millisecond
+
+	costWdStart    = 24 * sim.Microsecond // command block setup, port writes
+	costWdIntrBase = 45 * sim.Microsecond // status read, decode, biodone share
+	dmaSetupCost   = 8 * sim.Microsecond  // DMA descriptor write / completion ack
+
+	// Buffer cache.
+	costGetblkHit  = 22 * sim.Microsecond // hash hit
+	costGetblkMiss = 34 * sim.Microsecond // hash miss + free-list reclaim
+	costBrelse     = 12 * sim.Microsecond
+	costBioWait    = 10 * sim.Microsecond
+	costBioDone    = 14 * sim.Microsecond
+
+	// FFS.
+	costFFSReadBody  = 26 * sim.Microsecond // block mapping (bmap)
+	costFFSWriteBody = 30 * sim.Microsecond
+	costBallocBody   = 48 * sim.Microsecond // cylinder-group scan
+	costUFSLookup    = 55 * sim.Microsecond // per path component
+	costNameiBody    = 40 * sim.Microsecond
+	costIgetBody     = 38 * sim.Microsecond
+)
+
+// Geometry.
+const (
+	SectorSize      = 512
+	BlockSize       = 8192 // FFS block
+	FragSize        = 1024
+	SectorsPerBlock = BlockSize / SectorSize
+)

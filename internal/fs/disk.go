@@ -1,0 +1,237 @@
+package fs
+
+import (
+	"kprof/internal/bus"
+	"kprof/internal/kernel"
+	"kprof/internal/sim"
+)
+
+// TransferMode selects how data moves between memory and the controller.
+type TransferMode int
+
+const (
+	// PIO is the paper's IDE reality: the CPU copies every byte, one
+	// interrupt per written sector (≈149 µs of the ≈200 µs each).
+	PIO TransferMode = iota
+	// DMA is the paper's what-if ("maybe one with DMA"): the controller
+	// masters the bus itself; the CPU pays only the interrupt overhead
+	// and the transfer happens in parallel with computation.
+	DMA
+)
+
+func (m TransferMode) String() string {
+	if m == DMA {
+		return "dma"
+	}
+	return "pio"
+}
+
+// Disk models the Seagate ST3144 IDE disk behind a wd-style driver: a
+// single request at a time, programmed I/O over the 16-bit bus, one
+// interrupt per sector on writes, one per block on reads. The mechanical
+// model (seek + rotation) reproduces the paper's 18–26 ms read latencies.
+// Switching Mode to DMA answers the paper's controller question.
+type Disk struct {
+	k *kernel.Kernel
+
+	// Mode selects PIO (default, the paper's hardware) or DMA.
+	Mode TransferMode
+
+	fnWdStart *kernel.Fn
+	fnWdIntr  *kernel.Fn
+	fnBiodone *kernel.Fn
+
+	irq *kernel.IRQ
+
+	busy bool
+	cur  *ioReq
+	q    []*ioReq
+
+	lastCyl       int
+	sectorInTrack int // sectors written since the last media flush
+
+	// Statistics.
+	Reads, Writes      uint64
+	ReadSectors        uint64
+	WriteSectors       uint64
+	TotalReadLatency   sim.Time
+	Interrupts         uint64
+	InterGapUnder100us uint64 // gap from end of one wdintr to the next arrival
+	lastIntrEnd        sim.Time
+}
+
+// ioReq is one queued disk transfer.
+type ioReq struct {
+	write       bool
+	cyl         int
+	sectors     int
+	done        func() // called at biodone, in interrupt context
+	sectorsLeft int
+	started     sim.Time
+}
+
+// Cylinders on the modeled disk (ST3144-ish: 1001 cylinders).
+const diskCylinders = 1001
+
+// NewDisk attaches the disk and its driver functions.
+func NewDisk(k *kernel.Kernel) *Disk {
+	d := &Disk{
+		k:         k,
+		fnWdStart: k.RegisterFn("wd", "wdstart"),
+		fnWdIntr:  k.RegisterFn("wd", "wdintr"),
+		fnBiodone: k.RegisterFn("vfs_bio", "biodone"),
+	}
+	d.irq = k.RegisterIRQ("wd0", kernel.MaskBio, 0, 5, d.intr)
+	return d
+}
+
+// Submit queues a transfer and starts the disk if idle. done runs in
+// interrupt context when the transfer completes (biodone).
+func (d *Disk) Submit(write bool, cyl, sectors int, done func()) {
+	if sectors <= 0 {
+		panic("fs: disk transfer of no sectors")
+	}
+	req := &ioReq{write: write, cyl: cyl % diskCylinders, sectors: sectors, sectorsLeft: sectors, done: done}
+	s := d.k.SplBio()
+	d.q = append(d.q, req)
+	d.k.SplX(s)
+	if !d.busy {
+		d.start()
+	}
+}
+
+// start is wdstart: set up the controller command and either begin the
+// mechanical seek (reads / first write sector) or push the first sector.
+func (d *Disk) start() {
+	d.k.Call(d.fnWdStart, func() {
+		d.k.Advance(costWdStart)
+		s := d.k.SplBio()
+		if len(d.q) == 0 {
+			d.busy = false
+			d.k.SplX(s)
+			return
+		}
+		req := d.q[0]
+		d.q = d.q[1:]
+		d.cur = req
+		d.busy = true
+		req.started = d.k.Now()
+		d.k.SplX(s)
+		if req.write {
+			// Push the first sector now; the controller interrupts for
+			// each subsequent one.
+			d.pushSector()
+		} else {
+			// Reads: the mechanical delay happens before any data moves.
+			delay := d.mechanicalDelay(req.cyl)
+			d.k.Scheduler().After(delay, func() { d.k.Raise(d.irq) })
+		}
+	})
+}
+
+// mechanicalDelay is seek plus rotational latency for a target cylinder.
+func (d *Disk) mechanicalDelay(cyl int) sim.Time {
+	span := cyl - d.lastCyl
+	if span < 0 {
+		span = -span
+	}
+	d.lastCyl = cyl
+	seek := seekBase + seekPerSpan*sim.Time(span)/diskCylinders
+	rot := d.k.Rand().Duration(rotMin, rotMax)
+	return seek + rot
+}
+
+// pushSector transfers one sector of a write to the controller — CPU PIO
+// over the 16-bit bus, or a bus-mastered DMA that costs the CPU only the
+// descriptor setup — and arranges the "ready for next" interrupt.
+func (d *Disk) pushSector() {
+	req := d.cur
+	if d.Mode == PIO {
+		d.k.Advance(bus.CopyCost(SectorSize, bus.MainMemory, bus.ISA16))
+	} else {
+		d.k.Advance(dmaSetupCost)
+	}
+	req.sectorsLeft--
+	d.WriteSectors++
+	d.sectorInTrack++
+	var gap sim.Time
+	if d.sectorInTrack >= trackFlushEvery {
+		d.sectorInTrack = 0
+		gap = d.k.Rand().Duration(trackFlushMin, trackFlushMax)
+	} else {
+		gap = d.k.Rand().Duration(sectorGapShort, sectorGapLong)
+	}
+	d.k.Scheduler().After(gap, func() { d.k.Raise(d.irq) })
+}
+
+// intr is wdintr: on writes, account the finished sector and push the next
+// (or complete the request); on reads, PIO the whole block in and complete.
+func (d *Disk) intr() {
+	d.k.Call(d.fnWdIntr, func() {
+		d.Interrupts++
+		now := d.k.Now()
+		// The paper: "Interrupts seemed to be close together most of the
+		// time (< 100 microseconds)" — the controller is ready for the
+		// next sector almost as soon as the driver finishes the last.
+		if d.lastIntrEnd != 0 && now-d.lastIntrEnd < 100*sim.Microsecond {
+			d.InterGapUnder100us++
+		}
+		defer func() { d.lastIntrEnd = d.k.Now() }()
+		d.k.Advance(costWdIntrBase)
+		req := d.cur
+		if req == nil {
+			return // spurious
+		}
+		if req.write {
+			if req.sectorsLeft > 0 {
+				d.pushSector()
+				return
+			}
+			d.Writes++
+		} else {
+			// The whole block arrives in one interrupt: PIO it in, or
+			// just acknowledge the DMA completion.
+			if d.Mode == PIO {
+				d.k.Advance(bus.CopyCost(req.sectors*SectorSize, bus.ISA16, bus.MainMemory))
+			} else {
+				d.k.Advance(dmaSetupCost)
+			}
+			d.ReadSectors += uint64(req.sectors)
+			d.Reads++
+			d.TotalReadLatency += now - req.started
+		}
+		d.complete(req)
+	})
+}
+
+func (d *Disk) complete(req *ioReq) {
+	d.cur = nil
+	d.busy = false
+	d.k.CallCost(d.fnBiodone, costBioDone)
+	if req.done != nil {
+		req.done()
+	}
+	s := d.k.SplBio()
+	more := len(d.q) > 0
+	d.k.SplX(s)
+	if more {
+		d.start()
+	}
+}
+
+// QueueLen reports pending requests (for tests).
+func (d *Disk) QueueLen() int {
+	n := len(d.q)
+	if d.busy {
+		n++
+	}
+	return n
+}
+
+// MeanReadLatency reports the average completed read latency.
+func (d *Disk) MeanReadLatency() sim.Time {
+	if d.Reads == 0 {
+		return 0
+	}
+	return d.TotalReadLatency / sim.Time(d.Reads)
+}

@@ -1,0 +1,202 @@
+// Package fs models the 386BSD storage stack the paper profiles: the wd
+// IDE driver on a Seagate ST3144 model, the buffer cache, a Fast File
+// System-shaped filesystem layer (inodes, a block map, cylinder-group-style
+// allocation costs, directory lookup), and an NFS-lite RPC client for the
+// NFS-versus-FTP comparison.
+package fs
+
+import (
+	"fmt"
+	"strings"
+
+	"kprof/internal/kernel"
+	"kprof/internal/mem"
+)
+
+// Inode is an FFS in-core inode.
+type Inode struct {
+	Inum   int
+	Size   int
+	blocks map[int]int // logical block -> physical blkno
+}
+
+// FS is the filesystem subsystem.
+type FS struct {
+	k     *kernel.Kernel
+	alloc *mem.Allocator
+	Disk  *Disk
+	Cache *Cache
+
+	fnFFSRead  *kernel.Fn
+	fnFFSWrite *kernel.Fn
+	fnBalloc   *kernel.Fn
+	fnAlloc    *kernel.Fn
+	fnNamei    *kernel.Fn
+	fnLookup   *kernel.Fn
+	fnIget     *kernel.Fn
+
+	root      map[string]*Inode
+	nextInum  int
+	nextBlkno int
+
+	// Statistics.
+	Opens, ReadCalls, WriteCalls uint64
+}
+
+// Attach builds the storage stack on a kernel.
+func Attach(k *kernel.Kernel, alloc *mem.Allocator) *FS {
+	disk := NewDisk(k)
+	f := &FS{
+		k:          k,
+		alloc:      alloc,
+		Disk:       disk,
+		Cache:      NewCache(k, disk, 0),
+		fnFFSRead:  k.RegisterFn("ufs_vnops", "ffs_read"),
+		fnFFSWrite: k.RegisterFn("ufs_vnops", "ffs_write"),
+		fnBalloc:   k.RegisterFn("ffs_alloc", "ffs_balloc"),
+		fnAlloc:    k.RegisterFn("ffs_alloc", "ffs_alloc"),
+		fnNamei:    k.RegisterFn("vfs_lookup", "namei"),
+		fnLookup:   k.RegisterFn("ufs_lookup", "ufs_lookup"),
+		fnIget:     k.RegisterFn("ufs_inode", "iget"),
+		root:       make(map[string]*Inode),
+		nextInum:   3,
+		nextBlkno:  64,
+	}
+	return f
+}
+
+// Create makes a file of the given size with all blocks allocated (and not
+// cached). It charges no time: it is simulation setup, not kernel work.
+func (f *FS) Create(name string, size int) *Inode {
+	ino := &Inode{Inum: f.nextInum, Size: size, blocks: make(map[int]int)}
+	f.nextInum++
+	for lbn := 0; lbn*BlockSize < size; lbn++ {
+		// Spread files across the disk so seeks vary, with mild
+		// fragmentation every few blocks.
+		f.nextBlkno += 8
+		if lbn%4 == 3 {
+			f.nextBlkno += f.k.Rand().Intn(64) * 8
+		}
+		ino.blocks[lbn] = f.nextBlkno
+	}
+	f.root[name] = ino
+	return ino
+}
+
+// Open resolves a path through namei/ufs_lookup/iget, charging per
+// component, and returns the inode. Must run in process context (the
+// lookup may read directories... modeled as pure cost here).
+func (f *FS) Open(p *kernel.Proc, path string) (*Inode, error) {
+	f.Opens++
+	var ino *Inode
+	var err error
+	f.k.Copyinstr(len(path) + 1)
+	f.k.Call(f.fnNamei, func() {
+		f.k.Advance(costNameiBody)
+		components := strings.Split(strings.Trim(path, "/"), "/")
+		for range components {
+			f.k.CallCost(f.fnLookup, costUFSLookup)
+		}
+		name := components[len(components)-1]
+		var ok bool
+		ino, ok = f.root[name]
+		if !ok {
+			err = fmt.Errorf("fs: no such file %q", path)
+			return
+		}
+		f.k.CallCost(f.fnIget, costIgetBody)
+	})
+	return ino, err
+}
+
+// blkno maps a logical block, allocating on demand for writes.
+func (f *FS) blkno(ino *Inode, lbn int, alloc bool) (int, bool) {
+	bn, ok := ino.blocks[lbn]
+	if !ok && alloc {
+		f.k.Call(f.fnBalloc, func() {
+			f.k.Advance(costBallocBody)
+			f.k.CallCost(f.fnAlloc, costBallocBody/2)
+			f.nextBlkno += 8
+			bn = f.nextBlkno
+			ino.blocks[lbn] = bn
+		})
+		ok = true
+	}
+	return bn, ok
+}
+
+// Read reads n bytes at off, block by block through the buffer cache, and
+// copies them out to user space. It returns the bytes read (short at EOF).
+// Must run in process context.
+func (f *FS) Read(p *kernel.Proc, ino *Inode, off, n int) int {
+	f.ReadCalls++
+	read := 0
+	f.k.Call(f.fnFFSRead, func() {
+		for read < n && off+read < ino.Size {
+			f.k.Advance(costFFSReadBody)
+			lbn := (off + read) / BlockSize
+			inBlock := (off + read) % BlockSize
+			chunk := BlockSize - inBlock
+			if rem := n - read; chunk > rem {
+				chunk = rem
+			}
+			if rem := ino.Size - off - read; chunk > rem {
+				chunk = rem
+			}
+			bn, ok := f.blkno(ino, lbn, false)
+			if !ok {
+				// Hole: zero fill.
+				f.k.Copyout(chunk)
+				read += chunk
+				continue
+			}
+			b := f.Cache.Bread(bn)
+			f.k.Copyout(chunk)
+			f.Cache.Brelse(b)
+			read += chunk
+		}
+	})
+	return read
+}
+
+// Write writes n bytes at off: allocate, fill the buffer from user space,
+// and write behind (bawrite) — full blocks never wait for the disk.
+// Must run in process context.
+func (f *FS) Write(p *kernel.Proc, ino *Inode, off, n int) {
+	f.WriteCalls++
+	f.k.Call(f.fnFFSWrite, func() {
+		written := 0
+		for written < n {
+			f.k.Advance(costFFSWriteBody)
+			lbn := (off + written) / BlockSize
+			inBlock := (off + written) % BlockSize
+			chunk := BlockSize - inBlock
+			if rem := n - written; chunk > rem {
+				chunk = rem
+			}
+			bn, _ := f.blkno(ino, lbn, true)
+			var b *Buf
+			if chunk < BlockSize && off+written < ino.Size {
+				// Partial update of an existing block: read-modify-write.
+				b = f.Cache.Bread(bn)
+			} else {
+				b = f.Cache.getblk(bn)
+			}
+			f.k.Copyin(chunk)
+			b.dirty = true
+			f.Cache.Bawrite(b)
+			written += chunk
+			if off+written > ino.Size {
+				ino.Size = off + written
+			}
+		}
+	})
+}
+
+// Drain waits for the disk queue to empty (used by tests and benches to
+// account the full cost of write-behind). Must run in process context.
+func (f *FS) Drain(p *kernel.Proc) {
+	for f.Disk.QueueLen() > 0 {
+		f.k.Tsleep(p, "drain", 1)
+	}
+}

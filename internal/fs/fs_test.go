@@ -1,0 +1,371 @@
+package fs
+
+import (
+	"testing"
+
+	"kprof/internal/kernel"
+	"kprof/internal/mem"
+	"kprof/internal/sim"
+)
+
+func newFS() (*kernel.Kernel, *FS) {
+	k := kernel.New(kernel.Config{Seed: 7})
+	k.StartClock()
+	return k, Attach(k, mem.Attach(k))
+}
+
+func TestDiskReadLatencyMatchesPaper(t *testing.T) {
+	k, f := newFS()
+	ino := f.Create("bigfile", 64*BlockSize)
+	k.Spawn("reader", func(p *kernel.Proc) {
+		off := 0
+		for i := 0; i < 20; i++ {
+			f.Read(p, ino, off, BlockSize)
+			off += 3 * BlockSize // skip around to force seeks
+		}
+	})
+	k.RunUntilIdle(10 * sim.Second)
+	mean := f.Disk.MeanReadLatency()
+	// Paper: "Each read of the disc varied from 18 milliseconds up to 26
+	// milliseconds."
+	if mean < 15*sim.Millisecond || mean > 29*sim.Millisecond {
+		t.Fatalf("mean read latency = %v, want 18-26 ms", mean)
+	}
+	if f.Disk.Reads != 20 {
+		t.Fatalf("reads = %d", f.Disk.Reads)
+	}
+}
+
+func TestBufferCacheHitAvoidsDisk(t *testing.T) {
+	k, f := newFS()
+	ino := f.Create("f", 4*BlockSize)
+	var first, second sim.Time
+	k.Spawn("reader", func(p *kernel.Proc) {
+		start := k.Now()
+		f.Read(p, ino, 0, BlockSize)
+		first = k.Now() - start
+		start = k.Now()
+		f.Read(p, ino, 0, BlockSize)
+		second = k.Now() - start
+	})
+	k.RunUntilIdle(sim.Second)
+	if f.Cache.Misses != 1 || f.Cache.Hits != 1 {
+		t.Fatalf("misses=%d hits=%d", f.Cache.Misses, f.Cache.Hits)
+	}
+	if first < 10*sim.Millisecond {
+		t.Fatalf("miss read = %v, want disk latency", first)
+	}
+	if second > 2*sim.Millisecond {
+		t.Fatalf("hit read = %v, want no disk latency", second)
+	}
+}
+
+func TestWriteInterruptCostMatchesPaper(t *testing.T) {
+	k, f := newFS()
+	ino := f.Create("out", 0)
+	k.Spawn("writer", func(p *kernel.Proc) {
+		f.Write(p, ino, 0, BlockSize)
+		f.Drain(p)
+	})
+	k.RunUntilIdle(5 * sim.Second)
+	d := f.Disk
+	if d.WriteSectors != SectorsPerBlock {
+		t.Fatalf("sectors = %d", d.WriteSectors)
+	}
+	// Paper: each write interrupt ≈200 µs total, ≈149 µs of it transfer.
+	// Check the transfer component directly via the bus model: it is
+	// asserted in the bus tests; here verify interrupts occurred per
+	// sector and most gaps were short.
+	if d.Interrupts < uint64(SectorsPerBlock) {
+		t.Fatalf("interrupts = %d, want ≥%d", d.Interrupts, SectorsPerBlock)
+	}
+	if d.InterGapUnder100us == 0 {
+		t.Fatal("no back-to-back write interrupts observed")
+	}
+}
+
+func TestWriteLoadCPUUtilization(t *testing.T) {
+	k, f := newFS()
+	ino := f.Create("stream", 0)
+	var busy sim.Time
+	k.Spawn("writer", func(p *kernel.Proc) {
+		off := 0
+		for k.Now() < 2*sim.Second {
+			start := k.Now()
+			f.Write(p, ino, off, BlockSize)
+			busy += k.Now() - start
+			off += BlockSize
+			// Pace like a real writer: let the disk work.
+			k.Tsleep(p, "pace", 1)
+		}
+	})
+	k.Run(2 * sim.Second)
+	// The writer's syscall time undercounts interrupt-context work; use
+	// disk PIO accounting instead: CPU time = interrupts * (transfer +
+	// overhead). Paper: ≈28% busy on a heavy write load.
+	cpu := sim.Time(f.Disk.WriteSectors) * (195 * sim.Microsecond)
+	frac := float64(cpu) / float64(2*sim.Second)
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("write-load CPU fraction ≈ %.2f, want ≈0.28", frac)
+	}
+	if f.Disk.WriteSectors < 1000 {
+		t.Fatalf("only %d sectors written in 2 s", f.Disk.WriteSectors)
+	}
+}
+
+func TestOpenResolvesPath(t *testing.T) {
+	k, f := newFS()
+	f.Create("etc", 0)
+	want := f.Create("passwd", 1024)
+	var got *Inode
+	var err error
+	k.Spawn("opener", func(p *kernel.Proc) {
+		got, err = f.Open(p, "/etc/passwd")
+	})
+	k.RunUntilIdle(sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatal("wrong inode")
+	}
+	lookup := k.MustFn("ufs_lookup")
+	if lookup.Calls != 2 {
+		t.Fatalf("ufs_lookup calls = %d, want one per component", lookup.Calls)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	k, f := newFS()
+	var err error
+	k.Spawn("opener", func(p *kernel.Proc) {
+		_, err = f.Open(p, "/no/such/file")
+	})
+	k.RunUntilIdle(sim.Second)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestReadAtEOF(t *testing.T) {
+	k, f := newFS()
+	ino := f.Create("small", 100)
+	var n int
+	k.Spawn("reader", func(p *kernel.Proc) {
+		n = f.Read(p, ino, 0, 4096)
+	})
+	k.RunUntilIdle(sim.Second)
+	if n != 100 {
+		t.Fatalf("read %d bytes, want 100 (EOF)", n)
+	}
+	var n2 int
+	k.Spawn("reader2", func(p *kernel.Proc) {
+		n2 = f.Read(p, ino, 100, 10)
+	})
+	k.RunUntilIdle(2 * sim.Second)
+	if n2 != 0 {
+		t.Fatalf("read past EOF returned %d", n2)
+	}
+}
+
+func TestWriteExtendsFile(t *testing.T) {
+	k, f := newFS()
+	ino := f.Create("grow", 0)
+	k.Spawn("writer", func(p *kernel.Proc) {
+		f.Write(p, ino, 0, 3*BlockSize)
+		f.Drain(p)
+	})
+	k.RunUntilIdle(5 * sim.Second)
+	if ino.Size != 3*BlockSize {
+		t.Fatalf("size = %d", ino.Size)
+	}
+	if len(ino.blocks) != 3 {
+		t.Fatalf("blocks = %d", len(ino.blocks))
+	}
+	balloc := k.MustFn("ffs_balloc")
+	if balloc.Calls != 3 {
+		t.Fatalf("balloc calls = %d", balloc.Calls)
+	}
+}
+
+func TestAsyncWriteReturnsBeforeDisk(t *testing.T) {
+	k, f := newFS()
+	ino := f.Create("wb", 0)
+	var writeTime sim.Time
+	k.Spawn("writer", func(p *kernel.Proc) {
+		start := k.Now()
+		f.Write(p, ino, 0, BlockSize)
+		writeTime = k.Now() - start
+		f.Drain(p)
+	})
+	k.RunUntilIdle(5 * sim.Second)
+	// The write returns after copyin + bawrite, not after 16 sector
+	// interrupts — though the first sector's PIO happens inline.
+	if writeTime > 3*sim.Millisecond {
+		t.Fatalf("async write blocked for %v", writeTime)
+	}
+	if f.Disk.Writes != 1 {
+		t.Fatalf("disk writes = %d", f.Disk.Writes)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	k := kernel.New(kernel.Config{Seed: 7})
+	k.StartClock()
+	alloc := mem.Attach(k)
+	disk := NewDisk(k)
+	c := NewCache(k, disk, 4)
+	_ = alloc
+	k.Spawn("reader", func(p *kernel.Proc) {
+		for i := 0; i < 8; i++ {
+			b := c.Bread(i * 8)
+			c.Brelse(b)
+		}
+	})
+	k.RunUntilIdle(5 * sim.Second)
+	if c.Len() > 4 {
+		t.Fatalf("cache grew to %d, capacity 4", c.Len())
+	}
+	if c.Misses != 8 {
+		t.Fatalf("misses = %d", c.Misses)
+	}
+}
+
+func TestPartialBlockWriteReadsFirst(t *testing.T) {
+	k, f := newFS()
+	ino := f.Create("rmw", 2*BlockSize)
+	k.Spawn("writer", func(p *kernel.Proc) {
+		f.Write(p, ino, 100, 200) // partial, inside existing block
+		f.Drain(p)
+	})
+	k.RunUntilIdle(5 * sim.Second)
+	if f.Cache.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 read-modify-write read", f.Cache.Misses)
+	}
+}
+
+func TestDiskQueueing(t *testing.T) {
+	k, f := newFS()
+	ino := f.Create("q", 0)
+	k.Spawn("writer", func(p *kernel.Proc) {
+		for i := 0; i < 5; i++ {
+			f.Write(p, ino, i*BlockSize, BlockSize)
+		}
+		f.Drain(p)
+	})
+	k.RunUntilIdle(10 * sim.Second)
+	if f.Disk.Writes != 5 {
+		t.Fatalf("writes completed = %d", f.Disk.Writes)
+	}
+	if f.Disk.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d", f.Disk.QueueLen())
+	}
+}
+
+func TestBwriteSynchronous(t *testing.T) {
+	k, f := newFS()
+	var took sim.Time
+	k.Spawn("sync-writer", func(p *kernel.Proc) {
+		b := f.Cache.getblk(128)
+		start := k.Now()
+		f.Cache.Bwrite(b)
+		took = k.Now() - start
+	})
+	k.RunUntilIdle(5 * sim.Second)
+	// Synchronous write waits for all 16 sector interrupts.
+	if took < 3*sim.Millisecond {
+		t.Fatalf("bwrite returned after %v, want full device time", took)
+	}
+	if f.Disk.Writes != 1 {
+		t.Fatalf("writes = %d", f.Disk.Writes)
+	}
+}
+
+func TestCachedAccessor(t *testing.T) {
+	k, f := newFS()
+	ino := f.Create("c", BlockSize)
+	bn := ino.blocks[0]
+	if f.Cache.Cached(bn) {
+		t.Fatal("block cached before any read")
+	}
+	k.Spawn("r", func(p *kernel.Proc) { f.Read(p, ino, 0, 512) })
+	k.RunUntilIdle(sim.Second)
+	if !f.Cache.Cached(bn) {
+		t.Fatal("block not cached after read")
+	}
+}
+
+func TestReadAcrossBlockBoundary(t *testing.T) {
+	k, f := newFS()
+	ino := f.Create("span", 3*BlockSize)
+	var n int
+	k.Spawn("r", func(p *kernel.Proc) {
+		n = f.Read(p, ino, BlockSize-100, 200) // straddles blocks 0 and 1
+	})
+	k.RunUntilIdle(5 * sim.Second)
+	if n != 200 {
+		t.Fatalf("read %d", n)
+	}
+	if f.Cache.Misses != 2 {
+		t.Fatalf("misses = %d, want both blocks", f.Cache.Misses)
+	}
+}
+
+func TestDiskSubmitValidation(t *testing.T) {
+	k, f := newFS()
+	_ = k
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Disk.Submit(false, 0, 0, nil)
+}
+
+// The paper's controller what-if: "It would be interesting to use a
+// different type of controller (maybe one with DMA) and see what difference
+// it makes." A DMA controller removes the per-sector PIO from the CPU.
+func TestDMAControllerCutsWriteCPU(t *testing.T) {
+	writeCPU := func(mode TransferMode) sim.Time {
+		k, f := newFS()
+		f.Disk.Mode = mode
+		ino := f.Create("out", 0)
+		var busy sim.Time
+		k.Spawn("writer", func(p *kernel.Proc) {
+			for i := 0; i < 8; i++ {
+				f.Write(p, ino, i*BlockSize, BlockSize)
+			}
+			f.Drain(p)
+		})
+		k.RunUntilIdle(10 * sim.Second)
+		// CPU share of the disk path: interrupts × (base + transfer).
+		per := 195 * sim.Microsecond
+		if mode == DMA {
+			per = 85 * sim.Microsecond
+		}
+		busy = sim.Time(f.Disk.WriteSectors) * per
+		return busy
+	}
+	pio := writeCPU(PIO)
+	dma := writeCPU(DMA)
+	if float64(pio)/float64(dma) < 2 {
+		t.Fatalf("DMA should cut the write-path CPU at least in half: pio=%v dma=%v", pio, dma)
+	}
+}
+
+func TestDMAReadStillHasMechanicalLatency(t *testing.T) {
+	k, f := newFS()
+	f.Disk.Mode = DMA
+	ino := f.Create("r", 4*BlockSize)
+	k.Spawn("reader", func(p *kernel.Proc) {
+		f.Read(p, ino, 0, BlockSize)
+	})
+	k.RunUntilIdle(sim.Second)
+	// DMA does not make seeks faster.
+	if f.Disk.MeanReadLatency() < 14*sim.Millisecond {
+		t.Fatalf("read latency = %v; DMA should not beat the mechanics", f.Disk.MeanReadLatency())
+	}
+	if f.Disk.Mode.String() != "dma" || PIO.String() != "pio" {
+		t.Fatal("mode strings")
+	}
+}

@@ -1,0 +1,133 @@
+package hw
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The physical card stores each 40-bit record across five 8-bit static RAM
+// chips: two hold the 16-bit tag and three hold the 24-bit timestamp. When
+// the battery-backed Smart-Sockets are pulled and read out on a host, the
+// data arrives as five independent bank images. These helpers convert
+// between the record list and the bank images, and define the simple
+// host-side file format used to move captures around.
+
+// NumBanks is the number of 8-bit RAM chips on the card.
+const NumBanks = 5
+
+// EncodeBanks lays the records out across the five RAM chip images:
+// bank 0 = tag low byte, bank 1 = tag high byte,
+// banks 2..4 = timestamp bits 0–7, 8–15, 16–23.
+func EncodeBanks(records []Record) [NumBanks][]byte {
+	var banks [NumBanks][]byte
+	for i := range banks {
+		banks[i] = make([]byte, len(records))
+	}
+	for i, r := range records {
+		banks[0][i] = byte(r.Tag)
+		banks[1][i] = byte(r.Tag >> 8)
+		banks[2][i] = byte(r.Stamp)
+		banks[3][i] = byte(r.Stamp >> 8)
+		banks[4][i] = byte(r.Stamp >> 16)
+	}
+	return banks
+}
+
+// DecodeBanks reassembles records from five RAM chip images. All banks must
+// be the same length.
+func DecodeBanks(banks [NumBanks][]byte) ([]Record, error) {
+	n := len(banks[0])
+	for i := 1; i < NumBanks; i++ {
+		if len(banks[i]) != n {
+			return nil, fmt.Errorf("hw: bank %d has %d bytes, bank 0 has %d", i, len(banks[i]), n)
+		}
+	}
+	records := make([]Record, n)
+	for i := range records {
+		records[i] = Record{
+			Tag:   uint16(banks[0][i]) | uint16(banks[1][i])<<8,
+			Stamp: uint32(banks[2][i]) | uint32(banks[3][i])<<8 | uint32(banks[4][i])<<16,
+		}
+	}
+	return records, nil
+}
+
+// Raw capture file format: a fixed header followed by packed records.
+// Everything is little-endian.
+var rawMagic = [8]byte{'K', 'P', 'R', 'O', 'F', 'R', 'A', 'W'}
+
+const rawVersion = 2
+
+type rawHeader struct {
+	Magic     [8]byte
+	Version   uint32
+	Count     uint32
+	Flags     uint32 // bit 0: overflowed
+	Dropped   uint64
+	ClockHz   int64  // 0 = the prototype's 1 MHz counter
+	TimerBits uint32 // 0 = 24
+	Reserved  uint32
+}
+
+const flagOverflowed = 1 << 0
+
+// WriteTo serializes the capture in the host file format.
+func (c Capture) WriteTo(w io.Writer) (int64, error) {
+	h := rawHeader{
+		Magic:     rawMagic,
+		Version:   rawVersion,
+		Count:     uint32(len(c.Records)),
+		Dropped:   c.Dropped,
+		ClockHz:   c.ClockHz,
+		TimerBits: uint32(c.TimerBits),
+	}
+	if c.Overflowed {
+		h.Flags |= flagOverflowed
+	}
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, h); err != nil {
+		return 0, err
+	}
+	for _, r := range c.Records {
+		if err := binary.Write(&buf, binary.LittleEndian, r.Tag); err != nil {
+			return 0, err
+		}
+		if err := binary.Write(&buf, binary.LittleEndian, r.Stamp); err != nil {
+			return 0, err
+		}
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadCapture deserializes a capture written by WriteTo.
+func ReadCapture(r io.Reader) (Capture, error) {
+	var h rawHeader
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return Capture{}, fmt.Errorf("hw: reading capture header: %w", err)
+	}
+	if h.Magic != rawMagic {
+		return Capture{}, fmt.Errorf("hw: bad capture magic %q", h.Magic[:])
+	}
+	if h.Version != rawVersion {
+		return Capture{}, fmt.Errorf("hw: unsupported capture version %d", h.Version)
+	}
+	c := Capture{
+		Records:    make([]Record, h.Count),
+		Overflowed: h.Flags&flagOverflowed != 0,
+		Dropped:    h.Dropped,
+		ClockHz:    h.ClockHz,
+		TimerBits:  uint(h.TimerBits),
+	}
+	for i := range c.Records {
+		if err := binary.Read(r, binary.LittleEndian, &c.Records[i].Tag); err != nil {
+			return Capture{}, fmt.Errorf("hw: truncated capture at record %d: %w", i, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &c.Records[i].Stamp); err != nil {
+			return Capture{}, fmt.Errorf("hw: truncated capture at record %d: %w", i, err)
+		}
+	}
+	return c, nil
+}

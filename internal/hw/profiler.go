@@ -1,0 +1,172 @@
+// Package hw models the Profiler hardware card described in the paper: a
+// block of battery-backed RAM 40 bits wide (a 16-bit event tag plus a 24-bit
+// microsecond timestamp), a free-running 1 MHz counter, an auto-incrementing
+// address counter that stops capture on overflow, an arm switch, and two
+// status LEDs. The card connects to the machine under test through a JEDEC
+// EPROM piggy-back socket (see EPROMSocket): an access anywhere in the
+// EPROM's address window latches the low 16 address bits as the event tag.
+//
+// The model is register-level faithful to the paper's description: the
+// timestamp is stored modulo 2^24 µs (so events more than ~16.7 s apart lose
+// information), capture ceases silently when the 16384-entry RAM fills, and
+// the stored data can be read back as five 8-bit RAM bank images exactly as
+// the physical card's Smart-Socket RAMs would be.
+package hw
+
+import "kprof/internal/sim"
+
+// Hardware constants from the paper.
+const (
+	// DefaultDepth is the number of event records the prototype card
+	// stores before the address counter overflows.
+	DefaultDepth = 16384
+
+	// TimerBits is the width of the microsecond counter; the maximum
+	// interval between events before wraparound is 2^24 µs ≈ 16.7 s.
+	TimerBits = 24
+
+	// TimerMask extracts the stored bits of the microsecond counter.
+	TimerMask = 1<<TimerBits - 1
+
+	// TimerWrap is the modulus of the stored timestamp, in microseconds.
+	TimerWrap = 1 << TimerBits
+
+	// MaxTag is the largest event tag the 16 tag lines can carry.
+	MaxTag = 1<<16 - 1
+)
+
+// Record is one captured event: the latched tag and the 24 low bits of the
+// card's free-running microsecond counter at the moment of capture.
+type Record struct {
+	Tag   uint16
+	Stamp uint32 // microseconds, modulo TimerWrap
+}
+
+// Profiler is the card itself.
+//
+// The card has no notion of kernel time: it owns a free-running counter that
+// starts at an arbitrary value at power-on (counterAt models that), and the
+// analysis software is expected to use successive stamps only as intervals.
+type Profiler struct {
+	clock func() sim.Time // the simulation clock the counter is derived from
+	cfg   Config
+
+	ram      []Record
+	depth    int
+	addr     int
+	armed    bool
+	overflow bool
+
+	// counterAt is the card counter value at simulation time zero.
+	// A nonzero power-on value exercises the wraparound path.
+	counterAt uint32
+
+	readout readoutState
+
+	// Latched counts every latch strobe, including ones dropped because
+	// the card was disarmed or full; useful for capture-loss accounting.
+	Latched uint64
+	// Dropped counts strobes that arrived while the card could not store
+	// (disarmed or overflowed).
+	Dropped uint64
+}
+
+// New returns a prototype-configuration card with the given RAM depth,
+// timestamping from clock. A depth of 0 selects DefaultDepth.
+func New(depth int, clock func() sim.Time) *Profiler {
+	if depth < 0 {
+		panic("hw: negative profiler depth")
+	}
+	return NewWithConfig(Config{Depth: depth}, clock)
+}
+
+// SetPowerOnCounter sets the card counter's value at simulation time zero.
+// The physical counter free-runs from power-on, so its value at the first
+// capture is arbitrary; tests use this to exercise timer wraparound.
+func (p *Profiler) SetPowerOnCounter(v uint32) { p.counterAt = v & p.cfg.Mask() }
+
+// Counter reports the card's current truncated counter value.
+func (p *Profiler) Counter() uint32 {
+	ticks := uint32(int64(p.clock()) / int64(p.cfg.TickPeriod()))
+	return (ticks + p.counterAt) & p.cfg.Mask()
+}
+
+// Arm starts capture, as the front-panel switch does. Arming does not clear
+// previously captured records; use Reset for a fresh capture.
+func (p *Profiler) Arm() { p.armed = true }
+
+// Disarm stops capture.
+func (p *Profiler) Disarm() { p.armed = false }
+
+// Armed reports whether the capture LED would be lit.
+func (p *Profiler) Armed() bool { return p.armed }
+
+// Overflowed reports whether the address-counter-overflow LED would be lit:
+// the RAM filled and the card has ceased storing.
+func (p *Profiler) Overflowed() bool { return p.overflow }
+
+// Reset clears the RAM address counter, the overflow latch and the capture
+// statistics, ready for a new profiling run.
+func (p *Profiler) Reset() {
+	p.ram = p.ram[:0]
+	p.addr = 0
+	p.overflow = false
+	p.Latched = 0
+	p.Dropped = 0
+}
+
+// Stored reports how many records are currently in the RAM.
+func (p *Profiler) Stored() int { return len(p.ram) }
+
+// Depth reports the RAM capacity in records.
+func (p *Profiler) Depth() int { return p.depth }
+
+// Latch presents an event tag to the card, exactly as an access in the EPROM
+// window does. If the card is armed and not full, the tag and the current
+// counter value are stored and the address counter increments; otherwise the
+// strobe is counted and dropped.
+func (p *Profiler) Latch(tag uint16) {
+	p.Latched++
+	if !p.armed || p.overflow {
+		p.Dropped++
+		return
+	}
+	p.ram = append(p.ram, Record{Tag: tag, Stamp: p.Counter()})
+	p.addr++
+	if p.addr >= p.depth {
+		p.overflow = true
+	}
+}
+
+// Dump copies out the captured records, oldest first. This models pulling
+// the battery-backed RAMs and reading them on the host.
+func (p *Profiler) Dump() Capture {
+	out := make([]Record, len(p.ram))
+	copy(out, p.ram)
+	return Capture{
+		Records:    out,
+		Overflowed: p.overflow,
+		Dropped:    p.Dropped,
+		ClockHz:    p.cfg.ClockHz,
+		TimerBits:  p.cfg.TimerBits,
+	}
+}
+
+// Capture is the raw data retrieved from the card: the event list plus the
+// card status and clock configuration needed to interpret it.
+type Capture struct {
+	Records    []Record
+	Overflowed bool   // RAM filled; the tail of the run is missing
+	Dropped    uint64 // strobes lost while disarmed or full
+	ClockHz    int64  // counter rate; 0 means the prototype's 1 MHz
+	TimerBits  uint   // stored counter width; 0 means 24
+}
+
+// ClockConfig reports the capture's counter configuration with defaults
+// applied.
+func (c Capture) ClockConfig() Config {
+	return Config{ClockHz: c.ClockHz, TimerBits: c.TimerBits}.withDefaults()
+}
+
+// Len reports the number of records.
+func (c Capture) Len() int { return len(c.Records) }

@@ -1,0 +1,323 @@
+package hw
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"kprof/internal/sim"
+)
+
+func newTestCard(depth int) (*sim.Scheduler, *Profiler) {
+	s := sim.NewScheduler()
+	return s, New(depth, s.Now)
+}
+
+func TestLatchStoresTagAndMicroseconds(t *testing.T) {
+	s, p := newTestCard(8)
+	p.Arm()
+	s.AdvanceTo(1234 * sim.Microsecond)
+	p.Latch(502)
+	s.AdvanceTo(1234*sim.Microsecond + 999*sim.Nanosecond) // sub-µs: same stamp
+	p.Latch(503)
+	s.AdvanceTo(5 * sim.Second)
+	p.Latch(600)
+	c := p.Dump()
+	if c.Len() != 3 {
+		t.Fatalf("stored %d records", c.Len())
+	}
+	want := []Record{{502, 1234}, {503, 1234}, {600, 5000000}}
+	for i, r := range c.Records {
+		if r != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestDisarmedCardDropsStrobes(t *testing.T) {
+	_, p := newTestCard(8)
+	p.Latch(1)
+	if p.Stored() != 0 || p.Dropped != 1 || p.Latched != 1 {
+		t.Fatalf("disarmed card stored=%d dropped=%d latched=%d", p.Stored(), p.Dropped, p.Latched)
+	}
+	p.Arm()
+	if !p.Armed() {
+		t.Fatal("Armed = false after Arm")
+	}
+	p.Latch(2)
+	p.Disarm()
+	p.Latch(3)
+	if p.Stored() != 1 || p.Dropped != 2 {
+		t.Fatalf("stored=%d dropped=%d", p.Stored(), p.Dropped)
+	}
+}
+
+func TestAddressCounterOverflowStopsCapture(t *testing.T) {
+	_, p := newTestCard(4)
+	p.Arm()
+	for i := 0; i < 10; i++ {
+		p.Latch(uint16(i))
+	}
+	if !p.Overflowed() {
+		t.Fatal("overflow LED not lit")
+	}
+	if p.Stored() != 4 {
+		t.Fatalf("stored %d records, want 4", p.Stored())
+	}
+	c := p.Dump()
+	if !c.Overflowed {
+		t.Fatal("capture does not report overflow")
+	}
+	if c.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", c.Dropped)
+	}
+	// The first Depth records are kept (list fills front to back).
+	for i, r := range c.Records {
+		if r.Tag != uint16(i) {
+			t.Fatalf("record %d tag = %d", i, r.Tag)
+		}
+	}
+}
+
+func TestResetClearsOverflowAndRAM(t *testing.T) {
+	_, p := newTestCard(2)
+	p.Arm()
+	p.Latch(1)
+	p.Latch(2)
+	p.Latch(3)
+	p.Reset()
+	if p.Overflowed() || p.Stored() != 0 || p.Dropped != 0 || p.Latched != 0 {
+		t.Fatal("Reset did not clear card state")
+	}
+	p.Latch(9)
+	if p.Stored() != 1 {
+		t.Fatal("card not usable after Reset")
+	}
+	if got := p.Dump().Records[0].Tag; got != 9 {
+		t.Fatalf("tag after reset = %d", got)
+	}
+}
+
+func TestTimerWrapsAt24Bits(t *testing.T) {
+	s, p := newTestCard(8)
+	p.Arm()
+	// 2^24 µs ≈ 16.78 s. An event just before and just after the wrap.
+	s.AdvanceTo(sim.Time(TimerWrap-1) * sim.Microsecond)
+	p.Latch(1)
+	s.AdvanceTo(sim.Time(TimerWrap+5) * sim.Microsecond)
+	p.Latch(2)
+	c := p.Dump()
+	if c.Records[0].Stamp != TimerWrap-1 {
+		t.Fatalf("stamp 0 = %d", c.Records[0].Stamp)
+	}
+	if c.Records[1].Stamp != 5 {
+		t.Fatalf("stamp 1 = %d, want wrapped value 5", c.Records[1].Stamp)
+	}
+}
+
+func TestPowerOnCounterOffset(t *testing.T) {
+	s, p := newTestCard(8)
+	p.SetPowerOnCounter(TimerMask) // counter one tick from wrap at t=0
+	p.Arm()
+	p.Latch(1)
+	s.AdvanceTo(1 * sim.Microsecond)
+	p.Latch(2)
+	c := p.Dump()
+	if c.Records[0].Stamp != TimerMask {
+		t.Fatalf("stamp 0 = %d", c.Records[0].Stamp)
+	}
+	if c.Records[1].Stamp != 0 {
+		t.Fatalf("stamp 1 = %d, want 0 (wrapped)", c.Records[1].Stamp)
+	}
+}
+
+func TestDefaultDepthIs16384(t *testing.T) {
+	_, p := newTestCard(0)
+	if p.Depth() != 16384 {
+		t.Fatalf("default depth = %d", p.Depth())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil clock")
+		}
+	}()
+	New(8, nil)
+}
+
+func TestEPROMSocketDecodesWindow(t *testing.T) {
+	s, p := newTestCard(16)
+	p.Arm()
+	const base = 0xD0000
+	sock := NewEPROMSocket(base, p)
+	if sock.Base() != base {
+		t.Fatalf("Base = %#x", sock.Base())
+	}
+	s.AdvanceTo(10 * sim.Microsecond)
+	if v := sock.Read(base + 1386); v != 0xFF {
+		t.Fatalf("Read returned %#x, want 0xFF", v)
+	}
+	sock.Read(base + 1387)
+	sock.Read(base - 1)          // below window: no latch
+	sock.Read(base + WindowSize) // above window: no latch
+	sock.Read(0)                 // far away
+	c := p.Dump()
+	if c.Len() != 2 {
+		t.Fatalf("latched %d events, want 2", c.Len())
+	}
+	if c.Records[0].Tag != 1386 || c.Records[1].Tag != 1387 {
+		t.Fatalf("tags = %d,%d", c.Records[0].Tag, c.Records[1].Tag)
+	}
+}
+
+func TestEPROMSocketContains(t *testing.T) {
+	_, p := newTestCard(1)
+	sock := NewEPROMSocket(0xC8000, p)
+	for _, c := range []struct {
+		addr uint32
+		want bool
+	}{
+		{0xC8000, true}, {0xC8000 + WindowSize - 1, true},
+		{0xC8000 + WindowSize, false}, {0xC7FFF, false}, {0, false},
+	} {
+		if got := sock.Contains(c.addr); got != c.want {
+			t.Errorf("Contains(%#x) = %v", c.addr, got)
+		}
+	}
+}
+
+func TestBankRoundTrip(t *testing.T) {
+	records := []Record{{502, 0}, {503, 16383}, {1386, TimerMask}, {65535, 0xABCDEF & TimerMask}}
+	banks := EncodeBanks(records)
+	for i := range banks {
+		if len(banks[i]) != len(records) {
+			t.Fatalf("bank %d has %d bytes", i, len(banks[i]))
+		}
+	}
+	got, err := DecodeBanks(banks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range records {
+		if got[i] != records[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], records[i])
+		}
+	}
+}
+
+func TestDecodeBanksLengthMismatch(t *testing.T) {
+	var banks [NumBanks][]byte
+	for i := range banks {
+		banks[i] = make([]byte, 4)
+	}
+	banks[3] = make([]byte, 3)
+	if _, err := DecodeBanks(banks); err == nil {
+		t.Fatal("expected error for mismatched bank lengths")
+	}
+}
+
+func TestBankLayoutMatchesChipWiring(t *testing.T) {
+	banks := EncodeBanks([]Record{{Tag: 0x1234, Stamp: 0xABCDEF}})
+	want := [NumBanks]byte{0x34, 0x12, 0xEF, 0xCD, 0xAB}
+	for i := range banks {
+		if banks[i][0] != want[i] {
+			t.Fatalf("bank %d byte = %#x, want %#x", i, banks[i][0], want[i])
+		}
+	}
+}
+
+func TestCaptureFileRoundTrip(t *testing.T) {
+	c := Capture{
+		Records:    []Record{{502, 100}, {503, 250}, {600, TimerMask}},
+		Overflowed: true,
+		Dropped:    42,
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Overflowed != c.Overflowed || got.Dropped != c.Dropped || got.Len() != c.Len() {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range c.Records {
+		if got.Records[i] != c.Records[i] {
+			t.Fatalf("record %d = %+v", i, got.Records[i])
+		}
+	}
+}
+
+func TestReadCaptureRejectsGarbage(t *testing.T) {
+	if _, err := ReadCapture(bytes.NewReader([]byte("not a capture file at all........"))); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	// Truncated records.
+	c := Capture{Records: []Record{{1, 2}, {3, 4}}}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadCapture(bytes.NewReader(b[:len(b)-3])); err == nil {
+		t.Fatal("expected error for truncated file")
+	}
+	if _, err := ReadCapture(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+// Property: bank encode/decode round-trips arbitrary records (with the
+// stamp masked to 24 bits, as the hardware stores).
+func TestBankRoundTripProperty(t *testing.T) {
+	prop := func(tags []uint16, stamps []uint32) bool {
+		n := len(tags)
+		if len(stamps) < n {
+			n = len(stamps)
+		}
+		records := make([]Record, n)
+		for i := 0; i < n; i++ {
+			records[i] = Record{Tag: tags[i], Stamp: stamps[i] & TimerMask}
+		}
+		got, err := DecodeBanks(EncodeBanks(records))
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range records {
+			if got[i] != records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a card never stores more than its depth, and Latched always
+// equals Stored + Dropped.
+func TestCaptureAccountingProperty(t *testing.T) {
+	prop := func(depth uint8, strobes []uint16, armPattern []bool) bool {
+		d := int(depth%64) + 1
+		_, p := newTestCard(d)
+		for i, tag := range strobes {
+			if i < len(armPattern) {
+				if armPattern[i] {
+					p.Arm()
+				} else {
+					p.Disarm()
+				}
+			}
+			p.Latch(tag)
+		}
+		return p.Stored() <= d && p.Latched == uint64(p.Stored())+p.Dropped
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package hw
+
+import "fmt"
+
+// Fast capture readout through the EPROM socket — the paper's future-work
+// plan for eliminating the pull-the-RAMs step: "once the Profiler has been
+// used to collect the data, each of the storage RAMs in turn can be
+// multiplexed into the EPROM address space, and the data can be read as if
+// it were an EPROM. This would allow fast turnaround for processing the
+// Profiler data."
+//
+// In readout mode the card stops latching (an address strobe would corrupt
+// the capture otherwise) and instead drives the selected RAM bank's bytes
+// onto the data lines for reads inside the window.
+
+// readout state lives on the Profiler.
+type readoutState struct {
+	active bool
+	bank   int
+}
+
+// EnterReadout switches the card to readout mode, disarming capture.
+func (p *Profiler) EnterReadout() {
+	p.armed = false
+	p.readout.active = true
+	p.readout.bank = 0
+}
+
+// ExitReadout returns the card to normal (latching) operation.
+func (p *Profiler) ExitReadout() { p.readout.active = false }
+
+// InReadout reports whether the card is multiplexing RAM onto the window.
+func (p *Profiler) InReadout() bool { return p.readout.active }
+
+// SelectBank multiplexes RAM chip bank (0..NumBanks-1) into the window.
+func (p *Profiler) SelectBank(bank int) {
+	if bank < 0 || bank >= NumBanks {
+		panic(fmt.Sprintf("hw: bank %d out of range", bank))
+	}
+	p.readout.bank = bank
+}
+
+// readoutByte serves an in-window read during readout: offset indexes the
+// selected bank's record bytes; past the stored count the unwritten RAM
+// reads as 0xFF.
+func (p *Profiler) readoutByte(offset uint32) byte {
+	if int(offset) >= len(p.ram) {
+		return 0xFF
+	}
+	r := p.ram[offset]
+	switch p.readout.bank {
+	case 0:
+		return byte(r.Tag)
+	case 1:
+		return byte(r.Tag >> 8)
+	case 2:
+		return byte(r.Stamp)
+	case 3:
+		return byte(r.Stamp >> 8)
+	default:
+		return byte(r.Stamp >> 16)
+	}
+}
+
+// ReadoutViaSocket performs the full fast readout: bank by bank through
+// the window, reassembling the records host-side. The card is left in
+// normal mode, still holding its capture.
+func ReadoutViaSocket(sock *EPROMSocket, count int) (Capture, error) {
+	p := sock.card
+	if count < 0 || count > p.Stored() {
+		count = p.Stored()
+	}
+	if count > WindowSize {
+		return Capture{}, fmt.Errorf("hw: %d records exceed the 64 KiB readout window", count)
+	}
+	p.EnterReadout()
+	defer p.ExitReadout()
+	var banks [NumBanks][]byte
+	for b := 0; b < NumBanks; b++ {
+		p.SelectBank(b)
+		banks[b] = make([]byte, count)
+		for i := 0; i < count; i++ {
+			banks[b][i] = sock.Read(sock.base + uint32(i))
+		}
+	}
+	records, err := DecodeBanks(banks)
+	if err != nil {
+		return Capture{}, err
+	}
+	return Capture{
+		Records:    records,
+		Overflowed: p.Overflowed(),
+		Dropped:    p.Dropped,
+		ClockHz:    p.cfg.ClockHz,
+		TimerBits:  p.cfg.TimerBits,
+	}, nil
+}

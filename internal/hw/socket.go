@@ -1,0 +1,52 @@
+package hw
+
+// EPROMSocket models the card's connection to the machine under test: a
+// piggy-back plug in a standard JEDEC EPROM socket. Only 18 signals reach
+// the card — 16 address lines plus ChipEnable and OutputEnable — so the
+// event tag is simply the low 16 bits of the address of any read performed
+// inside the EPROM's 64 KiB window.
+//
+// On the 386BSD target the window sits somewhere in ISA memory space
+// (0xA0000–0x100000) and, after the kernel remaps ISA space into kernel
+// virtual addresses, its virtual base (the paper's _ProfileBase) depends on
+// the kernel size; the instrument package reproduces that two-stage link.
+type EPROMSocket struct {
+	base uint32 // physical base address of the EPROM window
+	card *Profiler
+}
+
+// WindowSize is the address span of the socket: 16 address lines.
+const WindowSize = 1 << 16
+
+// NewEPROMSocket plugs card into a socket decoded at physical address base.
+func NewEPROMSocket(base uint32, card *Profiler) *EPROMSocket {
+	if card == nil {
+		panic("hw: nil profiler card")
+	}
+	return &EPROMSocket{base: base, card: card}
+}
+
+// Base reports the physical base address the socket is decoded at.
+func (s *EPROMSocket) Base() uint32 { return s.base }
+
+// Contains reports whether addr falls inside the socket's window.
+func (s *EPROMSocket) Contains(addr uint32) bool {
+	return addr >= s.base && addr-s.base < WindowSize
+}
+
+// Read models a CPU read with ChipEnable and OutputEnable asserted at addr.
+// Reads inside the window latch an event; reads elsewhere are ignored (the
+// decode logic never selects the card). The data returned is meaningless —
+// the kernel's trigger instruction discards it — so Read returns 0xFF as an
+// unprogrammed EPROM would. In readout mode (the future-work fast-dump
+// design) in-window reads return the selected RAM bank's bytes instead.
+func (s *EPROMSocket) Read(addr uint32) byte {
+	if !s.Contains(addr) {
+		return 0xFF
+	}
+	if s.card.InReadout() {
+		return s.card.readoutByte(addr - s.base)
+	}
+	s.card.Latch(uint16(addr - s.base))
+	return 0xFF
+}

@@ -1,0 +1,243 @@
+package instrument
+
+import (
+	"testing"
+
+	"kprof/internal/kernel"
+	"kprof/internal/tagfile"
+)
+
+func newKernelWithFns() *kernel.Kernel {
+	k := kernel.New(kernel.Config{Seed: 1})
+	k.RegisterFn("net", "ipintr")
+	k.RegisterFn("net", "tcp_input")
+	k.RegisterFn("fs", "bread")
+	return k
+}
+
+func TestInstrumentAssignsTagPairs(t *testing.T) {
+	k := newKernelWithFns()
+	res, err := Instrument(k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Functions() == 0 {
+		t.Fatal("nothing instrumented")
+	}
+	// Every registered function received an even tag.
+	for _, fn := range k.Functions() {
+		e, ok := res.Tags.Lookup(fn.Name)
+		if !ok {
+			t.Fatalf("%s not in tag file", fn.Name)
+		}
+		if e.Tag%2 != 0 {
+			t.Fatalf("%s got odd tag %d", fn.Name, e.Tag)
+		}
+	}
+	if res.TriggerPoints != 2*res.Functions()+len(res.InlineTags) {
+		t.Fatalf("trigger points = %d", res.TriggerPoints)
+	}
+	// C/asm census covers everything.
+	if res.CFunctions+res.AsmFunctions != res.Functions() {
+		t.Fatalf("census mismatch: %d + %d != %d", res.CFunctions, res.AsmFunctions, res.Functions())
+	}
+	if res.AsmFunctions == 0 {
+		t.Fatal("core asm routines (bcopy, spl*) not counted")
+	}
+}
+
+func TestSelectiveModules(t *testing.T) {
+	k := newKernelWithFns()
+	res, err := Instrument(k, Options{Modules: []string{"net"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Tags.Lookup("ipintr"); !ok {
+		t.Fatal("selected module missing")
+	}
+	if _, ok := res.Tags.Lookup("bread"); ok {
+		t.Fatal("unselected module instrumented")
+	}
+	if _, ok := res.Tags.Lookup("splnet"); ok {
+		t.Fatal("core module leaked into selective set")
+	}
+}
+
+func TestReinstrumentationKeepsStableTags(t *testing.T) {
+	k := newKernelWithFns()
+	res1, err := Instrument(k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpTag, _ := res1.Tags.Lookup("tcp_input")
+
+	// Recompile with the same tag file: tags must not move.
+	k2 := newKernelWithFns()
+	k2.RegisterFn("net", "udp_input") // a new function appears
+	res2, err := Instrument(k2, Options{Tags: res1.Tags})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpTag2, _ := res2.Tags.Lookup("tcp_input")
+	if tcpTag.Tag != tcpTag2.Tag {
+		t.Fatalf("tcp_input tag moved: %d -> %d", tcpTag.Tag, tcpTag2.Tag)
+	}
+	// The new function extends the file past the old highest value.
+	udpTag, ok := res2.Tags.Lookup("udp_input")
+	if !ok || udpTag.Tag <= tcpTag.Tag {
+		t.Fatalf("udp_input tag = %+v", udpTag)
+	}
+}
+
+func TestContextSwitchMarkAndInlines(t *testing.T) {
+	k := newKernelWithFns()
+	res, err := Instrument(k, Options{Inlines: []string{"MGET"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := res.Tags.Lookup("swtch")
+	if !ok || !e.ContextSwitch {
+		t.Fatalf("swtch = %+v ok=%v", e, ok)
+	}
+	m, ok := res.Tags.Lookup("MGET")
+	if !ok || !m.Inline {
+		t.Fatalf("MGET = %+v", m)
+	}
+}
+
+func TestTwoStageLink(t *testing.T) {
+	k := newKernelWithFns()
+	res, err := Instrument(k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before Link, nothing is armed.
+	for _, fn := range k.Functions() {
+		if fn.Instrumented() {
+			t.Fatalf("%s armed before link", fn.Name)
+		}
+	}
+	linked, err := res.Link(Layout{KernelSize: 600 * 1024, EPROMPhys: 0xD0000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ProfileBase: kernel base + rounded size + fixed pages + window
+	// offset within ISA space.
+	wantISAVirt := uint32(KernelBase) + 600*1024 + FixedPages*PageSize
+	if linked.ISAVirtBase != wantISAVirt {
+		t.Fatalf("ISAVirtBase = %#x, want %#x", linked.ISAVirtBase, wantISAVirt)
+	}
+	if linked.ProfileBase != wantISAVirt+(0xD0000-ISAPhysBase) {
+		t.Fatalf("ProfileBase = %#x", linked.ProfileBase)
+	}
+	for _, fn := range k.Functions() {
+		if !fn.Instrumented() {
+			t.Fatalf("%s not armed after link", fn.Name)
+		}
+	}
+	// Virtual-to-physical round trip.
+	if pa := linked.VirtToPhys(linked.ProfileBase + 1386); pa != 0xD0000+1386 {
+		t.Fatalf("VirtToPhys = %#x", pa)
+	}
+}
+
+func TestLinkRoundsKernelSizeToPage(t *testing.T) {
+	k := newKernelWithFns()
+	res, _ := Instrument(k, Options{})
+	l1, err := res.Link(Layout{KernelSize: 600*1024 + 1, EPROMPhys: 0xD0000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.ISAVirtBase != KernelBase+600*1024+PageSize+FixedPages*PageSize {
+		t.Fatalf("rounding failed: %#x", l1.ISAVirtBase)
+	}
+}
+
+// The paper's key point: a different kernel size moves ProfileBase, and
+// relinking (not recompiling) fixes every trigger address.
+func TestRelinkMovesProfileBase(t *testing.T) {
+	k := newKernelWithFns()
+	res, _ := Instrument(k, Options{})
+	l1, err := res.Link(Layout{KernelSize: 600 * 1024, EPROMPhys: 0xD0000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := res.Link(Layout{KernelSize: 700 * 1024, EPROMPhys: 0xD0000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.ProfileBase == l2.ProfileBase {
+		t.Fatal("ProfileBase did not move with kernel size")
+	}
+	// The physical address of a given tag is invariant.
+	if l1.VirtToPhys(l1.ProfileBase+500) != l2.VirtToPhys(l2.ProfileBase+500) {
+		t.Fatal("relink changed the physical tag address")
+	}
+}
+
+func TestLinkRejectsBadEPROMAddress(t *testing.T) {
+	k := newKernelWithFns()
+	res, _ := Instrument(k, Options{})
+	if _, err := res.Link(Layout{KernelSize: 1, EPROMPhys: 0x80000}); err == nil {
+		t.Fatal("EPROM below ISA space accepted")
+	}
+	if _, err := res.Link(Layout{KernelSize: 1, EPROMPhys: 0xFFFF0}); err == nil {
+		t.Fatal("EPROM window overflowing ISA space accepted")
+	}
+}
+
+func TestInlineAddr(t *testing.T) {
+	k := newKernelWithFns()
+	res, err := Instrument(k, Options{Inlines: []string{"MGET"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linked, _ := res.Link(Layout{KernelSize: 4096, EPROMPhys: 0xD0000})
+	addr, ok := res.InlineAddr(linked, "MGET")
+	if !ok {
+		t.Fatal("MGET inline address missing")
+	}
+	e, _ := res.Tags.Lookup("MGET")
+	if addr != linked.ProfileBase+uint32(e.Tag) {
+		t.Fatalf("addr = %#x", addr)
+	}
+	if _, ok := res.InlineAddr(linked, "nosuch"); ok {
+		t.Fatal("phantom inline")
+	}
+}
+
+func TestInstrumentedNamesSorted(t *testing.T) {
+	k := newKernelWithFns()
+	res, _ := Instrument(k, Options{Modules: []string{"net", "fs"}})
+	names := res.InstrumentedNames()
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("not sorted: %v", names)
+		}
+	}
+}
+
+func TestInstrumentWithExistingTagFileConflicts(t *testing.T) {
+	// A tag file that already contains one of the kernel's functions at
+	// a fixed tag: instrumentation must honour it.
+	tags, err := tagfile.ParseString("ipintr/900\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := newKernelWithFns()
+	res, err := Instrument(k, Options{Tags: tags, Modules: []string{"net"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := res.Tags.Lookup("ipintr")
+	if e.Tag != 900 {
+		t.Fatalf("existing tag overridden: %d", e.Tag)
+	}
+	e2, _ := res.Tags.Lookup("tcp_input")
+	if e2.Tag <= 900 {
+		t.Fatalf("new tag below existing range: %d", e2.Tag)
+	}
+}

@@ -1,0 +1,82 @@
+package kernel
+
+import "kprof/internal/sim"
+
+// Arch selects the processor/interrupt architecture being modeled. The
+// paper profiles two machines: the 40 MHz i386 PC (whose ISA interrupt
+// controller makes spl* expensive and which must emulate software
+// interrupts — "the grossest area of mismatch between the hardware
+// architecture and UNIX"), and the 68020 Megadata embedded board, "a
+// multi-priority interrupt level processor" where the same operations are
+// a single move-to-SR instruction.
+type Arch int
+
+const (
+	// ArchI386 is the paper's 386BSD target.
+	ArchI386 Arch = iota
+	// ArchM68K is the Megadata 68020 embedded platform of the first case
+	// study.
+	ArchM68K
+)
+
+func (a Arch) String() string {
+	switch a {
+	case ArchI386:
+		return "i386"
+	case ArchM68K:
+		return "m68k"
+	}
+	return "arch?"
+}
+
+// archCosts are the machine-dependent timing constants.
+type archCosts struct {
+	splRaise  sim.Time // splnet/splbio/spltty body
+	splHigh   sim.Time
+	splx      sim.Time
+	spl0      sim.Time
+	softPoll  sim.Time // spl0's check of the pending-soft-interrupt word
+	intrEntry sim.Time // interrupt stub prologue
+	intrAST   sim.Time // software-interrupt emulation on the way out
+	doreti    sim.Time
+	trigger   sim.Time // one profiling trigger instruction
+	intrName  string   // the stub's symbol name
+}
+
+var archTable = map[Arch]archCosts{
+	// The i386 numbers are the paper's: splnet ≈11 µs inclusive, spl0
+	// ≈25 µs, ISAINTR ≈31 µs net with ≈24 µs of AST emulation, triggers
+	// ≈400 ns per function (two loads).
+	ArchI386: {
+		splRaise:  10 * sim.Microsecond,
+		splHigh:   8 * sim.Microsecond,
+		splx:      3 * sim.Microsecond,
+		spl0:      20 * sim.Microsecond,
+		softPoll:  2 * sim.Microsecond,
+		intrEntry: 7 * sim.Microsecond,
+		intrAST:   24 * sim.Microsecond,
+		doreti:    5 * sim.Microsecond,
+		trigger:   200 * sim.Nanosecond,
+		intrName:  "ISAINTR",
+	},
+	// The 68020: spl* is "move #level,SR" — a microsecond of work
+	// including the call; vectored interrupts need no ICU dance and the
+	// lower-priority self-interrupt trick makes soft interrupts cheap.
+	// The embedded board runs a slower clock, so the trigger instruction
+	// (tstb absolute) costs a little more than the 386's load.
+	ArchM68K: {
+		splRaise:  1500 * sim.Nanosecond,
+		splHigh:   1200 * sim.Nanosecond,
+		splx:      1 * sim.Microsecond,
+		spl0:      1500 * sim.Nanosecond,
+		softPoll:  0,
+		intrEntry: 4 * sim.Microsecond,
+		intrAST:   3 * sim.Microsecond,
+		doreti:    3 * sim.Microsecond,
+		trigger:   300 * sim.Nanosecond,
+		intrName:  "VECINTR",
+	},
+}
+
+// Arch reports the kernel's architecture.
+func (k *Kernel) Arch() Arch { return k.arch }

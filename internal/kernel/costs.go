@@ -1,0 +1,58 @@
+package kernel
+
+import "kprof/internal/sim"
+
+// Calibrated costs for the kernel core, in virtual time. The numbers are
+// derived from the paper's measurements on the 40 MHz i386 target:
+//
+//   - trigger instruction: "about 400 nanoseconds per function for a
+//     40 MHz 386" — the paper counts both loads in that figure, so each
+//     trigger costs 200 ns and an instrumented call pays ~400 ns total.
+//   - splnet ≈ 11 µs inclusive (Table 1), splx ≈ 3–4 µs (Figure 4),
+//     spl0 ≈ 21–25 µs (Figure 4 / Table 1): masking the ISA ICU is slow,
+//     and spl0 additionally polls for pending software interrupts.
+//   - ISAINTR net ≈ 31 µs (Figure 4): the interrupt stub, which must
+//     emulate Asynchronous System Traps in software; the paper puts that
+//     emulation overhead at ≈24 µs per interrupt.
+//   - hardclock ≈ 94 µs inclusive on average (§386BSD Overall Performance).
+//   - tsleep ≈ 22 µs net (Figure 4); swtch save+restore ≈ 30 µs combined.
+//   - copyout ≈ 40 µs per 1 KiB mbuf cluster (§Network Performance), i.e.
+//     ≈39 ns/byte for main-memory copies; copyinstr ≈ 170 µs for a path
+//     name (Table 1) because of its per-byte fault checking.
+//
+// Machine-dependent costs (spl*, interrupt stubs, trigger instructions)
+// live in arch.go; the constants here are machine-independent kernel work.
+const (
+	costSwtchSave    = 16 * sim.Microsecond
+	costSwtchRestore = 14 * sim.Microsecond
+	costIdleLoop     = 2 * sim.Microsecond // one lap of the idle loop
+
+	costTsleep = 22 * sim.Microsecond
+	costWakeup = 12 * sim.Microsecond
+	costSetrq  = 4 * sim.Microsecond
+	costRemrq  = 4 * sim.Microsecond
+
+	costHardclockBase = 58 * sim.Microsecond // timer bookkeeping, profil, resched
+	costGatherstats   = 10 * sim.Microsecond
+	costSoftclockBase = 12 * sim.Microsecond
+	costPerCallout    = 3 * sim.Microsecond
+	costTimeout       = 8 * sim.Microsecond
+	costUntimeout     = 7 * sim.Microsecond
+
+	costSyscallEntry = 18 * sim.Microsecond // trap, validate, dispatch
+	costSyscallExit  = 12 * sim.Microsecond
+
+	costCopyBase      = 3 * sim.Microsecond // setup + page validity check
+	costCopyinstrPB   = 2200 * sim.Nanosecond
+	costCopyinstrBase = 12 * sim.Microsecond
+)
+
+// MainMemoryNsPerByte is the calibrated main-memory copy rate: 1 KiB in
+// ≈40 µs gives ≈39 ns/byte. Exported for the bus package's cross-check.
+const MainMemoryNsPerByte = 39
+
+// CopyCost is the time for an n-byte kernel<->user or memory-memory copy in
+// main memory.
+func CopyCost(n int) sim.Time {
+	return costCopyBase + sim.Time(n)*MainMemoryNsPerByte*sim.Nanosecond
+}

@@ -1,0 +1,237 @@
+// Package kernel is a deterministic discrete-event model of a 386BSD-0.1
+// class kernel: processes with a run queue and swtch-based context
+// switching, interrupt-priority (spl) masking with ISA-style interrupt
+// dispatch and software-interrupt emulation, a 100 Hz hardclock with a
+// softclock callout queue, and a system-call layer with user/kernel copy
+// primitives.
+//
+// It exists to give the Profiler something real to measure. Every routine
+// the paper profiles is registered in the kernel symbol table as an Fn;
+// bodies advance a shared virtual clock through a cost model calibrated to
+// the paper's measured numbers (see costs.go in each subsystem). Devices
+// (the Ethernet card, the IDE disk, the clock chip) are sim events that
+// raise IRQs, so interrupts preempt kernel code mid-function just as they do
+// on hardware, and the captured event stream shows the same interleaving the
+// paper's traces do.
+//
+// Concurrency model: the simulation is logically single-threaded. Each Proc
+// is a goroutine, but exactly one goroutine runs at a time, passed an
+// execution token through channels by the scheduler; determinism follows
+// from the event queue's total order and the run queue's FIFO discipline.
+package kernel
+
+import (
+	"fmt"
+
+	"kprof/internal/sim"
+)
+
+// Config selects the machine being modeled. The zero value is the paper's
+// target: a 40 MHz i386 PC with 8 MB of memory running 386BSD 0.1.
+type Config struct {
+	// Arch selects the processor/interrupt architecture; the zero value
+	// is the paper's i386 target.
+	Arch Arch
+	// HZ is the clock interrupt rate; 0 means the BSD default of 100.
+	HZ int
+	// Seed seeds the kernel's private PRNG (used only by devices and
+	// workloads that ask for jitter; the kernel core is deterministic).
+	Seed uint64
+	// TriggerCost overrides the per-trigger instruction cost.
+	// 0 means the calibrated default (≈400 ns on the 40 MHz 386).
+	TriggerCost sim.Time
+}
+
+// Kernel is the machine under test.
+type Kernel struct {
+	sched *sim.Scheduler
+	rng   *sim.Rand
+	hz    int
+	arch  Arch
+	costs archCosts
+
+	// Symbol table.
+	fns     map[string]*Fn
+	fnOrder []*Fn
+
+	// bootStack tracks Call nesting for the boot/idle context; process
+	// contexts carry their own stacks (see Proc.callStack).
+	bootStack []*Fn
+
+	// Profiler connection.
+	trig     TriggerFunc
+	trigCost sim.Time
+
+	// Interrupts.
+	spl      SPL
+	irqs     []*IRQ
+	intrNest int
+	softPend uint32 // pending soft-interrupt bits (netisr style)
+	softs    map[uint32]*softIntr
+
+	// Scheduling.
+	procs      []*Proc
+	runq       []*Proc
+	curproc    *Proc
+	sleepers   map[any][]*Proc
+	toSched    chan schedEvent
+	nextPID    int
+	needResch  bool
+	running    bool
+	idleActive bool
+
+	// Clock.
+	ticks    uint64
+	callouts []*Callout
+
+	// Core function handles used by the scheduler and interrupt paths.
+	fnSwtch     *Fn
+	fnIdle      *Fn
+	fnISAINTR   *Fn
+	fnDoreti    *Fn
+	fnTsleep    *Fn
+	fnWakeup    *Fn
+	fnSetrq     *Fn
+	fnRemrq     *Fn
+	fnHardclk   *Fn
+	fnSoftclk   *Fn
+	fnTimeout   *Fn
+	fnUntime    *Fn
+	fnGather    *Fn
+	fnSplnet    *Fn
+	fnSplbio    *Fn
+	fnSpltty    *Fn
+	fnSplclock  *Fn
+	fnSplhigh   *Fn
+	fnSplx      *Fn
+	fnSpl0      *Fn
+	fnSyscall   *Fn
+	fnCopyin    *Fn
+	fnCopyout   *Fn
+	fnCopyinstr *Fn
+	fnBcopy     *Fn
+	fnBcopyb    *Fn
+	fnBzero     *Fn
+
+	// Stats are the kernel's own event counters — the coarse measurement
+	// facility the paper contrasts the Profiler with.
+	Stats Stats
+}
+
+// Stats is the traditional per-kernel event-counter block.
+type Stats struct {
+	Syscalls   uint64
+	Interrupts uint64
+	SoftIntrs  uint64
+	ContextSw  uint64
+	Ticks      uint64
+	PacketsIn  uint64
+	PacketsOut uint64
+	DiskReads  uint64
+	DiskWrites uint64
+	PageFaults uint64
+	Forks      uint64
+	Execs      uint64
+}
+
+// New constructs a kernel on a fresh virtual clock.
+func New(cfg Config) *Kernel {
+	hz := cfg.HZ
+	if hz == 0 {
+		hz = 100
+	}
+	costs, ok := archTable[cfg.Arch]
+	if !ok {
+		panic("kernel: unknown architecture")
+	}
+	trigCost := cfg.TriggerCost
+	if trigCost == 0 {
+		trigCost = costs.trigger
+	}
+	k := &Kernel{
+		sched:    sim.NewScheduler(),
+		rng:      sim.NewRand(cfg.Seed ^ 0x6b70726f66), // "kprof"
+		hz:       hz,
+		arch:     cfg.Arch,
+		costs:    costs,
+		fns:      make(map[string]*Fn),
+		trigCost: trigCost,
+		sleepers: make(map[any][]*Proc),
+		toSched:  make(chan schedEvent),
+		softs:    make(map[uint32]*softIntr),
+		nextPID:  1,
+	}
+	k.registerCore()
+	return k
+}
+
+// registerCore puts the machine-dependent and kern/ routines in the symbol
+// table. Subsystem packages (mem, vm, netstack, fs) register theirs when
+// attached.
+func (k *Kernel) registerCore() {
+	k.fnSwtch = k.RegisterAsmFn("locore", "swtch")
+	k.fnIdle = k.RegisterAsmFn("locore", "idle")
+	k.fnISAINTR = k.RegisterAsmFn("locore", k.costs.intrName)
+	k.fnDoreti = k.RegisterAsmFn("locore", "doreti")
+	k.fnSplnet = k.RegisterAsmFn("locore", "splnet")
+	k.fnSplbio = k.RegisterAsmFn("locore", "splbio")
+	k.fnSpltty = k.RegisterAsmFn("locore", "spltty")
+	k.fnSplclock = k.RegisterAsmFn("locore", "splclock")
+	k.fnSplhigh = k.RegisterAsmFn("locore", "splhigh")
+	k.fnSplx = k.RegisterAsmFn("locore", "splx")
+	k.fnSpl0 = k.RegisterAsmFn("locore", "spl0")
+	k.fnBcopy = k.RegisterAsmFn("locore", "bcopy")
+	k.fnBcopyb = k.RegisterAsmFn("locore", "bcopyb")
+	k.fnBzero = k.RegisterAsmFn("locore", "bzero")
+	k.fnCopyin = k.RegisterAsmFn("locore", "copyin")
+	k.fnCopyout = k.RegisterAsmFn("locore", "copyout")
+	k.fnCopyinstr = k.RegisterAsmFn("locore", "copyinstr")
+
+	k.fnTsleep = k.RegisterFn("kern_synch", "tsleep")
+	k.fnWakeup = k.RegisterFn("kern_synch", "wakeup")
+	k.fnSetrq = k.RegisterFn("kern_synch", "setrq")
+	k.fnRemrq = k.RegisterFn("kern_synch", "remrq")
+	k.fnHardclk = k.RegisterFn("kern_clock", "hardclock")
+	k.fnSoftclk = k.RegisterFn("kern_clock", "softclock")
+	k.fnGather = k.RegisterFn("kern_clock", "gatherstats")
+	k.fnTimeout = k.RegisterFn("kern_clock", "timeout")
+	k.fnUntime = k.RegisterFn("kern_clock", "untimeout")
+	k.fnSyscall = k.RegisterFn("trap", "syscall")
+}
+
+// Scheduler exposes the event scheduler so devices can model asynchronous
+// hardware (packet arrival, disk completion).
+func (k *Kernel) Scheduler() *sim.Scheduler { return k.sched }
+
+// Now reports current virtual time.
+func (k *Kernel) Now() sim.Time { return k.sched.Now() }
+
+// Rand exposes the kernel's deterministic PRNG.
+func (k *Kernel) Rand() *sim.Rand { return k.rng }
+
+// HZ reports the clock tick rate.
+func (k *Kernel) HZ() int { return k.hz }
+
+// Ticks reports how many hardclock interrupts have occurred.
+func (k *Kernel) Ticks() uint64 { return k.ticks }
+
+// CurProc reports the process whose context the CPU is in, or nil in the
+// idle loop / boot context.
+func (k *Kernel) CurProc() *Proc { return k.curproc }
+
+// SwtchFn returns the context-switch function; the tag file marks it '!'.
+func (k *Kernel) SwtchFn() *Fn { return k.fnSwtch }
+
+// Bcopy models the block-copy routine. cost accounts for the memory regions
+// involved; callers compute it with the bus package.
+func (k *Kernel) Bcopy(cost sim.Time) { k.CallCost(k.fnBcopy, cost) }
+
+// Bcopyb is the byte-wise variant used for console scrolling.
+func (k *Kernel) Bcopyb(cost sim.Time) { k.CallCost(k.fnBcopyb, cost) }
+
+// Bzero models block clear.
+func (k *Kernel) Bzero(cost sim.Time) { k.CallCost(k.fnBzero, cost) }
+
+func (k *Kernel) String() string {
+	return fmt.Sprintf("kernel(t=%v, procs=%d, fns=%d)", k.Now(), len(k.procs), len(k.fns))
+}

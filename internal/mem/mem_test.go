@@ -1,0 +1,303 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kprof/internal/bus"
+	"kprof/internal/kernel"
+	"kprof/internal/sim"
+)
+
+func newAlloc() (*kernel.Kernel, *Allocator) {
+	k := kernel.New(kernel.Config{Seed: 1})
+	return k, Attach(k)
+}
+
+func TestMallocTimingMatchesTable1(t *testing.T) {
+	k, a := newAlloc()
+	// Warm the bucket so we measure the common fast path.
+	warm := a.Malloc(256)
+	a.Free(warm)
+	start := k.Now()
+	b := a.Malloc(256)
+	d := k.Now() - start
+	if d < 30*sim.Microsecond || d > 45*sim.Microsecond {
+		t.Fatalf("malloc fast path = %v, want ≈37 µs", d)
+	}
+	start = k.Now()
+	a.Free(b)
+	d = k.Now() - start
+	if d < 25*sim.Microsecond || d > 40*sim.Microsecond {
+		t.Fatalf("free = %v, want ≈32 µs", d)
+	}
+}
+
+func TestKmemAllocTimingMatchesTable1(t *testing.T) {
+	k, a := newAlloc()
+	start := k.Now()
+	a.KmemAlloc(2)
+	d := k.Now() - start
+	// Table 1: ≈801 µs (inclusive) for the common case.
+	if d < 700*sim.Microsecond || d > 900*sim.Microsecond {
+		t.Fatalf("kmem_alloc(2 pages) = %v, want ≈800 µs", d)
+	}
+}
+
+func TestMallocColdPathRefillsBucket(t *testing.T) {
+	_, a := newAlloc()
+	if a.BucketFree(256) != 0 {
+		t.Fatal("bucket not empty at start")
+	}
+	a.Malloc(256)
+	if a.KmemAllocs != 1 {
+		t.Fatalf("kmem allocs = %d, want 1 (refill)", a.KmemAllocs)
+	}
+	per := PageSize / 256
+	if a.BucketFree(256) != per-1 {
+		t.Fatalf("bucket free = %d, want %d", a.BucketFree(256), per-1)
+	}
+	// Subsequent allocations use the bucket, no more kmem traffic.
+	for i := 0; i < per-1; i++ {
+		a.Malloc(256)
+	}
+	if a.KmemAllocs != 1 {
+		t.Fatalf("kmem allocs = %d after draining bucket", a.KmemAllocs)
+	}
+	a.Malloc(256)
+	if a.KmemAllocs != 2 {
+		t.Fatalf("kmem allocs = %d, want refill", a.KmemAllocs)
+	}
+}
+
+func TestMallocLargeGoesDirect(t *testing.T) {
+	_, a := newAlloc()
+	b := a.Malloc(256 * 1024)
+	if b.bucket != -1 {
+		t.Fatal("large allocation went through a bucket")
+	}
+	if a.KmemAllocs != 1 {
+		t.Fatalf("kmem allocs = %d", a.KmemAllocs)
+	}
+	a.Free(b)
+}
+
+func TestBytesInUseAccounting(t *testing.T) {
+	_, a := newAlloc()
+	b1 := a.Malloc(100)
+	b2 := a.Malloc(200)
+	if a.BytesInUse != 300 {
+		t.Fatalf("in use = %d", a.BytesInUse)
+	}
+	a.Free(b1)
+	a.Free(b2)
+	if a.BytesInUse != 0 {
+		t.Fatalf("in use after frees = %d", a.BytesInUse)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	_, a := newAlloc()
+	b := a.Malloc(64)
+	a.Free(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free not detected")
+		}
+	}()
+	a.Free(b)
+}
+
+func TestMallocZeroPanics(t *testing.T) {
+	_, a := newAlloc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Malloc(0)
+}
+
+func TestBackingCallback(t *testing.T) {
+	k, a := newAlloc()
+	var got int
+	a.SetBacking(func(pages int) {
+		got = pages
+		k.Advance(100 * sim.Microsecond)
+	})
+	start := k.Now()
+	a.KmemAlloc(3)
+	if got != 3 {
+		t.Fatalf("backing saw %d pages", got)
+	}
+	d := k.Now() - start
+	if d > 300*sim.Microsecond {
+		t.Fatalf("backing path should replace the flat cost: %v", d)
+	}
+}
+
+func TestMGetFastAndSlowPath(t *testing.T) {
+	k, a := newAlloc()
+	p := NewMbufPool(a)
+	m := p.MGet()
+	if m.Region != bus.MainMemory || m.Cluster {
+		t.Fatalf("mbuf = %+v", m)
+	}
+	// Empty free list: MGET falls back to malloc, Net/2 style.
+	if p.PoolMallocs != 1 || a.Mallocs != 1 {
+		t.Fatalf("poolMallocs=%d mallocs=%d", p.PoolMallocs, a.Mallocs)
+	}
+	// A freed mbuf goes on the free list; the next MGET pops it without
+	// malloc — the fast path.
+	p.MFree(m)
+	if p.FreeListLen() != 1 {
+		t.Fatalf("free list = %d", p.FreeListLen())
+	}
+	start := k.Now()
+	p.MGet()
+	if a.Mallocs != 1 {
+		t.Fatal("fast path hit malloc")
+	}
+	if d := k.Now() - start; d > 30*sim.Microsecond {
+		t.Fatalf("MGET fast path = %v", d)
+	}
+}
+
+func TestMFreeOverflowReallyFrees(t *testing.T) {
+	_, a := newAlloc()
+	p := NewMbufPool(a)
+	var ms []*Mbuf
+	for i := 0; i < freeListMax+3; i++ {
+		ms = append(ms, p.MGet())
+	}
+	for _, m := range ms {
+		p.MFree(m)
+	}
+	if p.FreeListLen() != freeListMax {
+		t.Fatalf("free list = %d, want %d", p.FreeListLen(), freeListMax)
+	}
+	if p.PoolFrees != 3 || a.Frees != 3 {
+		t.Fatalf("poolFrees=%d frees=%d, want 3", p.PoolFrees, a.Frees)
+	}
+}
+
+func TestClusterPoolUsesKmem(t *testing.T) {
+	_, a := newAlloc()
+	p := NewMbufPool(a)
+	kmemBefore := a.KmemAllocs
+	m := p.MGetCluster()
+	// One page wires four clusters; the plain-mbuf malloc may also have
+	// hit kmem for its bucket.
+	if a.KmemAllocs == kmemBefore {
+		t.Fatal("cluster pool did not wire a page")
+	}
+	clustersPerPage := PageSize / MCLBytes
+	for i := 0; i < clustersPerPage-1; i++ {
+		p.MGetCluster()
+	}
+	during := a.KmemAllocs
+	p.MGetCluster() // fifth: a new page
+	if a.KmemAllocs != during+1 {
+		t.Fatalf("kmem allocs = %d, want one more page", a.KmemAllocs)
+	}
+	_ = m
+}
+
+func TestMGetInlineTriggerFires(t *testing.T) {
+	k, a := newAlloc()
+	var addrs []uint32
+	k.SetTrigger(func(addr uint32) { addrs = append(addrs, addr) })
+	p := NewMbufPool(a)
+	p.SetMGetInline(0x1002)
+	p.MGet()
+	if len(addrs) != 1 || addrs[0] != 0x1002 {
+		t.Fatalf("inline triggers = %v", addrs)
+	}
+}
+
+func TestMGetCluster(t *testing.T) {
+	_, a := newAlloc()
+	p := NewMbufPool(a)
+	m := p.MGetCluster()
+	if !m.Cluster {
+		t.Fatal("no cluster")
+	}
+	if p.ClusterGets != 1 {
+		t.Fatalf("cluster gets = %d", p.ClusterGets)
+	}
+}
+
+func TestMGetExternal(t *testing.T) {
+	_, a := newAlloc()
+	p := NewMbufPool(a)
+	m := p.MGetExternal(bus.ISA8, 1500)
+	if m.Region != bus.ISA8 || m.Len != 1500 || !m.Cluster {
+		t.Fatalf("external mbuf = %+v", m)
+	}
+}
+
+func TestChainOperations(t *testing.T) {
+	_, a := newAlloc()
+	p := NewMbufPool(a)
+	var head *Mbuf
+	for i := 0; i < 3; i++ {
+		m := p.MGet()
+		m.Len = 100 * (i + 1)
+		head = AppendChain(head, m)
+	}
+	if head.ChainCount() != 3 {
+		t.Fatalf("chain count = %d", head.ChainCount())
+	}
+	if head.ChainLen() != 600 {
+		t.Fatalf("chain len = %d", head.ChainLen())
+	}
+	freed := p.MFreeChain(head)
+	if freed != 3 || p.MFrees != 3 {
+		t.Fatalf("freed = %d, MFrees = %d", freed, p.MFrees)
+	}
+}
+
+func TestAppendChainNilHead(t *testing.T) {
+	m := &Mbuf{Len: 5}
+	if AppendChain(nil, m) != m {
+		t.Fatal("AppendChain(nil, m) != m")
+	}
+}
+
+func TestMFreeNilPanics(t *testing.T) {
+	_, a := newAlloc()
+	p := NewMbufPool(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.MFree(nil)
+}
+
+// Property: any mix of mallocs and frees keeps BytesInUse equal to the sum
+// of outstanding request sizes, and bucket free counts never go negative.
+func TestAllocatorAccountingProperty(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		_, a := newAlloc()
+		var live []*Block
+		var want int64
+		for i, s := range sizes {
+			size := int(s%8192) + 1
+			if i%3 == 2 && len(live) > 0 {
+				b := live[len(live)-1]
+				live = live[:len(live)-1]
+				want -= int64(b.Size)
+				a.Free(b)
+				continue
+			}
+			b := a.Malloc(size)
+			live = append(live, b)
+			want += int64(size)
+		}
+		return a.BytesInUse == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+package netstack
+
+import (
+	"kprof/internal/bus"
+	"kprof/internal/kernel"
+	"kprof/internal/mem"
+	"kprof/internal/sim"
+)
+
+// WE models the Western Digital WD8003E: an 8-bit ISA Ethernet controller
+// with 8 KiB of on-board packet RAM. Every byte in or out of that RAM
+// crosses the 8-bit ISA bus at ≈20× main-memory cost — the paper's central
+// I/O bottleneck. Received frames sit in the card's receive ring until the
+// driver copies them into mbufs (weget); transmitted frames are copied into
+// card RAM (westart) before the card serialises them onto the wire.
+type WE struct {
+	n *Net
+	k *kernel.Kernel
+
+	irq *kernel.IRQ
+
+	fnWeIntr  *kernel.Fn
+	fnWeRint  *kernel.Fn
+	fnWeRead  *kernel.Fn
+	fnWeGet   *kernel.Fn
+	fnWeStart *kernel.Fn
+	fnWeTint  *kernel.Fn
+
+	ring      [][]byte // received frames awaiting the driver, in card RAM
+	ringBytes int
+	txBusy    bool
+	txDone    bool
+
+	// wireTaps receive frames the PC transmits (the remote hosts' view);
+	// an empty list discards them.
+	wireTaps []func(frame []byte)
+
+	// Statistics.
+	RxFrames, RxDrops, TxFrames uint64
+	RxInterrupts, TxInterrupts  uint64
+}
+
+// RingCapacity is the card's usable packet RAM for the receive ring.
+const RingCapacity = 8 * 1024
+
+// wireNsPerByte is 10 Mb/s Ethernet: 800 ns per byte on the wire.
+const wireNsPerByte = 800 * sim.Nanosecond
+
+// frameOverhead is preamble + Ethernet header + CRC + interframe gap, in
+// bytes-on-the-wire terms, added to every IP packet we carry.
+const frameOverhead = 38
+
+func newWE(n *Net) *WE {
+	we := &WE{
+		n:         n,
+		k:         n.k,
+		fnWeIntr:  n.k.RegisterFn("if_we", "weintr"),
+		fnWeRint:  n.k.RegisterFn("if_we", "werint"),
+		fnWeRead:  n.k.RegisterFn("if_we", "weread"),
+		fnWeGet:   n.k.RegisterFn("if_we", "weget"),
+		fnWeStart: n.k.RegisterFn("if_we", "westart"),
+		fnWeTint:  n.k.RegisterFn("if_we", "wetint"),
+	}
+	we.irq = n.k.RegisterIRQ("we0", kernel.MaskNet, 0, 3, we.intr)
+	return we
+}
+
+// SetWire installs f as the sole receiver of frames the PC transmits.
+func (we *WE) SetWire(f func(frame []byte)) { we.wireTaps = []func([]byte){f} }
+
+// AddWireTap adds a receiver for transmitted frames alongside existing ones.
+func (we *WE) AddWireTap(f func(frame []byte)) { we.wireTaps = append(we.wireTaps, f) }
+
+// WireTime reports how long a frame of n IP bytes occupies the Ethernet.
+func WireTime(n int) sim.Time {
+	return sim.Time(n+frameOverhead) * wireNsPerByte
+}
+
+// HostDeliver is called by the traffic generator (via a sim event) when a
+// frame arrives from the wire: the card DMAs it into its ring — no CPU
+// involvement — and raises its interrupt. A full ring drops the frame, which
+// is exactly what happened to the saturated PC in the paper's test.
+func (we *WE) HostDeliver(ipPacket []byte) {
+	if we.ringBytes+len(ipPacket)+4 > RingCapacity {
+		we.RxDrops++
+		return
+	}
+	we.RxFrames++
+	we.ring = append(we.ring, ipPacket)
+	we.ringBytes += len(ipPacket) + 4
+	we.k.Raise(we.irq)
+}
+
+// PendingRx reports frames waiting in the card ring (for tests).
+func (we *WE) PendingRx() int { return len(we.ring) }
+
+// intr is the card ISR: dispatch receive and transmit-complete work.
+func (we *WE) intr() {
+	we.k.Call(we.fnWeIntr, func() {
+		we.k.Advance(costWeIntrBody)
+		if len(we.ring) > 0 {
+			we.RxInterrupts++
+			we.rint()
+		}
+		if we.txDone {
+			we.txDone = false
+			we.TxInterrupts++
+			we.k.CallCost(we.fnWeTint, costWeTintBody)
+		}
+	})
+}
+
+// rint drains the receive ring: one werint per interrupt, one weread per
+// frame — when the CPU is saturated several frames accumulate per
+// interrupt, which is why the paper's Figure 3 shows ~2-3 packets handled
+// per werint call.
+func (we *WE) rint() {
+	we.k.Call(we.fnWeRint, func() {
+		we.k.Advance(costWeRintBody)
+		for len(we.ring) > 0 {
+			frame := we.ring[0]
+			we.ring = we.ring[1:]
+			we.ringBytes -= len(frame) + 4
+			we.read(frame)
+		}
+	})
+}
+
+// read processes one received frame: fetch the header from card RAM, build
+// the mbuf chain (weget does the ISA-bus copies), and queue it for ipintr.
+func (we *WE) read(frame []byte) {
+	we.k.Call(we.fnWeRead, func() {
+		we.k.Advance(costWeReadBody)
+		// Peek at the buffer header in card RAM: a short ISA access.
+		we.k.Advance(bus.TouchCost(4, bus.ISA8))
+		chain := we.get(frame)
+		we.n.enqueueIP(chain, frame)
+	})
+}
+
+// get is weget: allocate an mbuf chain and copy the frame out of controller
+// memory across the 8-bit bus, chunk by chunk — the ≈1045 µs per full
+// packet the paper measures. In the what-if configuration the copy is
+// skipped and the chain points at controller memory instead.
+func (we *WE) get(frame []byte) *mem.Mbuf {
+	var chain *mem.Mbuf
+	we.k.Call(we.fnWeGet, func() {
+		we.k.Advance(costWeGetBody)
+		if we.n.ChecksumInController {
+			// Link the controller buffer straight into an external mbuf.
+			chain = we.n.pool.MGetExternal(bus.ISA8, len(frame))
+			return
+		}
+		remaining := len(frame)
+		first := true
+		for remaining > 0 {
+			var m *mem.Mbuf
+			var space int
+			if first {
+				m = we.n.pool.MGet()
+				space = mem.MHLen
+				first = false
+			} else {
+				m = we.n.pool.MGetCluster()
+				space = mem.MCLBytes
+			}
+			chunk := remaining
+			if chunk > space {
+				chunk = space
+			}
+			m.Len = chunk
+			we.k.Bcopy(bus.CopyCost(chunk, bus.ISA8, bus.MainMemory))
+			chain = mem.AppendChain(chain, m)
+			remaining -= chunk
+		}
+	})
+	return chain
+}
+
+// Transmit is westart: copy the frame into card RAM across the ISA bus and
+// start the transmitter; the wire time later raises a transmit-complete
+// interrupt.
+func (we *WE) Transmit(frame []byte) {
+	we.k.Call(we.fnWeStart, func() {
+		we.k.Advance(costWeStartBody)
+		if we.txBusy {
+			// One outstanding transmit: the card of the period had a
+			// single transmit buffer; back-to-back output waits.
+			we.k.Advance(costWeStartBody)
+		}
+		we.k.Bcopy(bus.CopyCost(len(frame), bus.MainMemory, bus.ISA8))
+		we.txBusy = true
+		we.TxFrames++
+		out := frame
+		we.k.Scheduler().After(WireTime(len(frame)), func() {
+			we.txBusy = false
+			we.txDone = true
+			we.k.Raise(we.irq)
+			for _, tap := range we.wireTaps {
+				tap(out)
+			}
+		})
+	})
+}

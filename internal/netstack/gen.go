@@ -1,0 +1,211 @@
+package netstack
+
+import (
+	"encoding/binary"
+
+	"kprof/internal/sim"
+)
+
+// Sender models the remote host — the paper used "a Sun Sparcstation 2 ...
+// as I was sure it could fill the available network bandwidth to the PC".
+// It streams TCP data segments as fast as the receiver's window allows: the
+// Sparc can fill the wire, but it is a real TCP sender, so once the PC's
+// CPU saturates, throughput is governed by how fast the PC produces
+// acknowledgements — which is exactly the regime of the paper's test ("the
+// PC could not process the data from the network at anywhere near Ethernet
+// speed").
+type Sender struct {
+	n   *Net
+	dev NetDevice
+
+	// MSS is the data bytes per segment; full Ethernet frames by default.
+	MSS int
+	// Port is the destination (listening) port on the PC.
+	Port uint16
+	// Window is how many bytes the sender keeps in flight awaiting ACKs.
+	Window int
+	// Gap adds idle time between frames beyond wire occupancy; 0 means
+	// flat-out line rate.
+	Gap sim.Time
+
+	seq        uint32
+	acked      uint32
+	peerWindow int // receive window the PC last advertised
+	running    bool
+	inFlight   bool // a frame is occupying the wire / scheduled
+	recovery   *sim.Event
+
+	// Stats.
+	SegmentsSent uint64
+	BytesSent    uint64
+	AcksSeen     uint64
+	Recoveries   uint64
+}
+
+// DefaultMSS fills an Ethernet frame: 1500 − IP − TCP.
+const DefaultMSS = EtherMTU - IPHdrLen - TCPHdrLen
+
+// NewSender builds a traffic source aimed at port on the PC.
+func NewSender(n *Net, port uint16) *Sender {
+	return &Sender{n: n, dev: n.we, MSS: DefaultMSS, Port: port, Window: 16384, peerWindow: 16384, seq: 1, acked: 1}
+}
+
+// SetDevice aims the sender at a different interface (the embedded LE).
+func (s *Sender) SetDevice(d NetDevice) { s.dev = d }
+
+// payloadPattern fills segment payloads with a deterministic pattern so the
+// real checksums vary across segments.
+func payloadPattern(seq uint32, n int) []byte {
+	b := make([]byte, n)
+	binary.BigEndian.PutUint32(b, seq)
+	for i := 4; i < n; i++ {
+		b[i] = byte(seq>>8) + byte(i)
+	}
+	return b
+}
+
+// buildSegment constructs the full IP packet for the next data segment.
+func (s *Sender) buildSegment() []byte {
+	th := TCPHeader{
+		SrcPort: 1023,
+		DstPort: s.Port,
+		Seq:     s.seq,
+		Flags:   FlagACK,
+		Window:  4096,
+	}
+	payload := payloadPattern(s.seq, s.MSS)
+	seg := th.Marshal(SparcAddr, PCAddr, payload)
+	ih := IPv4Header{
+		TotalLen: uint16(IPHdrLen + len(seg)),
+		ID:       uint16(s.seq),
+		TTL:      255,
+		Proto:    ProtoTCP,
+		Src:      SparcAddr,
+		Dst:      PCAddr,
+	}
+	s.seq += uint32(s.MSS)
+	return append(ih.Marshal(), seg...)
+}
+
+// Start begins the stream. The sender transmits back-to-back frames while
+// the receive window has room, then pauses until the PC's ACKs (observed on
+// the wire) open it again.
+func (s *Sender) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.dev.AddWireTap(s.onWire)
+	s.n.k.Scheduler().After(WireTime(EtherMTU), s.pump)
+}
+
+// Stop halts the stream.
+func (s *Sender) Stop() { s.running = false }
+
+// pump sends the next segment if both the sender's own window and the PC's
+// advertised window allow, and schedules the frame's arrival one wire time
+// later. When blocked on un-acked data (frames lost at the saturated PC) it
+// arms a retransmit-style recovery timer.
+func (s *Sender) pump() {
+	if !s.running || s.inFlight {
+		return
+	}
+	window := s.Window
+	if s.peerWindow < window {
+		window = s.peerWindow
+	}
+	if int(s.seq-s.acked)+s.MSS > window {
+		if s.peerWindow >= s.MSS {
+			// Blocked by lost data, not by the receiver: recover.
+			s.armRecovery()
+		}
+		return // an ACK or window update will restart the pump
+	}
+	pkt := s.buildSegment()
+	s.SegmentsSent++
+	s.BytesSent += uint64(s.MSS)
+	s.inFlight = true
+	s.n.k.Scheduler().After(WireTime(len(pkt))+s.Gap, func() {
+		s.inFlight = false
+		s.dev.HostDeliver(pkt)
+		s.pump()
+	})
+}
+
+// armRecovery schedules the give-up-on-holes timer: the real Sparc would
+// retransmit lost segments; the discard workload only needs the stream to
+// keep moving, so after a timeout the sender declares the hole acknowledged.
+func (s *Sender) armRecovery() {
+	if s.recovery != nil && s.recovery.Scheduled() {
+		return
+	}
+	seqAtArm := s.seq
+	s.recovery = s.n.k.Scheduler().After(50*sim.Millisecond, func() {
+		if !s.running || s.seq != seqAtArm || s.acked >= s.seq {
+			return
+		}
+		s.Recoveries++
+		s.acked = s.seq
+		s.pump()
+	})
+}
+
+// onWire watches the PC's transmissions for ACKs: they slide the send
+// window and carry the PC's advertised receive window.
+func (s *Sender) onWire(frame []byte) {
+	if !s.running {
+		return
+	}
+	ih, err := ParseIPv4(frame)
+	if err != nil || ih.Proto != ProtoTCP || ih.Dst != SparcAddr {
+		return
+	}
+	th, _, err := ParseTCP(ih.Src, ih.Dst, frame[IPHdrLen:ih.TotalLen])
+	if err != nil || th.Flags&FlagACK == 0 {
+		return
+	}
+	s.AcksSeen++
+	if th.Ack > s.acked {
+		s.acked = th.Ack
+	}
+	s.peerWindow = int(th.Window)
+	s.pump()
+}
+
+// SendOne injects a single segment immediately (for tests).
+func (s *Sender) SendOne() {
+	pkt := s.buildSegment()
+	s.SegmentsSent++
+	s.BytesSent += uint64(s.MSS)
+	s.dev.HostDeliver(pkt)
+}
+
+// UDPSource sends UDP datagrams toward a port, optionally checksummed —
+// the stand-in for NFS client traffic and for loopback-style RPC tests.
+type UDPSource struct {
+	n      *Net
+	Port   uint16
+	Cksum  bool
+	DgSent uint64
+}
+
+// NewUDPSource builds a datagram source aimed at port on the PC.
+func NewUDPSource(n *Net, port uint16) *UDPSource {
+	return &UDPSource{n: n, Port: port}
+}
+
+// Send injects one datagram of n payload bytes.
+func (u *UDPSource) Send(nBytes int) {
+	uh := UDPHeader{SrcPort: 997, DstPort: u.Port}
+	payload := payloadPattern(uint32(u.DgSent), nBytes)
+	dgram := uh.Marshal(SparcAddr, PCAddr, payload, u.Cksum)
+	ih := IPv4Header{
+		TotalLen: uint16(IPHdrLen + len(dgram)),
+		TTL:      255,
+		Proto:    ProtoUDP,
+		Src:      SparcAddr,
+		Dst:      PCAddr,
+	}
+	u.DgSent++
+	u.n.we.HostDeliver(append(ih.Marshal(), dgram...))
+}

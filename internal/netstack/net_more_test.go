@@ -1,0 +1,174 @@
+package netstack
+
+import (
+	"testing"
+
+	"kprof/internal/bus"
+	"kprof/internal/kernel"
+	"kprof/internal/sim"
+)
+
+func TestSocketCloseReleasesPortAndBuffers(t *testing.T) {
+	k, n := newNet()
+	so, _ := n.SoCreate(ProtoTCP, 5001)
+	sender := NewSender(n, 5001)
+	sender.MSS = 128
+	sender.SendOne()
+	k.Advance(sim.Microsecond)
+	if so.RcvBuffered() == 0 {
+		t.Fatal("nothing buffered")
+	}
+	frees := n.Pool().MFrees
+	so.Close()
+	if so.RcvBuffered() != 0 {
+		t.Fatal("buffers not drained on close")
+	}
+	if n.Pool().MFrees == frees {
+		t.Fatal("mbufs not freed on close")
+	}
+	if _, err := n.SoCreate(ProtoTCP, 5001); err != nil {
+		t.Fatalf("port not released: %v", err)
+	}
+}
+
+func TestSocketBufferFullDropsAndAdvertisesZero(t *testing.T) {
+	k, n := newNet()
+	so, _ := n.SoCreate(ProtoTCP, 5001)
+	so.RcvBufCap = 2048 // tiny buffer, no reader
+	var windows []uint16
+	n.Device().SetWire(func(frame []byte) {
+		ih, err := ParseIPv4(frame)
+		if err != nil {
+			return
+		}
+		th, _, err := ParseTCP(ih.Src, ih.Dst, frame[IPHdrLen:ih.TotalLen])
+		if err == nil {
+			windows = append(windows, th.Window)
+		}
+	})
+	sender := NewSender(n, 5001)
+	sender.MSS = 1024
+	for i := 0; i < 4; i++ {
+		sender.SendOne()
+		k.Advance(5 * sim.Millisecond)
+	}
+	_, _, _, _ = so.TCB()
+	if so.tcb.SbFulls == 0 {
+		t.Fatal("no sbappend failures despite the tiny buffer")
+	}
+	if len(windows) == 0 {
+		t.Fatal("no acks observed")
+	}
+	if last := windows[len(windows)-1]; last != 0 {
+		t.Fatalf("final advertised window = %d, want 0", last)
+	}
+}
+
+func TestUDPOutputWithChecksumVerifiesOnWire(t *testing.T) {
+	k, n := newNet()
+	n.UDPChecksum = true
+	so, _ := n.SoCreate(ProtoUDP, 2000)
+	so.Connect(SparcAddr, 3000)
+	var frames [][]byte
+	n.Device().SetWire(func(f []byte) { frames = append(frames, f) })
+	n.SendUDPDatagram(so, []byte("checksummed payload"))
+	k.Advance(50 * sim.Millisecond)
+	if len(frames) != 1 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	ih, err := ParseIPv4(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, payload, hadCksum, err := ParseUDP(ih.Src, ih.Dst, frames[0][IPHdrLen:ih.TotalLen])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hadCksum {
+		t.Fatal("datagram left without a checksum")
+	}
+	if string(payload) != "checksummed payload" {
+		t.Fatalf("payload = %q", payload)
+	}
+}
+
+func TestWEPendingRxAndBatching(t *testing.T) {
+	k, n := newNet()
+	s := k.SplHigh() // hold off the ISR
+	sender := NewSender(n, 5001)
+	sender.MSS = 256
+	sender.SendOne()
+	sender.SendOne()
+	if n.Device().PendingRx() != 2 {
+		t.Fatalf("pending = %d", n.Device().PendingRx())
+	}
+	k.SplX(s)
+	if n.Device().PendingRx() != 0 {
+		t.Fatal("ring not drained")
+	}
+	if n.Device().RxInterrupts != 1 {
+		t.Fatalf("rx interrupts = %d, want 1 batched", n.Device().RxInterrupts)
+	}
+}
+
+func TestWETransmitBackToBackWaits(t *testing.T) {
+	k, n := newNet()
+	so, _ := n.SoCreate(ProtoTCP, 2000)
+	so.Connect(SparcAddr, 5002)
+	start := k.Now()
+	n.tcpOutput(so, make([]byte, 512), FlagACK)
+	first := k.Now() - start
+	// Second transmit while the card is still busy pays the wait penalty.
+	start = k.Now()
+	n.tcpOutput(so, make([]byte, 512), FlagACK)
+	second := k.Now() - start
+	if second <= first {
+		t.Fatalf("back-to-back transmit (%v) should cost more than first (%v)", second, first)
+	}
+}
+
+func TestMGetExternalNotReturnedToClusterPool(t *testing.T) {
+	_, n := newNet()
+	p := n.Pool()
+	ext := p.MGetExternal(bus.ISA8, 1500)
+	// Freeing an external mbuf must not credit the main-memory cluster
+	// pool (its "cluster" is controller RAM).
+	p.MFree(ext)
+	m := p.MGetCluster()
+	if m.Region != bus.MainMemory {
+		t.Fatal("cluster pool handed out controller memory")
+	}
+}
+
+func TestNetString(t *testing.T) {
+	_, n := newNet()
+	if n.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestSenderRecoveryAfterTotalLoss(t *testing.T) {
+	k, n := newNet()
+	k.StartClock()
+	so, _ := n.SoCreate(ProtoTCP, 5001)
+	sender := NewSender(n, 5001)
+	sender.Window = 4 * 1460 // small window so loss can stall it
+
+	// Swallow the first burst at splhigh until the ring overflows, then
+	// open up: the recovery timer must restart the stream.
+	s := k.SplHigh()
+	total := 0
+	k.Spawn("reader", func(p *kernel.Proc) {
+		for k.Now() < 400*sim.Millisecond {
+			total += len(n.SoReceive(p, so, 8192))
+		}
+	})
+	sender.Start()
+	// Lower the mask from a timer event after the damage is done.
+	k.Scheduler().After(30*sim.Millisecond, func() { k.SplX(s) })
+	k.Run(400 * sim.Millisecond)
+	sender.Stop()
+	if total == 0 {
+		t.Fatal("stream never recovered")
+	}
+}

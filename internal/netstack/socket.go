@@ -1,0 +1,230 @@
+package netstack
+
+import (
+	"fmt"
+
+	"kprof/internal/bus"
+	"kprof/internal/kernel"
+	"kprof/internal/mem"
+	"kprof/internal/sim"
+)
+
+// Socket is a kernel socket with a receive buffer of mbuf chains. The
+// workloads the paper runs — "a program that listened on a socket and when
+// another host connected, read and discard the data" — drive SoReceive in a
+// loop; the interrupt path fills the buffer through sbappend and wakes the
+// reader.
+type Socket struct {
+	n     *Net
+	Proto uint8
+	Port  uint16
+
+	rcvChains []*mem.Mbuf
+	rcvData   [][]byte // payload bytes parallel to rcvChains
+	rcvBytes  int
+	// RcvBufCap is the socket receive buffer capacity; the space left is
+	// the window TCP advertises, which is what flow-controls the remote
+	// sender when the reader cannot keep up.
+	RcvBufCap int
+
+	sndUnacked int // bytes sent but not yet acknowledged (send side)
+
+	tcb *tcpcb
+
+	// Stats.
+	RcvAppended uint64
+	RcvRead     uint64
+}
+
+func (n *Net) registerSocketFns() {
+	n.fnSoCreate = n.k.RegisterFn("uipc_socket", "socreate")
+	n.fnSoReceive = n.k.RegisterFn("uipc_socket", "soreceive")
+	n.fnSoSend = n.k.RegisterFn("uipc_socket", "sosend")
+	n.fnSbAppend = n.k.RegisterFn("uipc_socket2", "sbappend")
+	n.fnSbWait = n.k.RegisterFn("uipc_socket2", "sbwait")
+	n.fnSoWakeup = n.k.RegisterFn("uipc_socket2", "sowakeup")
+}
+
+// SoCreate opens a socket bound to (proto, port).
+func (n *Net) SoCreate(proto uint8, port uint16) (*Socket, error) {
+	key := pcbKey{proto, port}
+	if _, busy := n.pcbs[key]; busy {
+		return nil, fmt.Errorf("netstack: port %d/%d in use", proto, port)
+	}
+	so := &Socket{n: n, Proto: proto, Port: port, tcb: &tcpcb{}, RcvBufCap: DefaultSockBuf}
+	n.k.Call(n.fnSoCreate, func() {
+		n.k.Advance(costSoCreate)
+		n.alloc.Malloc(256) // struct socket + pcb
+		n.pcbs[key] = so
+	})
+	return so, nil
+}
+
+// Close unbinds the socket.
+func (so *Socket) Close() {
+	delete(so.n.pcbs, pcbKey{so.Proto, so.Port})
+	so.n.pool.MFreeChain(so.chainAll())
+}
+
+func (so *Socket) chainAll() *mem.Mbuf {
+	var head *mem.Mbuf
+	for _, c := range so.rcvChains {
+		head = mem.AppendChain(head, c)
+	}
+	so.rcvChains = nil
+	so.rcvData = nil
+	so.rcvBytes = 0
+	return head
+}
+
+// DefaultSockBuf is the default socket receive buffer capacity.
+const DefaultSockBuf = 16 * 1024
+
+// SbSpace reports the free space in the receive buffer — the window TCP
+// advertises.
+func (so *Socket) SbSpace() int {
+	space := so.RcvBufCap - so.rcvBytes
+	if space < 0 {
+		return 0
+	}
+	return space
+}
+
+// sbAppend queues a received chain on the socket's receive buffer. It
+// reports false (and the caller drops the data) when the buffer is full.
+func (n *Net) sbAppend(so *Socket, chain *mem.Mbuf, payload []byte) bool {
+	ok := false
+	n.k.Call(n.fnSbAppend, func() {
+		s := n.k.SplNet()
+		n.k.Advance(costSbAppend)
+		if so.rcvBytes+len(payload) > so.RcvBufCap {
+			n.k.SplX(s)
+			return
+		}
+		so.rcvChains = append(so.rcvChains, chain)
+		so.rcvData = append(so.rcvData, payload)
+		so.rcvBytes += len(payload)
+		so.RcvAppended += uint64(len(payload))
+		ok = true
+		n.k.SplX(s)
+	})
+	return ok
+}
+
+// soWakeup wakes a reader blocked in sbwait.
+func (n *Net) soWakeup(so *Socket) {
+	n.k.Call(n.fnSoWakeup, func() {
+		n.k.Advance(costSoWakeup)
+		n.k.Wakeup(&so.rcvChains)
+	})
+}
+
+// noteAck credits acknowledged bytes back to a blocked sender.
+func (so *Socket) noteAck(ack uint32) {
+	so.sndUnacked = 0
+	so.n.k.Wakeup(&so.sndUnacked)
+}
+
+// SoReceive reads up to max payload bytes into the process's buffer,
+// blocking (sbwait/tsleep) while the receive buffer is empty. It returns
+// the bytes delivered to user space. Must run in process context.
+func (n *Net) SoReceive(p *kernel.Proc, so *Socket, max int) []byte {
+	var out []byte
+	n.k.Call(n.fnSoReceive, func() {
+		n.k.Advance(costSoReceiveBody)
+		s := n.k.SplNet()
+		for so.rcvBytes == 0 {
+			n.k.SplX(s)
+			n.sbWait(so)
+			s = n.k.SplNet()
+		}
+		for len(out) < max && len(so.rcvChains) > 0 {
+			chain := so.rcvChains[0]
+			data := so.rcvData[0]
+			if len(out)+len(data) > max && len(out) > 0 {
+				break // next chain doesn't fit; deliver what we have
+			}
+			so.rcvChains = so.rcvChains[1:]
+			so.rcvData = so.rcvData[1:]
+			so.rcvBytes -= len(data)
+			so.RcvRead += uint64(len(data))
+			n.k.SplX(s)
+			// Copy to user space cluster by cluster and free the chain.
+			// External mbufs (data still in controller memory, the
+			// what-if configuration) pay the bus penalty here too.
+			for m := chain; m != nil; m = m.Next {
+				if m.Len > 0 {
+					if m.Region != bus.MainMemory {
+						n.k.Advance(sim.Time(m.Len) *
+							(bus.NsPerByte(m.Region) - bus.NsPerByte(bus.MainMemory)))
+					}
+					n.k.Copyout(m.Len)
+				}
+			}
+			n.pool.MFreeChain(chain)
+			out = append(out, data...)
+			s = n.k.SplNet()
+		}
+		n.k.SplX(s)
+	})
+	// Reading opened the receive window; tell the peer (the window-update
+	// ACK real TCP sends when space becomes available again).
+	if so.Proto == ProtoTCP && so.tcb.peer != 0 && len(out) > 0 {
+		n.tcpAck(so)
+	}
+	return out
+}
+
+// sbWait blocks the reading process until data arrives.
+func (n *Net) sbWait(so *Socket) {
+	n.k.Call(n.fnSbWait, func() {
+		n.k.Advance(costSbWait)
+		n.k.Tsleep(&so.rcvChains, "sbwait", 0)
+	})
+}
+
+// SoSend transmits payload over the socket's connection in MSS-sized
+// segments, blocking for the ACK after each window — the FTP-style sender
+// of the filesystem study. It must run in process context. It returns the
+// number of segments sent.
+func (n *Net) SoSend(p *kernel.Proc, so *Socket, payload []byte) int {
+	segs := 0
+	n.k.Call(n.fnSoSend, func() {
+		n.k.Advance(costSoSendBody)
+		const mss = 1460
+		const window = 4096
+		for off := 0; off < len(payload); off += mss {
+			end := off + mss
+			if end > len(payload) {
+				end = len(payload)
+			}
+			chunk := payload[off:end]
+			n.k.Copyin(len(chunk))
+			if so.sndUnacked+len(chunk) > window {
+				// Window full: sleep until the peer's ACK arrives (or a
+				// short timeout — the simulated peers of the FTP study
+				// ack out-of-band).
+				n.k.Tsleep(&so.sndUnacked, "sbwait", 5)
+				so.sndUnacked = 0
+			}
+			so.sndUnacked += len(chunk)
+			if so.Proto == ProtoUDP {
+				n.udpOutput(so, chunk)
+			} else {
+				n.tcpOutput(so, chunk, FlagACK)
+			}
+			segs++
+		}
+	})
+	return segs
+}
+
+// RcvBuffered reports bytes waiting in the receive buffer (for tests).
+func (so *Socket) RcvBuffered() int { return so.rcvBytes }
+
+// freeChain releases a receive chain.
+func (n *Net) freeChain(chain *mem.Mbuf) {
+	if chain != nil {
+		n.pool.MFreeChain(chain)
+	}
+}

@@ -1,0 +1,276 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1e9 || Millisecond != 1e6 || Microsecond != 1e3 {
+		t.Fatalf("unit constants wrong: %d %d %d", Second, Millisecond, Microsecond)
+	}
+	if got := (5*Millisecond + 74*Microsecond).Micros(); got != 5074 {
+		t.Fatalf("Micros = %d, want 5074", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0:000 000"},
+		{5*Millisecond + 74*Microsecond, "0:005 074"},
+		{2*Second + 671*Microsecond, "2:000 671"},
+		{1*Second + 234*Millisecond + 567*Microsecond, "1:234 567"},
+		{999 * Nanosecond, "0:000 000"}, // sub-microsecond truncates
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTimeDurationString(t *testing.T) {
+	if got := (1045 * Microsecond).DurationString(); got != "1045 us" {
+		t.Fatalf("DurationString = %q", got)
+	}
+}
+
+func TestSchedulerFiresInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(30*Microsecond, func() { order = append(order, 3) })
+	s.At(10*Microsecond, func() { order = append(order, 1) })
+	s.At(20*Microsecond, func() { order = append(order, 2) })
+	for s.Step() {
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v", order)
+	}
+	if s.Now() != 30*Microsecond {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestSchedulerFIFOForSimultaneousEvents(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*Microsecond, func() { order = append(order, i) })
+	}
+	s.Step()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events reordered: %v", order)
+		}
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.After(time10, func() { fired = true })
+	if !e.Scheduled() {
+		t.Fatal("event not scheduled")
+	}
+	s.Cancel(e)
+	if e.Scheduled() {
+		t.Fatal("event still scheduled after cancel")
+	}
+	for s.Step() {
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	s.Cancel(e)   // idempotent
+	s.Cancel(nil) // nil-safe
+	_ = e.When()  // still readable
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+}
+
+const time10 = 10 * Microsecond
+
+func TestSchedulerCancelMiddleOfHeap(t *testing.T) {
+	s := NewScheduler()
+	var fired []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, s.At(Time(i)*Microsecond, func() { fired = append(fired, i) }))
+	}
+	// Cancel every third event.
+	for i := 0; i < 20; i += 3 {
+		s.Cancel(events[i])
+	}
+	for s.Step() {
+	}
+	for _, v := range fired {
+		if v%3 == 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if len(fired) != 20-7 {
+		t.Fatalf("fired %d events, want 13", len(fired))
+	}
+}
+
+func TestSchedulerEventsScheduledDuringDispatch(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	s.At(10*Microsecond, func() {
+		order = append(order, "a")
+		// Same-instant event must run in this same RunDue pass.
+		s.At(s.Now(), func() { order = append(order, "a2") })
+		// Later event runs later.
+		s.After(5*Microsecond, func() { order = append(order, "b") })
+	})
+	for s.Step() {
+	}
+	want := []string{"a", "a2", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i)*Millisecond, func() { count++ })
+	}
+	s.RunUntil(5 * Millisecond)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if s.Now() != 5*Millisecond {
+		t.Fatalf("Now = %v", s.Now())
+	}
+	s.RunUntil(20 * Millisecond)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if s.Now() != 20*Millisecond {
+		t.Fatalf("Now = %v, want 20ms even with no events there", s.Now())
+	}
+}
+
+func TestSchedulerAdvanceTo(t *testing.T) {
+	s := NewScheduler()
+	s.AdvanceTo(7 * Microsecond)
+	if s.Now() != 7*Microsecond {
+		t.Fatalf("Now = %v", s.Now())
+	}
+	mustPanic(t, func() { s.AdvanceTo(3 * Microsecond) })
+	s.At(10*Microsecond, func() {})
+	mustPanic(t, func() { s.AdvanceTo(15 * Microsecond) })
+}
+
+func TestSchedulerPastAndInvalidScheduling(t *testing.T) {
+	s := NewScheduler()
+	s.AdvanceTo(time10)
+	mustPanic(t, func() { s.At(5*Microsecond, func() {}) })
+	mustPanic(t, func() { s.At(20*Microsecond, nil) })
+	mustPanic(t, func() { s.After(-1, func() {}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the clock never runs backwards.
+func TestSchedulerOrderingProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		s := NewScheduler()
+		var times []Time
+		for _, d := range delays {
+			s.After(Time(d)*Microsecond, func() { times = append(times, s.Now()) })
+		}
+		for s.Step() {
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	b2 := NewRand(42)
+	for i := 0; i < 64; i++ {
+		if c.Uint64() == b2.Uint64() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Int63n(1e12); v < 0 || v >= 1e12 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		if d := r.Duration(3*Microsecond, 9*Microsecond); d < 3*Microsecond || d > 9*Microsecond {
+			t.Fatalf("Duration out of range: %v", d)
+		}
+	}
+	if d := r.Duration(5, 5); d != 5 {
+		t.Fatalf("Duration(5,5) = %d", d)
+	}
+	mustPanic(t, func() { r.Intn(0) })
+	mustPanic(t, func() { r.Int63n(-1) })
+	mustPanic(t, func() { r.Duration(9, 3) })
+}
+
+func TestRandBoolProbability(t *testing.T) {
+	r := NewRand(7)
+	n := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.25) {
+			n++
+		}
+	}
+	frac := float64(n) / trials
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("Bool(0.25) frequency = %v", frac)
+	}
+}

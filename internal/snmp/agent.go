@@ -1,0 +1,112 @@
+package snmp
+
+import (
+	"kprof/internal/kernel"
+	"kprof/internal/sim"
+)
+
+// Agent is the SNMP agent under profile: it services GET/GETNEXT requests
+// against a Store, charging virtual time per key comparison plus fixed
+// request-processing overhead (BER decode, response encode). The original
+// study ran on a 68020 embedded platform; the per-comparison cost reflects
+// an OID compare loop on that class of machine.
+type Agent struct {
+	k     *kernel.Kernel
+	store Store
+
+	fnInput  *kernel.Fn
+	fnLookup *kernel.Fn
+	fnNext   *kernel.Fn
+
+	// Statistics.
+	Requests    uint64
+	Comparisons uint64
+}
+
+// Costs: BER parse/build dominate the fixed part; each OID comparison is a
+// short loop.
+const (
+	costRequestFixed = 180 * sim.Microsecond
+	costPerCompare   = 3 * sim.Microsecond
+)
+
+// NewAgent attaches an agent using the given store implementation. name
+// distinguishes the registered function names when two agents coexist in
+// one kernel (e.g. "lin" and "btree").
+func NewAgent(k *kernel.Kernel, store Store, name string) *Agent {
+	return &Agent{
+		k:        k,
+		store:    store,
+		fnInput:  k.RegisterFn("snmp", "snmp_input_"+name),
+		fnLookup: k.RegisterFn("snmp", "mib_lookup_"+name),
+		fnNext:   k.RegisterFn("snmp", "mib_next_"+name),
+	}
+}
+
+// Store exposes the underlying MIB store.
+func (a *Agent) Store() Store { return a.store }
+
+// Get services one SNMP GET.
+func (a *Agent) Get(oid OID) (Entry, bool) {
+	a.Requests++
+	var e Entry
+	var ok bool
+	a.k.Call(a.fnInput, func() {
+		a.k.Advance(costRequestFixed)
+		a.k.Call(a.fnLookup, func() {
+			var cmps int
+			e, cmps, ok = a.store.Lookup(oid)
+			a.Comparisons += uint64(cmps)
+			a.k.Advance(sim.Time(cmps) * costPerCompare)
+		})
+	})
+	return e, ok
+}
+
+// GetNext services one SNMP GETNEXT.
+func (a *Agent) GetNext(oid OID) (Entry, bool) {
+	a.Requests++
+	var e Entry
+	var ok bool
+	a.k.Call(a.fnInput, func() {
+		a.k.Advance(costRequestFixed)
+		a.k.Call(a.fnNext, func() {
+			var cmps int
+			e, cmps, ok = a.store.Next(oid)
+			a.Comparisons += uint64(cmps)
+			a.k.Advance(sim.Time(cmps) * costPerCompare)
+		})
+	})
+	return e, ok
+}
+
+// Walk performs a full GETNEXT sweep of the MIB (the classic snmpwalk) and
+// returns the number of variables visited.
+func (a *Agent) Walk() int {
+	var cur OID
+	count := 0
+	for {
+		e, ok := a.GetNext(cur)
+		if !ok {
+			return count
+		}
+		count++
+		cur = e.OID
+	}
+}
+
+// StandardMIB populates a store with n entries shaped like MIB-II tables:
+// interfaces, IP, TCP rows under distinct prefixes.
+func StandardMIB(s Store, n int) {
+	prefixes := []OID{
+		{1, 3, 6, 1, 2, 1, 2, 2, 1},  // ifTable
+		{1, 3, 6, 1, 2, 1, 4, 20, 1}, // ipAddrTable
+		{1, 3, 6, 1, 2, 1, 6, 13, 1}, // tcpConnTable
+		{1, 3, 6, 1, 2, 1, 1},        // system
+	}
+	for i := 0; i < n; i++ {
+		p := prefixes[i%len(prefixes)]
+		oid := append(p.Clone(), uint32(i/len(prefixes)+1), uint32(i%7+1))
+		s.Insert(Entry{OID: oid, Value: int64(i * 17)})
+	}
+}

@@ -1,0 +1,58 @@
+// Package snmp reproduces the paper's SNMP case study: a CMU-derived agent
+// whose MIB was searched linearly, which the Profiler exposed as the major
+// bottleneck; "redesigning the data structure to use a B-tree to hold the
+// MIB data reduced the CPU cycles required to respond to SNMP requests by
+// an order of magnitude."
+//
+// Both stores are real data structures (a slice scan and a genuine B-tree);
+// the agent charges virtual time per key comparison so the Profiler sees
+// the same order-of-magnitude effect the paper reports.
+package snmp
+
+// OID is an SNMP object identifier.
+type OID []uint32
+
+// Compare orders OIDs lexicographically, shorter-prefix first.
+func (a OID) Compare(b OID) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// Clone copies the OID.
+func (a OID) Clone() OID {
+	c := make(OID, len(a))
+	copy(c, a)
+	return c
+}
+
+// Entry is one MIB variable binding.
+type Entry struct {
+	OID   OID
+	Value int64
+}
+
+// Store is a MIB variable store. Lookup and Next report how many key
+// comparisons they performed so the agent can charge time for them.
+type Store interface {
+	// Insert adds or replaces an entry.
+	Insert(e Entry)
+	// Lookup finds an exact OID (SNMP GET).
+	Lookup(oid OID) (Entry, int, bool)
+	// Next finds the first entry strictly after oid (SNMP GETNEXT).
+	Next(oid OID) (Entry, int, bool)
+	// Len reports the number of entries.
+	Len() int
+}

@@ -1,0 +1,273 @@
+package snmp
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kprof/internal/kernel"
+	"kprof/internal/sim"
+)
+
+func TestOIDCompare(t *testing.T) {
+	cases := []struct {
+		a, b OID
+		want int
+	}{
+		{OID{1, 3, 6}, OID{1, 3, 6}, 0},
+		{OID{1, 3}, OID{1, 3, 6}, -1},
+		{OID{1, 3, 6}, OID{1, 3}, 1},
+		{OID{1, 3, 5}, OID{1, 3, 6}, -1},
+		{OID{2}, OID{1, 9, 9}, 1},
+		{nil, OID{1}, -1},
+		{nil, nil, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func buildStores(n int) (*LinearStore, *BTreeStore) {
+	lin, bt := NewLinearStore(), NewBTreeStore()
+	StandardMIB(lin, n)
+	StandardMIB(bt, n)
+	return lin, bt
+}
+
+func TestStoresAgreeOnLookup(t *testing.T) {
+	lin, bt := buildStores(500)
+	if lin.Len() != bt.Len() {
+		t.Fatalf("sizes differ: %d vs %d", lin.Len(), bt.Len())
+	}
+	// Every entry found in one is found in the other with the same value.
+	var cur OID
+	for {
+		e, _, ok := lin.Next(cur)
+		if !ok {
+			break
+		}
+		le, _, lok := lin.Lookup(e.OID)
+		be, _, bok := bt.Lookup(e.OID)
+		if !lok || !bok || le.Value != be.Value {
+			t.Fatalf("disagreement at %v: %v/%v %v/%v", e.OID, le, lok, be, bok)
+		}
+		cur = e.OID
+	}
+	// A missing OID is missing in both.
+	if _, _, ok := bt.Lookup(OID{9, 9, 9}); ok {
+		t.Fatal("phantom entry in btree")
+	}
+	if _, _, ok := lin.Lookup(OID{9, 9, 9}); ok {
+		t.Fatal("phantom entry in list")
+	}
+}
+
+func TestStoresAgreeOnWalk(t *testing.T) {
+	lin, bt := buildStores(300)
+	var curL, curB OID
+	for i := 0; ; i++ {
+		le, _, lok := lin.Next(curL)
+		be, _, bok := bt.Next(curB)
+		if lok != bok {
+			t.Fatalf("walk diverged at step %d: %v vs %v", i, lok, bok)
+		}
+		if !lok {
+			break
+		}
+		if le.OID.Compare(be.OID) != 0 || le.Value != be.Value {
+			t.Fatalf("walk step %d: %v=%d vs %v=%d", i, le.OID, le.Value, be.OID, be.Value)
+		}
+		curL, curB = le.OID, be.OID
+	}
+}
+
+func TestBTreeOrderedAfterRandomInserts(t *testing.T) {
+	bt := NewBTreeStore()
+	// Insert in a scrambled order.
+	var oids []OID
+	for i := 0; i < 1000; i++ {
+		oids = append(oids, OID{1, 3, uint32((i * 7919) % 1000), uint32(i % 13)})
+	}
+	for i, o := range oids {
+		bt.Insert(Entry{OID: o, Value: int64(i)})
+	}
+	// Walk must come out sorted and complete.
+	var prev OID
+	count := 0
+	cur := OID(nil)
+	for {
+		e, _, ok := bt.Next(cur)
+		if !ok {
+			break
+		}
+		if prev != nil && e.OID.Compare(prev) <= 0 {
+			t.Fatalf("walk out of order: %v after %v", e.OID, prev)
+		}
+		prev = e.OID
+		cur = e.OID
+		count++
+	}
+	// Dedupe expectation.
+	uniq := map[string]bool{}
+	for _, o := range oids {
+		uniq[oidKey(o)] = true
+	}
+	if count != len(uniq) {
+		t.Fatalf("walked %d entries, want %d", count, len(uniq))
+	}
+	if bt.Len() != len(uniq) {
+		t.Fatalf("Len = %d, want %d", bt.Len(), len(uniq))
+	}
+}
+
+func oidKey(o OID) string {
+	b := make([]byte, 0, len(o)*4)
+	for _, v := range o {
+		b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return string(b)
+}
+
+func TestInsertReplaces(t *testing.T) {
+	for _, s := range []Store{NewLinearStore(), NewBTreeStore()} {
+		s.Insert(Entry{OID: OID{1, 2, 3}, Value: 1})
+		s.Insert(Entry{OID: OID{1, 2, 3}, Value: 2})
+		if s.Len() != 1 {
+			t.Fatalf("Len = %d after replace", s.Len())
+		}
+		e, _, ok := s.Lookup(OID{1, 2, 3})
+		if !ok || e.Value != 2 {
+			t.Fatalf("Lookup = %v %v", e, ok)
+		}
+	}
+}
+
+func TestBTreeComparisonsLogarithmic(t *testing.T) {
+	lin, bt := buildStores(2000)
+	target, _, _ := lin.Next(nil) // first entry: worst case favours linear!
+	// Use a late entry to show the linear cost.
+	var last Entry
+	cur := OID(nil)
+	for {
+		e, _, ok := lin.Next(cur)
+		if !ok {
+			break
+		}
+		last = e
+		cur = e.OID
+	}
+	_, linCmps, ok1 := lin.Lookup(last.OID)
+	_, btCmps, ok2 := bt.Lookup(last.OID)
+	if !ok1 || !ok2 {
+		t.Fatal("lookup failed")
+	}
+	if linCmps < 1000 {
+		t.Fatalf("linear comparisons = %d, want O(n)", linCmps)
+	}
+	if btCmps > 40 {
+		t.Fatalf("btree comparisons = %d, want O(log n)", btCmps)
+	}
+	_ = target
+}
+
+func TestAgentOrderOfMagnitude(t *testing.T) {
+	k := kernel.New(kernel.Config{Seed: 1})
+	lin, bt := buildStores(1000)
+	la := NewAgent(k, lin, "lin")
+	ba := NewAgent(k, bt, "btree")
+
+	start := k.Now()
+	if n := la.Walk(); n != 1000 {
+		t.Fatalf("linear walk visited %d", n)
+	}
+	linTime := k.Now() - start
+
+	start = k.Now()
+	if n := ba.Walk(); n != 1000 {
+		t.Fatalf("btree walk visited %d", n)
+	}
+	btTime := k.Now() - start
+
+	ratio := float64(linTime) / float64(btTime)
+	// Paper: "reduced the CPU cycles required to respond to SNMP requests
+	// by an order of magnitude."
+	if ratio < 5 {
+		t.Fatalf("linear/btree = %.1fx, want ≥5x (paper: ~10x)", ratio)
+	}
+	if la.Requests != ba.Requests {
+		t.Fatalf("request counts differ: %d vs %d", la.Requests, ba.Requests)
+	}
+}
+
+func TestAgentGet(t *testing.T) {
+	k := kernel.New(kernel.Config{Seed: 1})
+	bt := NewBTreeStore()
+	StandardMIB(bt, 100)
+	a := NewAgent(k, bt, "x")
+	e, _, _ := bt.Next(nil)
+	got, ok := a.Get(e.OID)
+	if !ok || got.Value != e.Value {
+		t.Fatalf("Get = %v %v", got, ok)
+	}
+	if _, ok := a.Get(OID{9}); ok {
+		t.Fatal("phantom get")
+	}
+	if k.Now() == 0 {
+		t.Fatal("agent charged no time")
+	}
+	if a.Comparisons == 0 {
+		t.Fatal("no comparisons recorded")
+	}
+}
+
+// Property: for random OID sets, the B-tree agrees with a sorted slice on
+// every Lookup and Next.
+func TestBTreeEquivalenceProperty(t *testing.T) {
+	prop := func(seeds []uint16) bool {
+		bt := NewBTreeStore()
+		var all []OID
+		seen := map[string]bool{}
+		for i, s := range seeds {
+			o := OID{uint32(s % 50), uint32(s % 7), uint32(i % 5)}
+			if !seen[oidKey(o)] {
+				seen[oidKey(o)] = true
+				all = append(all, o)
+			}
+			bt.Insert(Entry{OID: o, Value: int64(i)})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].Compare(all[j]) < 0 })
+		if bt.Len() != len(all) {
+			return false
+		}
+		// Next from every point agrees with the sorted slice.
+		cur := OID(nil)
+		for _, want := range all {
+			e, _, ok := bt.Next(cur)
+			if !ok || e.OID.Compare(want) != 0 {
+				return false
+			}
+			cur = e.OID
+		}
+		_, _, ok := bt.Next(cur)
+		return !ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkTimeScalesWithStore(t *testing.T) {
+	k := kernel.New(kernel.Config{Seed: 1})
+	small := NewBTreeStore()
+	StandardMIB(small, 50)
+	a := NewAgent(k, small, "small")
+	start := k.Now()
+	a.Walk()
+	smallTime := k.Now() - start
+	if smallTime <= 0 {
+		t.Fatal("no time charged")
+	}
+	_ = sim.Time(0)
+}

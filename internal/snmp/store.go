@@ -1,0 +1,203 @@
+package snmp
+
+import "sort"
+
+// LinearStore is the original CMU-style MIB: an ordered list searched from
+// the front — O(n) comparisons per request.
+type LinearStore struct {
+	entries []Entry
+}
+
+// NewLinearStore returns an empty linear store.
+func NewLinearStore() *LinearStore { return &LinearStore{} }
+
+// Insert adds or replaces an entry, keeping the list ordered (insertion is
+// not what the paper measured, so it may be as slow as it likes).
+func (s *LinearStore) Insert(e Entry) {
+	i := sort.Search(len(s.entries), func(i int) bool {
+		return s.entries[i].OID.Compare(e.OID) >= 0
+	})
+	if i < len(s.entries) && s.entries[i].OID.Compare(e.OID) == 0 {
+		s.entries[i] = e
+		return
+	}
+	s.entries = append(s.entries, Entry{})
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = e
+}
+
+// Lookup scans from the front, exactly as the original agent did.
+func (s *LinearStore) Lookup(oid OID) (Entry, int, bool) {
+	cmps := 0
+	for _, e := range s.entries {
+		cmps++
+		switch e.OID.Compare(oid) {
+		case 0:
+			return e, cmps, true
+		case 1:
+			return Entry{}, cmps, false // passed it: ordered list
+		}
+	}
+	return Entry{}, cmps, false
+}
+
+// Next scans for the first entry beyond oid.
+func (s *LinearStore) Next(oid OID) (Entry, int, bool) {
+	cmps := 0
+	for _, e := range s.entries {
+		cmps++
+		if e.OID.Compare(oid) > 0 {
+			return e, cmps, true
+		}
+	}
+	return Entry{}, cmps, false
+}
+
+// Len reports the entry count.
+func (s *LinearStore) Len() int { return len(s.entries) }
+
+// BTreeStore is the redesigned MIB: a B-tree of order btreeOrder.
+type BTreeStore struct {
+	root *btreeNode
+	n    int
+}
+
+const btreeOrder = 16 // max children per node
+
+type btreeNode struct {
+	entries  []Entry      // len < btreeOrder
+	children []*btreeNode // len == len(entries)+1, nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return len(n.children) == 0 }
+
+// NewBTreeStore returns an empty B-tree store.
+func NewBTreeStore() *BTreeStore { return &BTreeStore{root: &btreeNode{}} }
+
+// Len reports the entry count.
+func (s *BTreeStore) Len() int { return s.n }
+
+// Insert adds or replaces an entry.
+func (s *BTreeStore) Insert(e Entry) {
+	if replaced := s.root.replace(e); replaced {
+		return
+	}
+	s.n++
+	if len(s.root.entries) == btreeOrder-1 {
+		old := s.root
+		s.root = &btreeNode{children: []*btreeNode{old}}
+		s.root.splitChild(0)
+	}
+	s.root.insertNonFull(e)
+}
+
+// replace updates an existing key in place; reports whether it existed.
+func (n *btreeNode) replace(e Entry) bool {
+	i := sort.Search(len(n.entries), func(i int) bool {
+		return n.entries[i].OID.Compare(e.OID) >= 0
+	})
+	if i < len(n.entries) && n.entries[i].OID.Compare(e.OID) == 0 {
+		n.entries[i] = e
+		return true
+	}
+	if n.leaf() {
+		return false
+	}
+	return n.children[i].replace(e)
+}
+
+func (n *btreeNode) splitChild(i int) {
+	child := n.children[i]
+	mid := len(child.entries) / 2
+	up := child.entries[mid]
+	right := &btreeNode{
+		entries: append([]Entry(nil), child.entries[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.entries = child.entries[:mid]
+	n.entries = append(n.entries, Entry{})
+	copy(n.entries[i+1:], n.entries[i:])
+	n.entries[i] = up
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *btreeNode) insertNonFull(e Entry) {
+	i := sort.Search(len(n.entries), func(i int) bool {
+		return n.entries[i].OID.Compare(e.OID) >= 0
+	})
+	if n.leaf() {
+		n.entries = append(n.entries, Entry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = e
+		return
+	}
+	if len(n.children[i].entries) == btreeOrder-1 {
+		n.splitChild(i)
+		if e.OID.Compare(n.entries[i].OID) > 0 {
+			i++
+		}
+	}
+	n.children[i].insertNonFull(e)
+}
+
+// Lookup descends the tree, binary-searching each node.
+func (s *BTreeStore) Lookup(oid OID) (Entry, int, bool) {
+	cmps := 0
+	n := s.root
+	for n != nil {
+		lo, hi := 0, len(n.entries)
+		for lo < hi {
+			m := (lo + hi) / 2
+			cmps++
+			switch n.entries[m].OID.Compare(oid) {
+			case 0:
+				return n.entries[m], cmps, true
+			case -1:
+				lo = m + 1
+			default:
+				hi = m
+			}
+		}
+		if n.leaf() {
+			return Entry{}, cmps, false
+		}
+		n = n.children[lo]
+	}
+	return Entry{}, cmps, false
+}
+
+// Next finds the successor of oid.
+func (s *BTreeStore) Next(oid OID) (Entry, int, bool) {
+	cmps := 0
+	var best *Entry
+	n := s.root
+	for n != nil {
+		// Find the first entry > oid in this node.
+		lo, hi := 0, len(n.entries)
+		for lo < hi {
+			m := (lo + hi) / 2
+			cmps++
+			if n.entries[m].OID.Compare(oid) > 0 {
+				hi = m
+			} else {
+				lo = m + 1
+			}
+		}
+		if lo < len(n.entries) {
+			best = &n.entries[lo]
+		}
+		if n.leaf() {
+			break
+		}
+		n = n.children[lo]
+	}
+	if best == nil {
+		return Entry{}, cmps, false
+	}
+	return *best, cmps, true
+}

@@ -1,0 +1,31 @@
+package tagfile
+
+import "testing"
+
+// The name/tag file parser faces hand-edited text files: arbitrary input
+// must never panic, and accepted files must round-trip through Format.
+func FuzzParse(f *testing.F) {
+	f.Add("main/502\nswtch/600!\nMGET/1002=\n")
+	f.Add("# comment\n\nf/500")
+	f.Add("broken")
+	f.Add("f/")
+	f.Fuzz(func(t *testing.T, text string) {
+		file, err := ParseString(text)
+		if err != nil {
+			return
+		}
+		again, err := ParseString(file.String())
+		if err != nil {
+			t.Fatalf("re-parse of accepted file failed: %v", err)
+		}
+		if again.Len() != file.Len() {
+			t.Fatalf("round trip changed entry count: %d != %d", again.Len(), file.Len())
+		}
+		for _, e := range file.Entries() {
+			ge, ok := again.Lookup(e.Name)
+			if !ok || ge != e {
+				t.Fatalf("entry %v lost in round trip", e)
+			}
+		}
+	})
+}

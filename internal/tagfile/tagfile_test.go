@@ -1,0 +1,369 @@
+package tagfile
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// The sample from the paper, verbatim.
+const paperSample = `main/502
+hardclock/510
+gatherstats/512
+softclock/514
+timeout/516
+untimeout/518
+swtch/600!
+MGET/1002=
+`
+
+func TestParsePaperSample(t *testing.T) {
+	f, err := ParseString(paperSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 8 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	main, ok := f.Lookup("main")
+	if !ok || main.Tag != 502 || main.Inline || main.ContextSwitch {
+		t.Fatalf("main = %+v ok=%v", main, ok)
+	}
+	swtch, ok := f.Lookup("swtch")
+	if !ok || swtch.Tag != 600 || !swtch.ContextSwitch || swtch.Inline {
+		t.Fatalf("swtch = %+v", swtch)
+	}
+	mget, ok := f.Lookup("MGET")
+	if !ok || mget.Tag != 1002 || !mget.Inline {
+		t.Fatalf("MGET = %+v", mget)
+	}
+	if got := swtch.ExitTag(); got != 601 {
+		t.Fatalf("swtch exit tag = %d", got)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	f, err := ParseString(paperSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := f.String()
+	if text != paperSample {
+		t.Fatalf("format round trip:\n%s\nwant:\n%s", text, paperSample)
+	}
+	f2, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Len() != f.Len() {
+		t.Fatalf("reparse Len = %d", f2.Len())
+	}
+}
+
+func TestParseIgnoresCommentsAndBlanks(t *testing.T) {
+	f, err := ParseString("# header\n\nmain/502\n   \n# trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"noslash",
+		"f/notanumber",
+		"f/99999999",    // out of uint16 range
+		"f/501",         // odd function tag
+		"a/500\na/502",  // duplicate name
+		"a/500\nb/500",  // duplicate tag
+		"a/500\nb/501=", // inline collides with a's exit tag
+		"a/500\nb/499=", // inline collides below? 499 is free; craft real overlap:
+	}
+	// the last line above is actually legal; replace with a genuine case
+	bad[len(bad)-1] = "a/500=\nb/500"
+	for _, s := range bad {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestInlineBelowFunctionIsLegal(t *testing.T) {
+	if _, err := ParseString("a/500\nb/499="); err != nil {
+		t.Fatalf("inline at 499 should not collide with function 500/501: %v", err)
+	}
+}
+
+func TestAssignExtendsWithNextEvenPair(t *testing.T) {
+	f, err := ParseString(paperSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Highest used value is inline 1002, so next even is 1004.
+	e, err := f.Assign("newfunc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Tag != 1004 {
+		t.Fatalf("assigned tag = %d, want 1004", e.Tag)
+	}
+	// Reassignment is stable.
+	e2, err := f.Assign("newfunc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Tag != e.Tag {
+		t.Fatalf("reassign changed tag: %d -> %d", e.Tag, e2.Tag)
+	}
+	// Next one continues.
+	e3, err := f.Assign("another")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Tag != 1006 {
+		t.Fatalf("second assign tag = %d, want 1006", e3.Tag)
+	}
+}
+
+func TestNewStartingAtDummy(t *testing.T) {
+	f, err := NewStartingAt(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := f.Assign("first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Tag != 500 {
+		t.Fatalf("first assigned tag = %d, want 500", e.Tag)
+	}
+	if _, err := NewStartingAt(1); err == nil {
+		t.Fatal("NewStartingAt(1) should fail")
+	}
+}
+
+func TestAssignOnEmptyFileUsesDefaultBase(t *testing.T) {
+	f := New()
+	e, err := f.Assign("first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Tag != 500 {
+		t.Fatalf("tag = %d, want default base 500", e.Tag)
+	}
+}
+
+func TestAssignInline(t *testing.T) {
+	f := New()
+	if _, err := f.Assign("fn"); err != nil {
+		t.Fatal(err)
+	}
+	e, err := f.AssignInline("marker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Inline || e.Tag != 502 {
+		t.Fatalf("inline = %+v", e)
+	}
+	if _, err := f.AssignInline("fn"); err == nil {
+		t.Fatal("AssignInline on a function name should fail")
+	}
+	e2, err := f.AssignInline("marker")
+	if err != nil || e2.Tag != e.Tag {
+		t.Fatalf("inline reassign: %+v, %v", e2, err)
+	}
+}
+
+func TestMarkContextSwitch(t *testing.T) {
+	f := New()
+	if _, err := f.Assign("swtch"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.MarkContextSwitch("swtch"); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := f.Lookup("swtch")
+	if !e.ContextSwitch {
+		t.Fatal("modifier not set")
+	}
+	if err := f.MarkContextSwitch("nosuch"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+	if _, err := f.AssignInline("m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.MarkContextSwitch("m"); err == nil {
+		t.Fatal("expected error marking an inline tag")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	f, err := ParseString(paperSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		tag  uint16
+		name string
+		kind EventKind
+	}{
+		{502, "main", FunctionEntry},
+		{503, "main", FunctionExit},
+		{600, "swtch", FunctionEntry},
+		{601, "swtch", FunctionExit},
+		{1002, "MGET", InlineTag},
+		{1003, "", UnknownTag}, // inline has no exit pair
+		{9999, "", UnknownTag},
+	}
+	for _, c := range cases {
+		e, kind := f.Resolve(c.tag)
+		if kind != c.kind || e.Name != c.name {
+			t.Errorf("Resolve(%d) = %q,%v; want %q,%v", c.tag, e.Name, kind, c.name, c.kind)
+		}
+	}
+}
+
+func TestMergeConcatenatesModuleFiles(t *testing.T) {
+	a, _ := ParseString("main/502\nswtch/600!")
+	b, _ := ParseString("ipintr/700\ntcp_input/702")
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if _, ok := a.Lookup("tcp_input"); !ok {
+		t.Fatal("merged entry missing")
+	}
+	// Identical duplicates tolerated; modifier unioned.
+	c, _ := ParseString("main/502\nswtch/600")
+	if err := a.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	// Conflicts rejected.
+	d, _ := ParseString("main/800")
+	if err := a.Merge(d); err == nil {
+		t.Fatal("conflicting merge should fail")
+	}
+}
+
+func TestMergePreservesContextSwitchFromEitherSide(t *testing.T) {
+	a, _ := ParseString("swtch/600")
+	b, _ := ParseString("swtch/600!")
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := a.Lookup("swtch")
+	if !e.ContextSwitch {
+		t.Fatal("modifier lost in merge")
+	}
+}
+
+func TestFunctionsSortedAndFiltered(t *testing.T) {
+	f, _ := ParseString("zed/900\nalpha/500\nm/702=\n")
+	fns := f.Functions()
+	if len(fns) != 2 || fns[0].Name != "alpha" || fns[1].Name != "zed" {
+		t.Fatalf("Functions = %+v", fns)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	f := New()
+	if err := f.Add(Entry{Name: "", Tag: 500}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := f.Add(Entry{Name: "a b", Tag: 500}); err == nil {
+		t.Fatal("space in name accepted")
+	}
+	if err := f.Add(Entry{Name: "a!", Tag: 500}); err == nil {
+		t.Fatal("modifier char in name accepted")
+	}
+	if err := f.Add(Entry{Name: "x", Tag: MaxTag, Inline: true}); err != nil {
+		t.Fatalf("inline at MaxTag should be fine: %v", err)
+	}
+	if err := f.Add(Entry{Name: "y", Tag: MaxTag - 1}); err == nil {
+		t.Fatal("function entry at MaxTag-1 would need exit at MaxTag which is taken")
+	}
+	if err := f.Add(Entry{Name: "z", Tag: 700, Inline: true, ContextSwitch: true}); err == nil {
+		t.Fatal("inline with '!' accepted")
+	}
+}
+
+func TestExitTagPanicsForInline(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Entry{Name: "m", Tag: 10, Inline: true}.ExitTag()
+}
+
+// Property: Assign never produces colliding tag pairs and Resolve is the
+// inverse of assignment for both entry and exit tags.
+func TestAssignResolveProperty(t *testing.T) {
+	prop := func(nameSeeds []uint8) bool {
+		f := New()
+		seen := map[string]bool{}
+		for i, s := range nameSeeds {
+			if i > 50 {
+				break
+			}
+			name := "fn" + strings.Repeat("x", int(s%5)) + string(rune('a'+s%26))
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			e, err := f.Assign(name)
+			if err != nil {
+				return false
+			}
+			if ent, kind := f.Resolve(e.Tag); kind != FunctionEntry || ent.Name != name {
+				return false
+			}
+			if ent, kind := f.Resolve(e.ExitTag()); kind != FunctionExit || ent.Name != name {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parse(format(f)) == f for files built by assignment.
+func TestParseFormatRoundTripProperty(t *testing.T) {
+	prop := func(n uint8, inlineEvery uint8) bool {
+		f := New()
+		count := int(n%40) + 1
+		step := int(inlineEvery%4) + 2
+		for i := 0; i < count; i++ {
+			name := "f" + strings.Repeat("q", i%3) + string(rune('a'+i%26)) + string(rune('a'+i/26))
+			var err error
+			if i%step == 0 {
+				_, err = f.AssignInline(name)
+			} else {
+				_, err = f.Assign(name)
+			}
+			if err != nil {
+				return false
+			}
+		}
+		g, err := ParseString(f.String())
+		if err != nil || g.Len() != f.Len() {
+			return false
+		}
+		for _, e := range f.Entries() {
+			ge, ok := g.Lookup(e.Name)
+			if !ok || ge != e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package vm
+
+import "kprof/internal/sim"
+
+// Calibrated costs for the VM subsystem, reproducing the paper's fork/exec
+// study (Figure 5) and Table 1:
+//
+//   - pmap_pte ≈ 3 µs net per call, ≈1053 calls during a fork: the page
+//     table walk is cheap but the pmap module calls it incessantly.
+//   - pmap_enter ≈ 29 µs net average.
+//   - pmap_remove: per-page work plus a fixed sweep; large entries cost
+//     milliseconds (Figure 5 max 14061 µs).
+//   - pmap_protect ≈ 15 µs/page plus fixed overhead.
+//   - vm_page_lookup ≈ 18 µs net.
+//   - vm_fault ≈ 410 µs inclusive (Table 1): map lookup, object chain,
+//     page allocation and zero fill, pmap_enter.
+//   - bzero of a fresh page ≈ 160 µs at main-memory speed plus setup.
+//   - the combined effect lands vfork ≈ 24 ms and execve ≈ 28 ms with the
+//     standard image (no disk I/O involved; the image is cached).
+const (
+	costPmapPte        = 3 * sim.Microsecond
+	costPmapEnterBody  = 20 * sim.Microsecond // plus one pmap_pte inside
+	costPmapRemoveBase = 45 * sim.Microsecond
+	// Per-page teardown is expensive: PTE invalidation, TLB flush, and
+	// pv-list surgery — Figure 5's 14 ms maximum for a large entry
+	// implies ≈40-70 µs per page.
+	costPmapRemovePage  = 40 * sim.Microsecond // plus two pmap_pte per page
+	costPmapProtectBase = 35 * sim.Microsecond
+	costPmapProtectPage = 11 * sim.Microsecond // plus one pmap_pte per page
+
+	costVmPageLookup = 17 * sim.Microsecond
+	costVmPageAlloc  = 28 * sim.Microsecond
+	costVmPageFree   = 14 * sim.Microsecond
+
+	costFaultBase    = 120 * sim.Microsecond // trap frame, map/object chain walk
+	costKmemWirePage = 120 * sim.Microsecond // vm_map_find + wiring bookkeeping
+	costZeroFillPage = 160 * sim.Microsecond
+
+	costMapEntryBase = 55 * sim.Microsecond  // vm_map_entry create/insert
+	costMapFork      = 210 * sim.Microsecond // vmspace_fork fixed overhead
+	costMapTeardown  = 130 * sim.Microsecond
+
+	costVmspaceAlloc = 180 * sim.Microsecond
+	costUAreaCopy    = 330 * sim.Microsecond // two-page bcopy of the u. area
+
+	// Per-page cost of the copy performed for each resident data/stack
+	// page during fork (386BSD's Mach-derived code did a lot of eager
+	// copying despite the COW machinery).
+	costForkPageCopy = 24 * sim.Microsecond
+)

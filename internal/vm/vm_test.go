@@ -1,0 +1,234 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kprof/internal/kernel"
+	"kprof/internal/mem"
+	"kprof/internal/sim"
+)
+
+func newVM() (*kernel.Kernel, *VM) {
+	k := kernel.New(kernel.Config{Seed: 1})
+	a := mem.Attach(k)
+	return k, Attach(k, a)
+}
+
+// fullyResident builds a parent address space with every page faulted in,
+// the state of a long-running process about to fork.
+func fullyResident(v *VM, im Image) *VMSpace {
+	s := v.NewVMSpace(im)
+	for _, e := range s.Entries {
+		v.FaultIn(e, e.Pages)
+	}
+	return s
+}
+
+func TestVmFaultTimingMatchesTable1(t *testing.T) {
+	k, v := newVM()
+	s := v.NewVMSpace(DefaultImage)
+	data := s.Entries[1]
+	start := k.Now()
+	if !v.Fault(data) {
+		t.Fatal("fault did not materialise a page")
+	}
+	d := k.Now() - start
+	// Table 1: vm_fault ≈ 410 µs inclusive for a demand-zero fault.
+	if d < 350*sim.Microsecond || d > 470*sim.Microsecond {
+		t.Fatalf("vm_fault = %v, want ≈410 µs", d)
+	}
+}
+
+func TestKmemAllocThroughPmapMatchesTable1(t *testing.T) {
+	k, v := newVM()
+	start := k.Now()
+	v.alloc.KmemAlloc(2)
+	d := k.Now() - start
+	if d < 550*sim.Microsecond || d > 1000*sim.Microsecond {
+		t.Fatalf("kmem_alloc(2) through pmap backing = %v, want ≈800 µs", d)
+	}
+}
+
+func TestForkPmapPteCallCount(t *testing.T) {
+	k, v := newVM()
+	parent := fullyResident(v, DefaultImage)
+	pte := k.MustFn("pmap_pte")
+	before := pte.Calls
+	v.Fork(parent)
+	calls := pte.Calls - before
+	// Paper: pmap_pte is called 1053 times when a fork is executed.
+	if calls < 900 || calls > 1200 {
+		t.Fatalf("pmap_pte calls during fork = %d, want ≈1053", calls)
+	}
+}
+
+func TestForkTimingMatchesPaper(t *testing.T) {
+	k, v := newVM()
+	parent := fullyResident(v, DefaultImage)
+	start := k.Now()
+	child := v.Fork(parent)
+	d := k.Now() - start
+	// Paper: ≈24 ms for the vfork (we measure the VM share, which
+	// dominates; the syscall wrapper adds little).
+	if d < 19*sim.Millisecond || d > 29*sim.Millisecond {
+		t.Fatalf("fork VM work = %v, want ≈24 ms", d)
+	}
+	if child.TotalPages() != parent.TotalPages() {
+		t.Fatalf("child pages = %d", child.TotalPages())
+	}
+	if child.ResidentPages() != parent.ResidentPages() {
+		t.Fatalf("child resident = %d", child.ResidentPages())
+	}
+}
+
+func TestExecTimingMatchesPaper(t *testing.T) {
+	k, v := newVM()
+	old := fullyResident(v, DefaultImage)
+	start := k.Now()
+	s := v.Exec(old, DefaultImage, 0)
+	d := k.Now() - start
+	// Paper: ≈28 ms for execve with a cached image.
+	if d < 22*sim.Millisecond || d > 34*sim.Millisecond {
+		t.Fatalf("exec = %v, want ≈28 ms", d)
+	}
+	if s.ResidentPages() == 0 {
+		t.Fatal("exec left nothing resident")
+	}
+	if old.Entries != nil {
+		t.Fatal("old space not torn down")
+	}
+}
+
+func TestForkWriteProtectsParentForCOW(t *testing.T) {
+	_, v := newVM()
+	parent := fullyResident(v, DefaultImage)
+	v.Fork(parent)
+	for _, e := range parent.Entries {
+		if e.Kind == SegText {
+			if e.CopyOnWrite {
+				t.Fatal("text marked COW")
+			}
+		} else if !e.CopyOnWrite {
+			t.Fatalf("%v entry not write-protected after fork", e.Kind)
+		}
+	}
+}
+
+func TestFaultOnFullyResidentEntryIsNoop(t *testing.T) {
+	k, v := newVM()
+	s := v.NewVMSpace(Image{DataPages: 2})
+	e := s.Entries[0]
+	v.FaultIn(e, 10) // more than available: stops at 2
+	if e.Resident != 2 {
+		t.Fatalf("resident = %d", e.Resident)
+	}
+	before := k.Now()
+	if v.Fault(e) {
+		t.Fatal("fault on resident entry materialised a page")
+	}
+	if k.Now() != before {
+		t.Fatal("no-op fault consumed time")
+	}
+}
+
+func TestTeardownResetsSpace(t *testing.T) {
+	_, v := newVM()
+	s := fullyResident(v, Image{TextPages: 10, DataPages: 5})
+	v.Teardown(s)
+	if s.Entries != nil || s.ResidentPages() != 0 {
+		t.Fatalf("teardown left %d entries", len(s.Entries))
+	}
+}
+
+func TestCOWFaultCostsMoreThanPlain(t *testing.T) {
+	k, v := newVM()
+	s := v.NewVMSpace(Image{DataPages: 4})
+	plain := s.Entries[0]
+	start := k.Now()
+	v.Fault(plain)
+	plainCost := k.Now() - start
+
+	s2 := v.NewVMSpace(Image{DataPages: 4})
+	cow := s2.Entries[0]
+	cow.CopyOnWrite = true
+	start = k.Now()
+	v.Fault(cow)
+	cowCost := k.Now() - start
+	if cowCost <= plainCost {
+		t.Fatalf("COW fault (%v) should cost more than plain (%v)", cowCost, plainCost)
+	}
+}
+
+func TestTextFaultSkipsZeroFill(t *testing.T) {
+	k, v := newVM()
+	s := v.NewVMSpace(Image{TextPages: 4, DataPages: 4})
+	text, data := s.Entries[0], s.Entries[1]
+	start := k.Now()
+	v.Fault(text)
+	textCost := k.Now() - start
+	start = k.Now()
+	v.Fault(data)
+	dataCost := k.Now() - start
+	if dataCost-textCost < 100*sim.Microsecond {
+		t.Fatalf("zero fill not visible: text=%v data=%v", textCost, dataCost)
+	}
+}
+
+func TestEmptyImagePanics(t *testing.T) {
+	_, v := newVM()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	v.NewVMSpace(Image{})
+}
+
+func TestSegmentKindString(t *testing.T) {
+	for _, s := range []SegmentKind{SegText, SegData, SegStack, SegmentKind(9)} {
+		if s.String() == "" {
+			t.Fatal("empty segment string")
+		}
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	k, v := newVM()
+	parent := fullyResident(v, Image{TextPages: 4, DataPages: 2, StackPages: 1})
+	v.Fork(parent)
+	v.Exec(parent, Image{TextPages: 4, DataPages: 2, StackPages: 1}, 2)
+	if v.Forks != 1 || v.Execs != 1 {
+		t.Fatalf("forks=%d execs=%d", v.Forks, v.Execs)
+	}
+	if k.Stats.Forks != 1 || k.Stats.Execs != 1 || k.Stats.PageFaults == 0 {
+		t.Fatalf("kernel stats: %+v", k.Stats)
+	}
+}
+
+// Property: fork preserves page counts and residency for arbitrary images,
+// and pmap_pte call volume scales with resident pages.
+func TestForkInvariantProperty(t *testing.T) {
+	prop := func(tp, dp, sp uint8) bool {
+		im := Image{TextPages: int(tp%64) + 1, DataPages: int(dp % 64), StackPages: int(sp % 16)}
+		k, v := newVM()
+		parent := fullyResident(v, im)
+		pte := k.MustFn("pmap_pte")
+		before := pte.Calls
+		child := v.Fork(parent)
+		calls := int(pte.Calls - before)
+		resident := parent.ResidentPages()
+		if child.TotalPages() != parent.TotalPages() {
+			return false
+		}
+		if child.ResidentPages() != resident {
+			return false
+		}
+		// 3 PTE consultations per resident page, plus 1 per COW page.
+		minCalls := 3 * resident
+		return calls >= minCalls
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

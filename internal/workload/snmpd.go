@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"kprof/internal/core"
+	"kprof/internal/kernel"
+	"kprof/internal/netstack"
+	"kprof/internal/sim"
+	"kprof/internal/snmp"
+)
+
+// SNMPServe is the paper's mixed kernel/user profiling scenario: an snmpd
+// user process — instrumented through the mmap'd Profiler window — services
+// GETNEXT requests arriving over UDP, so one capture traces the path from
+// the Ethernet interrupt through ipintr and soreceive up into user-mode MIB
+// code and back out through the UDP transmit path. ("This approach is
+// especially applicable in debugging and tuning communication protocol
+// stacks...")
+
+const snmpPort = 161
+
+// SNMPServeResult summarises the run.
+type SNMPServeResult struct {
+	Requests     uint64
+	MeanResponse sim.Time // manager-observed request→reply turnaround
+	Walked       int      // MIB variables visited
+}
+
+// User-mode costs for the agent (68020-class figures scaled to the 386).
+const (
+	costBerDecode = 90 * sim.Microsecond
+	costBerEncode = 110 * sim.Microsecond
+	costUserCmp   = 3 * sim.Microsecond
+)
+
+// SNMPServe runs count GETNEXT requests against the store through a
+// profiled user-mode daemon on machine m. The UserProgram must come from
+// the machine's profiling session (Session.MapUser).
+func SNMPServe(m *core.Machine, u *core.UserProgram, store snmp.Store, count int) (*SNMPServeResult, error) {
+	so, err := m.Net.SoCreate(netstack.ProtoUDP, snmpPort)
+	if err != nil {
+		return nil, err
+	}
+	defer so.Close()
+
+	fnMain := u.MustRegister("snmpd_main")
+	fnInput := u.MustRegister("snmp_input")
+	fnNext := u.MustRegister("mib_getnext")
+	fnEncode := u.MustRegister("ber_encode")
+
+	res := &SNMPServeResult{}
+
+	// The manager on the remote host polls anchor OIDs spread across the
+	// MIB — interface counters here, TCP connection rows there — the
+	// access pattern that exposed the linear table scan in the original
+	// study. Anchor selection is setup, not simulated work.
+	anchors := mibAnchors(store)
+	var lastOID snmp.OID
+	var sentAt sim.Time
+	var totalResp sim.Time
+	reqNo := 0
+	sendReq := func() {
+		if len(anchors) > 0 {
+			lastOID = anchors[reqNo%len(anchors)]
+		}
+		reqNo++
+		payload := marshalOID(lastOID)
+		uh := netstack.UDPHeader{SrcPort: 2001, DstPort: snmpPort}
+		dgram := uh.Marshal(netstack.SparcAddr, netstack.PCAddr, payload, false)
+		ih := netstack.IPv4Header{
+			TotalLen: uint16(netstack.IPHdrLen + len(dgram)),
+			TTL:      255,
+			Proto:    netstack.ProtoUDP,
+			Src:      netstack.SparcAddr,
+			Dst:      netstack.PCAddr,
+		}
+		sentAt = m.K.Now()
+		m.Net.Device().HostDeliver(append(ih.Marshal(), dgram...))
+	}
+	done := false
+	m.Net.Device().AddWireTap(func(frame []byte) {
+		if done {
+			return
+		}
+		ih, err := netstack.ParseIPv4(frame)
+		if err != nil || ih.Proto != netstack.ProtoUDP {
+			return
+		}
+		uh, payload, _, err := netstack.ParseUDP(ih.Src, ih.Dst, frame[netstack.IPHdrLen:ih.TotalLen])
+		if err != nil || uh.SrcPort != snmpPort {
+			return
+		}
+		totalResp += m.K.Now() - sentAt
+		res.Requests++
+		if _, ok := unmarshalOID(payload); !ok || int(res.Requests) >= count {
+			done = true
+			return
+		}
+		res.Walked++
+		// Manager think time before the next request.
+		m.K.Scheduler().After(200*sim.Microsecond, sendReq)
+	})
+
+	// The snmpd process.
+	m.K.Spawn("snmpd", func(p *kernel.Proc) {
+		u.Call(fnMain, func() {
+			for int(res.Requests) < count {
+				var req []byte
+				m.K.Syscall(p, func() { req = m.Net.SoReceive(p, so, 512) })
+				if done {
+					return
+				}
+				u.Call(fnInput, func() {
+					m.K.Advance(costBerDecode)
+					oid, _ := unmarshalOID(req)
+					var reply []byte
+					u.Call(fnNext, func() {
+						e, cmps, ok := store.Next(oid)
+						m.K.Advance(sim.Time(cmps) * costUserCmp)
+						if ok {
+							reply = marshalOID(e.OID)
+						}
+					})
+					u.Call(fnEncode, func() {
+						m.K.Advance(costBerEncode)
+					})
+					m.K.Syscall(p, func() {
+						m.Net.SendUDPDatagram(so, reply)
+					})
+				})
+			}
+		})
+	})
+
+	m.K.Scheduler().After(sim.Millisecond, sendReq)
+	m.K.RunUntilIdle(m.K.Now() + sim.Time(count+5)*20*sim.Millisecond)
+	if res.Requests == 0 {
+		return nil, fmt.Errorf("workload: snmpd served nothing")
+	}
+	res.MeanResponse = totalResp / sim.Time(res.Requests)
+	return res, nil
+}
+
+// mibAnchors samples OIDs at spread positions across the store: the
+// manager's polling targets.
+func mibAnchors(store snmp.Store) []snmp.OID {
+	var all []snmp.OID
+	var cur snmp.OID
+	for {
+		e, _, ok := store.Next(cur)
+		if !ok {
+			break
+		}
+		all = append(all, e.OID)
+		cur = e.OID
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	var anchors []snmp.OID
+	for _, frac := range []int{1, 3, 5, 7} {
+		anchors = append(anchors, all[len(all)*frac/8])
+	}
+	return anchors
+}
+
+// marshalOID encodes an OID as big-endian uint32s (the lite stand-in for
+// BER).
+func marshalOID(o snmp.OID) []byte {
+	b := make([]byte, 4*len(o)+4)
+	binary.BigEndian.PutUint32(b, uint32(len(o)))
+	for i, v := range o {
+		binary.BigEndian.PutUint32(b[4+4*i:], v)
+	}
+	return b
+}
+
+func unmarshalOID(b []byte) (snmp.OID, bool) {
+	if len(b) < 4 {
+		return nil, false
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	if n < 0 || len(b) < 4+4*n {
+		return nil, false
+	}
+	o := make(snmp.OID, n)
+	for i := range o {
+		o[i] = binary.BigEndian.Uint32(b[4+4*i:])
+	}
+	return o, true
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"kprof/internal/analyze"
+	"kprof/internal/core"
+	"kprof/internal/snmp"
+)
+
+func TestSNMPServeMixedProfile(t *testing.T) {
+	m, s := newProfiledMachine(t)
+	u := s.MapUser("snmpd")
+	store := snmp.NewBTreeStore()
+	snmp.StandardMIB(store, 200)
+
+	s.Arm()
+	res, err := SNMPServe(m, u, store, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Disarm()
+
+	if res.Requests != 20 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	if res.MeanResponse <= 0 {
+		t.Fatal("no response time recorded")
+	}
+	a := s.Analyze()
+	// User-mode functions and kernel functions share the capture.
+	for _, name := range []string{"snmp_input", "mib_getnext", "ber_encode", "udp_input", "soreceive", "ipintr"} {
+		if _, ok := a.Fn(name); !ok {
+			t.Errorf("%s missing from mixed profile", name)
+		}
+	}
+	// The trace shows user frames containing syscalls.
+	trace := a.TraceString(analyze.TraceOptions{})
+	if !strings.Contains(trace, "-> snmp_input") || !strings.Contains(trace, "-> mib_getnext") {
+		t.Fatal("user nesting missing from trace")
+	}
+	in, _ := a.Fn("snmp_input")
+	if in.Calls != 20 {
+		t.Fatalf("snmp_input calls = %d", in.Calls)
+	}
+}
+
+// The case study's punchline, measured end to end over the wire: the
+// linear MIB's response time collapses once the store is a B-tree.
+func TestSNMPServeLinearVsBTreeResponse(t *testing.T) {
+	runWith := func(store snmp.Store) *SNMPServeResult {
+		m := newMachine()
+		s, err := core.NewSession(m, core.ProfileConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := s.MapUser("snmpd")
+		snmp.StandardMIB(store, 1500)
+		res, err := SNMPServe(m, u, store, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	lin := runWith(snmp.NewLinearStore())
+	bt := runWith(snmp.NewBTreeStore())
+	ratio := float64(lin.MeanResponse) / float64(bt.MeanResponse)
+	if ratio < 1.5 {
+		t.Fatalf("linear/btree response ratio = %.2f; want a clear win", ratio)
+	}
+}

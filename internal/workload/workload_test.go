@@ -1,0 +1,276 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"kprof/internal/analyze"
+	"kprof/internal/core"
+	"kprof/internal/kernel"
+	"kprof/internal/sim"
+)
+
+func newMachine() *core.Machine {
+	return core.NewMachine(kernel.Config{Seed: 42})
+}
+
+func newProfiledMachine(t *testing.T) (*core.Machine, *core.Session) {
+	t.Helper()
+	m := newMachine()
+	s, err := core.NewSession(m, core.ProfileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, s
+}
+
+// The headline reproduction: the Figure 3 saturation run, measured through
+// the real pipeline (triggers → card → decode → reconstruction).
+func TestFigure3Shape(t *testing.T) {
+	m, s := newProfiledMachine(t)
+	s.Arm()
+	res, err := NetReceive(m, 400*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Disarm()
+	a := s.Analyze()
+
+	if res.BytesDelivered == 0 {
+		t.Fatal("no data moved")
+	}
+	run := a.RunTime()
+	elapsed := a.Elapsed()
+	if elapsed <= 0 {
+		t.Fatal("empty capture")
+	}
+
+	// CPU saturated: idle a few percent at most (paper: 1.01%).
+	idleFrac := float64(a.Idle) / float64(elapsed)
+	if idleFrac > 0.10 {
+		t.Fatalf("idle fraction = %.3f, want CPU-bound (paper 0.01)", idleFrac)
+	}
+
+	pct := func(name string) float64 {
+		st, ok := a.Fn(name)
+		if !ok {
+			return 0
+		}
+		return float64(st.Net) / float64(run)
+	}
+	bcopy, cksum := pct("bcopy"), pct("in_cksum")
+	// Paper: bcopy 33.59% net, in_cksum 30.82%.
+	if bcopy < 0.25 || bcopy > 0.42 {
+		t.Errorf("bcopy net fraction = %.3f, want ≈0.33", bcopy)
+	}
+	if cksum < 0.25 || cksum > 0.42 {
+		t.Errorf("in_cksum net fraction = %.3f, want ≈0.31", cksum)
+	}
+	// The two dominate together (paper: 64%).
+	if bcopy+cksum < 0.55 || bcopy+cksum > 0.80 {
+		t.Errorf("bcopy+cksum = %.3f, want ≈0.64", bcopy+cksum)
+	}
+	// spl* routines: paper "in one test, 9% of the total CPU time".
+	spl := pct("splnet") + pct("splx") + pct("spl0") + pct("splbio") + pct("splhigh") + pct("spltty") + pct("splclock")
+	if spl < 0.03 || spl > 0.15 {
+		t.Errorf("spl* fraction = %.3f, want ≈0.09", spl)
+	}
+	// The paper's top-ten names all present in the capture.
+	for _, name := range []string{"bcopy", "in_cksum", "splnet", "soreceive", "splx", "malloc", "werint", "weget", "free", "westart"} {
+		if _, ok := a.Fn(name); !ok {
+			t.Errorf("%s missing from profile", name)
+		}
+	}
+	// And the summary's ordering puts bcopy and in_cksum in the top 3.
+	top := a.Functions()
+	top3 := []string{top[0].Name, top[1].Name, top[2].Name}
+	joined := strings.Join(top3, ",")
+	if !strings.Contains(joined, "bcopy") || !strings.Contains(joined, "in_cksum") {
+		t.Errorf("top-3 = %v, want bcopy and in_cksum there", top3)
+	}
+}
+
+// Figure 4: the code-path trace shows the paper's nesting.
+func TestFigure4TraceShape(t *testing.T) {
+	m, s := newProfiledMachine(t)
+	s.Arm()
+	if _, err := NetReceive(m, 60*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.Disarm()
+	a := s.Analyze()
+	trace := a.TraceString(analyze.TraceOptions{})
+
+	// Driver chain nested under the interrupt stub.
+	for _, want := range []string{"-> ISAINTR", "-> weintr", "-> werint", "-> weread", "-> bcopy", "-> ipintr", "-> tcp_input", "-> in_pcblookup", "Context switch"} {
+		if !strings.Contains(trace, want) {
+			t.Fatalf("trace missing %q", want)
+		}
+	}
+	// weintr nested deeper than ISAINTR, werint deeper still.
+	iIdx := strings.Index(trace, "-> ISAINTR")
+	wIdx := strings.Index(trace, "-> weintr")
+	if wIdx < iIdx {
+		t.Fatal("weintr before ISAINTR in trace")
+	}
+	// Inline MGET marks appear.
+	if !strings.Contains(trace, "== MGET") {
+		t.Fatal("no inline MGET marks")
+	}
+}
+
+func TestForkExecNumbers(t *testing.T) {
+	m, _ := newProfiledMachine(t)
+	res := ForkExec(m, 3)
+	// Paper: vfork ≈24 ms, execve ≈28 ms.
+	if res.ForkTime < 18*sim.Millisecond || res.ForkTime > 32*sim.Millisecond {
+		t.Errorf("fork time = %v, want ≈24 ms", res.ForkTime)
+	}
+	if res.ExecTime < 21*sim.Millisecond || res.ExecTime > 36*sim.Millisecond {
+		t.Errorf("exec time = %v, want ≈28 ms", res.ExecTime)
+	}
+	// Paper: pmap_pte called ≈1053 times per fork.
+	if res.PmapPteCallsPerFork < 900 || res.PmapPteCallsPerFork > 1200 {
+		t.Errorf("pmap_pte per fork = %d, want ≈1053", res.PmapPteCallsPerFork)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	m, s := newProfiledMachine(t)
+	s.Arm()
+	ForkExec(m, 3)
+	s.Disarm()
+	a := s.Analyze()
+
+	// Over 50% of run time in the VM routines.
+	groups := a.Groups(m.SubsystemOf())
+	var vmFrac float64
+	for _, g := range groups {
+		if g.Name == "vm" {
+			vmFrac = g.PctNet / 100
+		}
+	}
+	if vmFrac < 0.5 {
+		t.Errorf("vm subsystem fraction = %.2f, want >0.5", vmFrac)
+	}
+	// pmap_remove and pmap_pte among the top net consumers.
+	top := a.Functions()
+	names := []string{}
+	for i := 0; i < len(top) && i < 8; i++ {
+		names = append(names, top[i].Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"pmap_remove", "pmap_pte"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("top-8 %v missing %s", names, want)
+		}
+	}
+	// pmap_pte: thousands of calls at ≈3 µs.
+	pte, ok := a.Fn("pmap_pte")
+	if !ok || pte.Calls < 3000 {
+		t.Fatalf("pmap_pte calls = %+v", pte)
+	}
+	if avg := pte.Avg(); avg < 2*sim.Microsecond || avg > 6*sim.Microsecond {
+		t.Errorf("pmap_pte avg = %v, want ≈3 µs", avg)
+	}
+}
+
+func TestFFSWriteShape(t *testing.T) {
+	m, _ := newProfiledMachine(t)
+	res := FFSWrite(m, 2*sim.Second)
+	if res.BytesWritten == 0 || res.WriteSectors == 0 {
+		t.Fatal("nothing written")
+	}
+	// Most inter-interrupt gaps short (paper: "<100 microseconds").
+	frac := float64(res.ShortGaps) / float64(res.DiskInterrupts)
+	if frac < 0.5 {
+		t.Errorf("short-gap fraction = %.2f, want most", frac)
+	}
+}
+
+func TestFFSReadShape(t *testing.T) {
+	m, _ := newProfiledMachine(t)
+	res := FFSRead(m, 30)
+	if res.MeanReadLatency < 15*sim.Millisecond || res.MeanReadLatency > 29*sim.Millisecond {
+		t.Errorf("mean read latency = %v, want 18-26 ms", res.MeanReadLatency)
+	}
+	if res.BytesRead == 0 {
+		t.Fatal("nothing read")
+	}
+}
+
+func TestNFSvsFTP(t *testing.T) {
+	// Separate machines so the workloads don't interfere.
+	m1 := newMachine()
+	nfsRes, err := NFSTransfer(m1, 128*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := newMachine()
+	ftpRes, err := FTPTransfer(m2, 128*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nfsRes.Bytes < 128*1024 || ftpRes.Bytes < 128*1024 {
+		t.Fatalf("transfers incomplete: nfs=%d ftp=%d", nfsRes.Bytes, ftpRes.Bytes)
+	}
+	// Paper: "NFS actually provides less overhead ... than an FTP style
+	// connection" because the checksum is skipped.
+	nfsPerByte := float64(nfsRes.CPUProxy) / float64(nfsRes.Bytes)
+	ftpPerByte := float64(ftpRes.CPUProxy) / float64(ftpRes.Bytes)
+	if nfsPerByte >= ftpPerByte {
+		t.Errorf("NFS CPU/B (%.1f ns) should beat FTP (%.1f ns)", nfsPerByte, ftpPerByte)
+	}
+}
+
+func TestMixedWorkloadRuns(t *testing.T) {
+	m, s := newProfiledMachine(t)
+	s.Arm()
+	Mixed(m, 300*sim.Millisecond)
+	s.Disarm()
+	a := s.Analyze()
+	// Table 1's functions all appear.
+	for _, name := range []string{"vm_fault", "kmem_alloc", "malloc", "free", "splnet", "spl0", "copyinstr"} {
+		if _, ok := a.Fn(name); !ok {
+			t.Errorf("%s missing from mixed profile", name)
+		}
+	}
+}
+
+func TestTriggerOverheadSmall(t *testing.T) {
+	// The same fork/exec work on an instrumented+attached kernel versus a
+	// bare kernel: the paper calculates 1-1.2% extra CPU cycles.
+	bare := newMachine()
+	r1 := ForkExec(bare, 3)
+
+	prof, s := newProfiledMachine(t)
+	s.Arm()
+	r2 := ForkExec(prof, 3)
+	s.Disarm()
+
+	overhead := float64(r2.ForkTime+r2.ExecTime)/float64(r1.ForkTime+r1.ExecTime) - 1
+	if overhead < 0 || overhead > 0.05 {
+		t.Errorf("trigger overhead = %.3f, want ≈0.01 (and certainly <0.05)", overhead)
+	}
+	if overhead == 0 {
+		t.Error("instrumentation should cost something")
+	}
+}
+
+func TestProfilerFillRate(t *testing.T) {
+	// Paper: "the Profiler RAM could be filled (16384 events) in as
+	// short a time as 300 milliseconds" on a busy kernel.
+	m, s := newProfiledMachine(t)
+	s.Arm()
+	NetReceive(m, sim.Second)
+	s.Disarm()
+	if !s.Card.Overflowed() {
+		t.Fatalf("card not full after 1 s of saturation (%d events)", s.Card.Stored())
+	}
+	// Find the time of the last stored event: fill time.
+	a := s.Analyze()
+	fill := a.Elapsed()
+	if fill > 900*sim.Millisecond {
+		t.Errorf("fill time = %v, want well under a second on a busy kernel", fill)
+	}
+}

@@ -1,0 +1,226 @@
+// Package kprof is a reproduction of "Hardware Profiling of Kernels"
+// (Andrew McRae, USENIX Winter 1993): a hardware event-tag profiler — a
+// cheap card of RAM and counters piggy-backed on an EPROM socket — together
+// with compiler-inserted trigger instructions and the host-side analysis
+// software, measuring a simulated 386BSD-0.1-class kernel.
+//
+// The package is a facade over the internal implementation:
+//
+//   - NewMachine boots the simulated PC (kernel, VM, network stack,
+//     filesystem, allocators) on a deterministic virtual clock.
+//   - NewSession instruments the kernel (assigning event tags via the
+//     name/tag file, performing the two-stage ProfileBase link) and plugs
+//     the Profiler card into a spare EPROM socket.
+//   - Workload functions (NetReceive, ForkExec, FFSWrite, ...) replay the
+//     paper's case studies.
+//   - Session.Analyze decodes the captured (tag, µs) stream and produces
+//     the paper's reports: the per-function summary and the code-path
+//     trace.
+//
+// Quick start:
+//
+//	m := kprof.NewMachine(kprof.MachineConfig{Seed: 1})
+//	s, _ := kprof.NewSession(m, kprof.ProfileConfig{})
+//	s.Arm()
+//	kprof.NetReceive(m, 400*kprof.Millisecond)
+//	s.Disarm()
+//	a := s.Analyze()
+//	fmt.Print(a.SummaryString(10))
+package kprof
+
+import (
+	"kprof/internal/analyze"
+	"kprof/internal/core"
+	"kprof/internal/hw"
+	"kprof/internal/kernel"
+	"kprof/internal/netstack"
+	"kprof/internal/sampling"
+	"kprof/internal/sim"
+	"kprof/internal/snmp"
+	"kprof/internal/tagfile"
+	"kprof/internal/workload"
+)
+
+// Time is a virtual-time instant or duration in nanoseconds.
+type Time = sim.Time
+
+// Virtual-time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// MachineConfig selects the simulated machine's parameters.
+type MachineConfig = kernel.Config
+
+// Machine is the simulated 40 MHz i386 PC running the modeled 386BSD
+// kernel with all subsystems attached.
+type Machine = core.Machine
+
+// NewMachine boots a machine.
+func NewMachine(cfg MachineConfig) *Machine { return core.NewMachine(cfg) }
+
+// ProfileConfig selects what to instrument and where the card sits.
+type ProfileConfig = core.ProfileConfig
+
+// Session is an instrumented kernel with the Profiler card attached.
+type Session = core.Session
+
+// NewSession instruments the machine per cfg and attaches the card.
+func NewSession(m *Machine, cfg ProfileConfig) (*Session, error) {
+	return core.NewSession(m, cfg)
+}
+
+// Profiler is the hardware card model.
+type Profiler = hw.Profiler
+
+// Capture is the raw data pulled from the card's battery-backed RAM.
+type Capture = hw.Capture
+
+// ReadCapture and WriteTo (on Capture) move captures between hosts.
+var ReadCapture = hw.ReadCapture
+
+// Analysis is a reconstructed capture: function statistics, idle
+// accounting, and the trace timeline.
+type Analysis = analyze.Analysis
+
+// CallGraph is the measured caller/callee graph of a capture.
+type CallGraph = analyze.CallGraph
+
+// Comparison is a before/after report between two analyses — the paper's
+// "accurate before and after measurements" workflow.
+type Comparison = analyze.Comparison
+
+// Compare builds a before/after comparison.
+var Compare = analyze.Compare
+
+// Timeline is the per-subsystem activity chart.
+type Timeline = analyze.Timeline
+
+// FnStat is one function's aggregated statistics.
+type FnStat = analyze.FnStat
+
+// TraceOptions controls trace rendering.
+type TraceOptions = analyze.TraceOptions
+
+// TagFile is the name/tag file shared by the compiler and the analyzer.
+type TagFile = tagfile.File
+
+// ParseTagFile parses a name/tag file ("name/value" lines with '!' and '='
+// modifiers).
+var ParseTagFile = tagfile.ParseString
+
+// Analyze decodes and reconstructs a raw capture against a tag file,
+// for captures loaded from disk rather than a live session.
+func Analyze(c Capture, tags *TagFile) *Analysis {
+	events, stats := analyze.Decode(c, tags)
+	return analyze.Reconstruct(events, stats)
+}
+
+// Workload drivers (see internal/workload for details).
+var (
+	// NetReceive runs the TCP receive saturation study (Figures 3/4).
+	NetReceive = workload.NetReceive
+	// ForkExec runs the vfork/execve study (Figure 5).
+	ForkExec = workload.ForkExec
+	// FFSWrite streams sequential filesystem writes (the FFS study).
+	FFSWrite = workload.FFSWrite
+	// FFSRead performs seek-heavy reads.
+	FFSRead = workload.FFSRead
+	// NFSTransfer and FTPTransfer are the two legs of the NFS-vs-FTP
+	// comparison.
+	NFSTransfer = workload.NFSTransfer
+	FTPTransfer = workload.FTPTransfer
+	// Mixed is the everything-at-once background of Table 1.
+	Mixed = workload.Mixed
+	// RunFor advances the machine in virtual time.
+	RunFor = workload.RunFor
+)
+
+// The SNMP MIB case study (linear list versus B-tree; see the paper's
+// 68020 case studies section).
+type (
+	// SNMPAgent services GET/GETNEXT against a MIB store under profile.
+	SNMPAgent = snmp.Agent
+	// MIBStore is a MIB variable store.
+	MIBStore = snmp.Store
+	// OID is an SNMP object identifier.
+	OID = snmp.OID
+)
+
+// SNMP case-study constructors.
+var (
+	NewLinearMIB = snmp.NewLinearStore
+	NewBTreeMIB  = snmp.NewBTreeStore
+	NewSNMPAgent = snmp.NewAgent
+	// PopulateMIB fills a store with MIB-II-shaped entries.
+	PopulateMIB = snmp.StandardMIB
+)
+
+// The Megadata 68020 embedded platform — the paper's first case-study
+// machine, with multi-priority interrupt hardware and the Ethernet driver
+// whose recoding doubled throughput.
+type (
+	// EmbeddedNIC is the board's LANCE-class Ethernet controller.
+	EmbeddedNIC = netstack.LE
+	// DriverStyle selects the old (double-copy) or recoded driver.
+	DriverStyle = netstack.DriverStyle
+)
+
+// Driver generations for the embedded Ethernet.
+const (
+	DriverOld     = netstack.DriverOld
+	DriverRecoded = netstack.DriverRecoded
+)
+
+// CksumMode selects the in_cksum implementation (set it on Machine.Net).
+type CksumMode = netstack.CksumMode
+
+// Checksum implementations: the shipped C code and the assembler-style
+// recode the paper recommends.
+const (
+	CksumNaive     = netstack.CksumNaive
+	CksumOptimized = netstack.CksumOptimized
+)
+
+// NewEmbeddedMachine boots the 68020 board; EmbeddedNetReceive runs the
+// case-study workload on it.
+var (
+	NewEmbeddedMachine = core.NewEmbeddedMachine
+	EmbeddedNetReceive = workload.EmbeddedNetReceive
+)
+
+// User-level profiling (the paper's User Code Profiling section): map the
+// card into a process with Session.MapUser, register functions, and their
+// triggers interleave with the kernel's in one capture.
+type UserProgram = core.UserProgram
+
+// SNMPServe runs the mixed kernel/user scenario: a profiled user-mode
+// snmpd serving GETNEXT requests over UDP.
+var SNMPServe = workload.SNMPServe
+
+// Sampler is the clock-sampling software profiler the paper contrasts the
+// hardware approach with (granularity versus perturbation).
+type Sampler = sampling.Sampler
+
+// NewSampler installs a sampling profiler at rate Hz; skewed adds the
+// pseudo-random period jitter the paper mentions.
+func NewSampler(m *Machine, rate int, skewed bool) *Sampler {
+	return sampling.New(m.K, rate, skewed)
+}
+
+// What-if estimation (the paper's Network Performance arithmetic).
+type (
+	// PacketCost is a measured per-packet cost breakdown.
+	PacketCost = analyze.PacketCost
+	// WhatIf is an estimated design alternative.
+	WhatIf = analyze.WhatIf
+)
+
+var (
+	// EstimateMbufLinking evaluates leaving packets in controller memory.
+	EstimateMbufLinking = analyze.EstimateMbufLinking
+	// EstimateOptimizedChecksum evaluates recoding in_cksum.
+	EstimateOptimizedChecksum = analyze.EstimateOptimizedChecksum
+)

@@ -1,0 +1,156 @@
+package kprof
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The public API walked end to end, as the README's quick start does.
+func TestPublicAPIQuickStart(t *testing.T) {
+	m := NewMachine(MachineConfig{Seed: 1})
+	s, err := NewSession(m, ProfileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	res, err := NetReceive(m, 100*Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Disarm()
+	if res.BytesDelivered == 0 {
+		t.Fatal("no data")
+	}
+	a := s.Analyze()
+	sum := a.SummaryString(10)
+	if !strings.Contains(sum, "bcopy") || !strings.Contains(sum, "Idle time") {
+		t.Fatalf("summary:\n%s", sum)
+	}
+	trace := a.TraceString(TraceOptions{MaxLines: 50})
+	if !strings.Contains(trace, "->") {
+		t.Fatalf("trace:\n%s", trace)
+	}
+}
+
+func TestCaptureRoundTripThroughAPI(t *testing.T) {
+	m := NewMachine(MachineConfig{Seed: 2})
+	s, err := NewSession(m, ProfileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	ForkExec(m, 1)
+	s.Disarm()
+	c := s.Capture()
+
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offline analysis against the session's tag file.
+	a := Analyze(loaded, s.Tags)
+	if _, ok := a.Fn("pmap_pte"); !ok {
+		t.Fatal("offline analysis lost pmap_pte")
+	}
+	// And against a re-parsed tag file (the text round trip).
+	tags2, err := ParseTagFile(s.Tags.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := Analyze(loaded, tags2)
+	f1, _ := a.Fn("pmap_pte")
+	f2, _ := a2.Fn("pmap_pte")
+	if f1.Calls != f2.Calls || f1.Net != f2.Net {
+		t.Fatal("tag file text round trip changed the analysis")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() string {
+		m := NewMachine(MachineConfig{Seed: 77})
+		s, err := NewSession(m, ProfileConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Arm()
+		NetReceive(m, 50*Millisecond)
+		s.Disarm()
+		return s.Analyze().SummaryString(0)
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different profiles")
+	}
+}
+
+// The before/after workflow through the public API: recode in_cksum, rerun
+// the same workload, compare the profiles.
+func TestBeforeAfterComparison(t *testing.T) {
+	profile := func(optimized bool) *Analysis {
+		m := NewMachine(MachineConfig{Seed: 42})
+		if optimized {
+			m.Net.CksumMode = CksumOptimized
+		}
+		s, err := NewSession(m, ProfileConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Arm()
+		if _, err := NetReceive(m, 200*Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		s.Disarm()
+		return s.Analyze()
+	}
+	before := profile(false)
+	after := profile(true)
+	c := Compare(before, after)
+	// in_cksum must be the (or near the) biggest mover, sharply down.
+	var cksum float64
+	for _, d := range c.Deltas[:3] {
+		if d.Name == "in_cksum" {
+			cksum = d.ShareChange()
+		}
+	}
+	if cksum > -0.15 {
+		t.Fatalf("in_cksum share change = %+.2f, want a big drop; report:\n%s", cksum, c)
+	}
+}
+
+// The embedded platform through the public API.
+func TestEmbeddedPlatformAPI(t *testing.T) {
+	m, le := NewEmbeddedMachine(MachineConfig{Seed: 13}, DriverOld)
+	s, err := NewSession(m, ProfileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	res, err := EmbeddedNetReceive(m, le, 100*Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Disarm()
+	if res.BytesDelivered == 0 {
+		t.Fatal("no data")
+	}
+	a := s.Analyze()
+	g := a.CallGraph()
+	// The driver copy loop is called from leread.
+	callers := g.Callers("lecopy")
+	if len(callers) == 0 {
+		t.Fatal("lecopy has no callers in the graph")
+	}
+	found := false
+	for _, arc := range callers {
+		if arc.Caller == "leread" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lecopy callers = %+v, want leread", callers)
+	}
+}
