@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race bench fuzz check fmt vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel sweep engine makes this routine: the full suite under the
+# race detector, including the worker-pool tests.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# A short fuzz pass over the decoder's timestamp unwrap.
+fuzz:
+	$(GO) test -run FuzzDecodeUnwrap -fuzz FuzzDecodeUnwrap -fuzztime 20s ./internal/analyze/
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Everything tier-1 verification should cover: formatting, vet, build,
+# tests, and the race detector.
+check:
+	./scripts/check.sh

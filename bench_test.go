@@ -11,6 +11,7 @@ package kprof_test
 
 import (
 	"testing"
+	"time"
 
 	"kprof"
 	"kprof/internal/analyze"
@@ -389,6 +390,52 @@ func BenchmarkCaptureDecode(b *testing.B) {
 	}
 	b.ReportMetric(float64(c.Len()), "events")
 	b.ReportMetric(float64(a.Switches), "ctx_switches")
+}
+
+// BenchmarkSweepParallel measures the multi-seed sweep engine: the same
+// (scenario, seed) set run through the worker pool at GOMAXPROCS versus
+// serially (Parallel: 1). The merged statistics must be identical — the
+// fold happens in seed order after the pool drains — and the wall-clock
+// ratio is reported as speedup_x: near-linear on a multi-core host
+// (workers share nothing but the job queue), necessarily ≈1 on one core.
+func BenchmarkSweepParallel(b *testing.B) {
+	seeds, err := kprof.ParseSeeds("1..8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := kprof.SweepConfig{
+		Scenario: "netrecv",
+		Seeds:    seeds,
+		Params:   kprof.WorkloadParams{Duration: 100 * sim.Millisecond},
+	}
+	serialCfg := cfg
+	serialCfg.Parallel = 1
+	start := time.Now()
+	serial, err := kprof.Sweep(serialCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	serialWall := time.Since(start)
+
+	b.ResetTimer()
+	var parallel *kprof.SweepResult
+	for i := 0; i < b.N; i++ {
+		if parallel, err = kprof.Sweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if parallel.Agg.String() != serial.Agg.String() {
+		b.Fatalf("parallel merge differs from serial\n--- parallel ---\n%s--- serial ---\n%s",
+			parallel.Agg.String(), serial.Agg.String())
+	}
+	parWall := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(float64(serialWall)/float64(parWall), "speedup_x")
+	b.ReportMetric(float64(parallel.Workers), "workers")
+	b.ReportMetric(float64(len(seeds)), "seeds")
+	if testing.Verbose() {
+		b.Logf("\n%s", parallel.Agg.String())
+	}
 }
 
 // BenchmarkAblationSelectiveProfiling contrasts whole-kernel (macro) with

@@ -10,6 +10,12 @@
 //	kprof -scenario netrecv -modules if_we,ip_input,tcp_input -report summary
 //	kprof -scenario mixed -save run.kprof -tagsout run.tags
 //	kprof -load run.kprof -tags run.tags -report groups
+//
+// Multi-seed sweeps fan the same scenario across many seeds on a worker
+// pool and print the cross-seed aggregate (mean ± stddev per function):
+//
+//	kprof -scenario netrecv -seeds 1..32 -parallel 8 -report sweep
+//	kprof -scenario forkexec -seeds 1..16 -count 2 -report sweep -top 15
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"kprof/internal/kernel"
 	"kprof/internal/netstack"
 	"kprof/internal/sim"
+	"kprof/internal/sweep"
 	"kprof/internal/tagfile"
 	"kprof/internal/workload"
 )
@@ -40,6 +47,8 @@ func main() {
 		fn       = flag.String("fn", "bcopy", "function for -report hist")
 		modules  = flag.String("modules", "", "comma-separated modules to instrument (selective profiling); empty = whole kernel")
 		seed     = flag.Uint64("seed", 42, "simulation seed")
+		seeds    = flag.String("seeds", "", "seed set for a multi-seed sweep, e.g. 1..32 or 1,2,7 (enables -report sweep)")
+		parallel = flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 		depth    = flag.Int("depth", 0, "profiler RAM depth (0 = 16384)")
 		save     = flag.String("save", "", "write the raw capture to this file")
 		tagsOut  = flag.String("tagsout", "", "write the name/tag file to this file")
@@ -59,6 +68,14 @@ func main() {
 	var mods []string
 	if *modules != "" {
 		mods = strings.Split(*modules, ",")
+	}
+	if *seeds != "" || *report == "sweep" {
+		if err := runSweep(*scenario, *seeds, *parallel, *seed,
+			sim.Time(duration.Nanoseconds()), *count, mods, *depth, *top); err != nil {
+			fmt.Fprintln(os.Stderr, "kprof:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *scenario == "embedded" || *scenario == "embedded-old" {
 		if err := runEmbedded(*scenario == "embedded-old", sim.Time(duration.Nanoseconds()),
@@ -116,25 +133,15 @@ func main() {
 }
 
 func runScenario(m *core.Machine, scenario string, d sim.Time, count int) error {
-	switch scenario {
-	case "netrecv":
-		res, err := workload.NetReceive(m, d)
+	if sc, ok := workload.FindScenario(scenario); ok {
+		line, err := sc.Run(m, workload.Params{Duration: d, Count: count})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("netrecv: %d bytes delivered, %d frames, %d ring drops\n\n",
-			res.BytesDelivered, res.Frames, res.Drops)
-	case "forkexec":
-		res := workload.ForkExec(m, count)
-		fmt.Printf("forkexec: %d cycles, vfork %v avg, execve %v avg, pmap_pte %d calls/fork\n\n",
-			res.Cycles, res.ForkTime, res.ExecTime, res.PmapPteCallsPerFork)
-	case "ffswrite":
-		res := workload.FFSWrite(m, d)
-		fmt.Printf("ffswrite: %d bytes, %d sectors, %d disk interrupts (%d back-to-back <100us)\n\n",
-			res.BytesWritten, res.WriteSectors, res.DiskInterrupts, res.ShortGaps)
-	case "ffsread":
-		res := workload.FFSRead(m, count*10)
-		fmt.Printf("ffsread: %d bytes, mean read latency %v\n\n", res.BytesRead, res.MeanReadLatency)
+		fmt.Printf("%s\n\n", line)
+		return nil
+	}
+	switch scenario {
 	case "nfsftp":
 		nres, err := workload.NFSTransfer(m, 128*1024)
 		if err != nil {
@@ -147,9 +154,6 @@ func runScenario(m *core.Machine, scenario string, d sim.Time, count int) error 
 			return err
 		}
 		fmt.Printf("ftp: %d bytes, elapsed %v, CPU proxy %v\n\n", fres.Bytes, fres.Elapsed, fres.CPUProxy)
-	case "mixed":
-		workload.Mixed(m, d)
-		fmt.Printf("mixed: ran for %v\n\n", d)
 	default:
 		return fmt.Errorf("unknown scenario %q", scenario)
 	}
@@ -192,6 +196,34 @@ func printReport(a *analyze.Analysis, m *core.Machine, report string, top, maxli
 		fmt.Fprintf(os.Stderr, "kprof: unknown report %q\n", report)
 		os.Exit(1)
 	}
+}
+
+// runSweep fans the scenario across a seed set on a worker pool and prints
+// the cross-seed aggregate. With -report sweep but no -seeds, the single
+// -seed value runs (a one-seed sweep).
+func runSweep(scenario, spec string, parallel int, seed uint64, d sim.Time, count int, mods []string, depth, top int) error {
+	var seedSet []uint64
+	if spec == "" {
+		seedSet = []uint64{seed}
+	} else {
+		var err error
+		if seedSet, err = sweep.ParseSeeds(spec); err != nil {
+			return err
+		}
+	}
+	res, err := sweep.Run(sweep.Config{
+		Scenario: scenario,
+		Seeds:    seedSet,
+		Parallel: parallel,
+		Params:   workload.Params{Duration: d, Count: count},
+		Profile:  core.ProfileConfig{Modules: mods, Depth: depth},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s sweep: %d seeds on %d workers\n", res.Scenario, len(res.PerSeed), res.Workers)
+	fmt.Printf("first seed: %s\n\n", res.PerSeed[0].Workload)
+	return res.Agg.Write(os.Stdout, top)
 }
 
 // runEmbedded profiles the Megadata 68020 platform (the paper's first case

@@ -1,0 +1,120 @@
+// Golden-capture regression tests: rendered reports for fixed
+// (scenario, seed) pairs are checked into testdata/ and must reproduce
+// byte for byte — the simulator, instrumentation, card model and analyzer
+// are all deterministic, so any drift is a behavior change, not noise.
+//
+// Regenerate after an intentional change with:
+//
+//	go test -run TestGolden -update
+package kprof_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kprof"
+	"kprof/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// golden compares got against testdata/name, or rewrites it under -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (regenerate with: go test -run TestGolden -update): %v", path, err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Report the first differing line, not a wall of text.
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		g, w := "", ""
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("%s: first difference at line %d:\n got: %q\nwant: %q", path, i+1, g, w)
+		}
+	}
+	t.Fatalf("%s: outputs differ", path)
+}
+
+// profileScenario runs one (scenario, seed) pair and returns the analysis.
+func profileScenario(t *testing.T, seed uint64, run func(m *kprof.Machine)) *kprof.Analysis {
+	t.Helper()
+	m := kprof.NewMachine(kprof.MachineConfig{Seed: seed})
+	s, err := kprof.NewSession(m, kprof.ProfileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	run(m)
+	s.Disarm()
+	return s.Analyze()
+}
+
+func TestGoldenNetReceiveReports(t *testing.T) {
+	a := profileScenario(t, 42, func(m *kprof.Machine) {
+		if _, err := kprof.NetReceive(m, 60*sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	})
+	golden(t, "netrecv_seed42.summary", a.SummaryString(15))
+	golden(t, "netrecv_seed42.trace", a.TraceString(kprof.TraceOptions{
+		From: 20 * sim.Millisecond, MaxLines: 40,
+	}))
+}
+
+func TestGoldenForkExecReports(t *testing.T) {
+	a := profileScenario(t, 7, func(m *kprof.Machine) {
+		kprof.ForkExec(m, 1)
+	})
+	golden(t, "forkexec_seed7.summary", a.SummaryString(15))
+	golden(t, "forkexec_seed7.trace", a.TraceString(kprof.TraceOptions{MaxLines: 40}))
+}
+
+// The sweep aggregate is golden too: per-seed merges are deterministic in
+// seed order regardless of the worker pool, so the whole cross-seed table
+// must reproduce byte for byte.
+func TestGoldenSweepAggregate(t *testing.T) {
+	seeds, err := kprof.ParseSeeds("1..4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := kprof.Sweep(kprof.SweepConfig{
+		Scenario: "netrecv",
+		Seeds:    seeds,
+		Params:   kprof.WorkloadParams{Duration: 40 * sim.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.Agg.Write(&b, 12); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.PerSeed {
+		fmt.Fprintf(&b, "seed %d: %s\n", r.Seed, r.Workload)
+	}
+	golden(t, "sweep_netrecv_seeds1-4.txt", b.String())
+}

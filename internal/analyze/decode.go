@@ -56,41 +56,82 @@ type DecodeStats struct {
 	Dropped    uint64
 }
 
-// Decode unwraps the truncated counter stamps into a monotonic timeline
-// and resolves tags against the name/tag file. The card's counter is only
-// meaningful as intervals; the timeline starts at zero on the first record.
-// Events further apart than the counter's wrap interval (≈16.7 s on the
-// prototype's 24-bit 1 MHz counter) alias, exactly as on the real
-// hardware. The capture's clock configuration selects the tick period and
-// mask, so upgraded cards (the paper's future-work higher-precision clock
-// and wider RAM) decode transparently.
-func Decode(c hw.Capture, tags *tagfile.File) ([]Event, DecodeStats) {
-	stats := DecodeStats{Records: len(c.Records), Overflowed: c.Overflowed, Dropped: c.Dropped}
-	events := make([]Event, 0, len(c.Records))
-	cfg := c.ClockConfig()
-	mask, tick := cfg.Mask(), cfg.TickPeriod()
-	var now sim.Time
-	var last uint32
-	for i, r := range c.Records {
-		if i > 0 {
-			delta := (r.Stamp - last) & mask
-			now += sim.Time(delta) * tick
-		}
-		last = r.Stamp
-		e := Event{Time: now, Tag: r.Tag}
-		entry, kind := tags.Resolve(r.Tag)
-		switch kind {
-		case tagfile.FunctionEntry:
-			e.Kind, e.Name, e.CtxSwitch = Entry, entry.Name, entry.ContextSwitch
-		case tagfile.FunctionExit:
-			e.Kind, e.Name, e.CtxSwitch = Exit, entry.Name, entry.ContextSwitch
-		case tagfile.InlineTag:
-			e.Kind, e.Name = Inline, entry.Name
-		default:
-			e.Kind = Unknown
-			stats.UnknownTags++
-		}
-		events = append(events, e)
+// Decoder incrementally unwraps the truncated counter stamps into a
+// monotonic timeline and resolves tags against the name/tag file. The
+// card's counter is only meaningful as intervals; the timeline starts at
+// zero on the first record. Events further apart than the counter's wrap
+// interval (≈16.7 s on the prototype's 24-bit 1 MHz counter) alias,
+// exactly as on the real hardware. The clock configuration selects the
+// tick period and mask, so upgraded cards (the paper's future-work
+// higher-precision clock and wider RAM) decode transparently.
+//
+// Feeding records one at a time keeps the decode O(1) in memory: the
+// sweep engine streams a card's RAM straight into the reconstructor
+// without ever materializing the event list.
+type Decoder struct {
+	tags *tagfile.File
+	mask uint32
+	tick sim.Time
+
+	now   sim.Time
+	last  uint32
+	first bool
+
+	records     int
+	unknownTags int
+}
+
+// NewDecoder returns a decoder for records captured under the given clock
+// configuration (zero values select the prototype card's 1 MHz, 24 bits).
+func NewDecoder(cfg hw.Config, tags *tagfile.File) *Decoder {
+	cfg = cfg.WithDefaults()
+	return &Decoder{tags: tags, mask: cfg.Mask(), tick: cfg.TickPeriod(), first: true}
+}
+
+// Next decodes one record. The unwrap is a modular difference against the
+// previous stamp, so decoded time never moves backwards regardless of the
+// raw stamp values (the out-of-order guard: a stamp that appears to regress
+// reads as a near-wrap forward interval, as on the real counter).
+func (d *Decoder) Next(r hw.Record) Event {
+	if !d.first {
+		delta := (r.Stamp - d.last) & d.mask
+		d.now += sim.Time(delta) * d.tick
 	}
+	d.first = false
+	d.last = r.Stamp
+	d.records++
+	e := Event{Time: d.now, Tag: r.Tag}
+	entry, kind := d.tags.Resolve(r.Tag)
+	switch kind {
+	case tagfile.FunctionEntry:
+		e.Kind, e.Name, e.CtxSwitch = Entry, entry.Name, entry.ContextSwitch
+	case tagfile.FunctionExit:
+		e.Kind, e.Name, e.CtxSwitch = Exit, entry.Name, entry.ContextSwitch
+	case tagfile.InlineTag:
+		e.Kind, e.Name = Inline, entry.Name
+	default:
+		e.Kind = Unknown
+		d.unknownTags++
+	}
+	return e
+}
+
+// Stats reports what the decoder has seen so far. Overflowed and Dropped
+// describe the card, not the decode, so the caller fills them in.
+func (d *Decoder) Stats() DecodeStats {
+	return DecodeStats{Records: d.records, UnknownTags: d.unknownTags}
+}
+
+// Decode unwraps a whole capture at once (see Decoder for the streaming
+// path) and resolves tags against the name/tag file.
+func Decode(c hw.Capture, tags *tagfile.File) ([]Event, DecodeStats) {
+	d := NewDecoder(c.ClockConfig(), tags)
+	events := make([]Event, 0, len(c.Records))
+	for _, r := range c.Records {
+		events = append(events, d.Next(r))
+	}
+	stats := d.Stats()
+	stats.Overflowed = c.Overflowed
+	stats.Dropped = c.Dropped
 	return events, stats
 }

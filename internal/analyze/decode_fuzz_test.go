@@ -1,0 +1,115 @@
+package analyze
+
+import (
+	"testing"
+
+	"kprof/internal/hw"
+	"kprof/internal/sim"
+)
+
+// stampsToCapture packs true event times (µs since the counter's power-on
+// value) into 24-bit truncated stamps, as the card stores them.
+func stampsToCapture(powerOn uint32, trueUS []uint64) hw.Capture {
+	var c hw.Capture
+	for i, us := range trueUS {
+		c.Records = append(c.Records, hw.Record{
+			Tag:   uint16(500 + (i%2)*1), // alternate a-entry / a-exit
+			Stamp: (powerOn + uint32(us)) & hw.TimerMask,
+		})
+	}
+	return c
+}
+
+// Any sequence of inter-event gaps shorter than the wrap interval decodes
+// exactly, however many times the cumulative counter wraps and wherever
+// the counter started at power-on.
+func TestDecodeUnwrapExactAcrossWraps(t *testing.T) {
+	const wrap = uint64(hw.TimerWrap) // 2^24 µs ≈ 16.7 s
+	gaps := []uint64{0, 1, wrap - 1, 13, wrap - 1, wrap - 1, 5_000_000, wrap - 1, 2}
+	for _, powerOn := range []uint32{0, 1, hw.TimerMask, 0x7fffff, 0xabcdef} {
+		trueUS := make([]uint64, 0, len(gaps)+1)
+		var now uint64
+		trueUS = append(trueUS, 0)
+		for _, g := range gaps {
+			now += g
+			trueUS = append(trueUS, now)
+		}
+		// The cumulative span is several wraps long.
+		if now < 3*wrap {
+			t.Fatal("test series does not wrap enough")
+		}
+		events, _ := Decode(stampsToCapture(powerOn, trueUS), mustTags(t))
+		for i, ev := range events {
+			want := sim.Time(trueUS[i]) * sim.Microsecond
+			if ev.Time != want {
+				t.Fatalf("power-on %#x: event %d at %v, want %v", powerOn, i, ev.Time, want)
+			}
+		}
+	}
+}
+
+// A gap of exactly one wrap (or more) aliases: the decoder sees only the
+// remainder, exactly as the real hardware loses the information.
+func TestDecodeUnwrapAliasing(t *testing.T) {
+	const wrap = uint64(hw.TimerWrap)
+	events, _ := Decode(stampsToCapture(0, []uint64{0, wrap + 7}), mustTags(t))
+	if want := 7 * sim.Microsecond; events[1].Time != want {
+		t.Fatalf("aliased gap decoded to %v, want %v", events[1].Time, want)
+	}
+	events, _ = Decode(stampsToCapture(0, []uint64{0, 5 * wrap}), mustTags(t))
+	if events[1].Time != 0 {
+		t.Fatalf("whole-wrap gap decoded to %v, want 0", events[1].Time)
+	}
+}
+
+// The out-of-order guard: a stamp that regresses must decode as a forward
+// interval (a near-wrap gap), never as negative time.
+func TestDecodeOutOfOrderGuard(t *testing.T) {
+	c := capOf([2]uint32{500, 100}, [2]uint32{501, 99})
+	events, _ := Decode(c, mustTags(t))
+	want := sim.Time(hw.TimerWrap-1) * sim.Microsecond
+	if events[1].Time != want {
+		t.Fatalf("regressed stamp decoded to %v, want %v", events[1].Time, want)
+	}
+}
+
+// FuzzDecodeUnwrap feeds arbitrary stamp streams through the decoder. For
+// every input: the timeline starts at zero, never decreases, steps less
+// than one wrap per record, and the streaming decoder agrees with the
+// batch path record for record.
+func FuzzDecodeUnwrap(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0xff, 0xff, 0xff})
+	f.Add([]byte{0x12, 0x34, 0x56, 0x11, 0x22, 0x33, 0x99, 0x88, 0x77})
+	f.Add([]byte{0xff, 0xff, 0xff, 0, 0, 1, 0xff, 0xff, 0xfe})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tags := mustTags(t)
+		var c hw.Capture
+		for i := 0; i+3 <= len(data); i += 3 {
+			stamp := uint32(data[i]) | uint32(data[i+1])<<8 | uint32(data[i+2])<<16
+			c.Records = append(c.Records, hw.Record{Tag: uint16(500 + i%110), Stamp: stamp & hw.TimerMask})
+		}
+		events, stats := Decode(c, tags)
+		if stats.Records != len(c.Records) {
+			t.Fatalf("stats.Records = %d, want %d", stats.Records, len(c.Records))
+		}
+		dec := NewDecoder(c.ClockConfig(), tags)
+		wrapStep := sim.Time(hw.TimerWrap) * sim.Microsecond
+		var prev sim.Time
+		for i, ev := range events {
+			if i == 0 && ev.Time != 0 {
+				t.Fatalf("timeline starts at %v", ev.Time)
+			}
+			if ev.Time < prev {
+				t.Fatalf("record %d: time went backwards (%v after %v)", i, ev.Time, prev)
+			}
+			if step := ev.Time - prev; step >= wrapStep {
+				t.Fatalf("record %d: step %v exceeds the wrap interval", i, step)
+			}
+			if streamed := dec.Next(c.Records[i]); streamed != ev {
+				t.Fatalf("record %d: streaming decode %+v != batch %+v", i, streamed, ev)
+			}
+			prev = ev.Time
+		}
+	})
+}

@@ -114,6 +114,14 @@ type stack struct {
 type reconstructor struct {
 	a *Analysis
 
+	// keepItems retains the trace timeline; the streaming path drops it
+	// so a sweep worker's Analysis holds only the per-function stats.
+	keepItems bool
+	haveStart bool
+	// lastSwitchIn tracks the most recent context-switch-in time, so
+	// pending-resume adoption does not depend on the retained trace.
+	lastSwitchIn sim.Time
+
 	current   *stack   // nil while idle / pending resume
 	suspended []*stack // stacks parked inside swtch, FIFO
 	pending   bool     // saw swtch exit, context not yet identified
@@ -129,16 +137,31 @@ type reconstructor struct {
 // Reconstruct runs the full analysis over decoded events.
 func Reconstruct(events []Event, stats DecodeStats) *Analysis {
 	a := &Analysis{Events: events, Stats: stats, fns: make(map[string]*FnStat)}
+	r := &reconstructor{a: a, idleStack: &stack{}, keepItems: true}
 	if len(events) > 0 {
 		a.Start = events[0].Time
 		a.End = events[len(events)-1].Time
+		r.lastSwitchIn = a.Start
+		r.haveStart = true
 	}
-	r := &reconstructor{a: a, idleStack: &stack{}}
 	for _, ev := range events {
 		r.step(ev)
 	}
 	r.finish()
 	return a
+}
+
+// feed processes one event incrementally, maintaining the bookkeeping that
+// the batch path precomputes from the whole slice.
+func (r *reconstructor) feed(ev Event, keepEvent bool) {
+	if !r.haveStart {
+		r.a.Start, r.lastSwitchIn, r.haveStart = ev.Time, ev.Time, true
+	}
+	r.a.End = ev.Time
+	if keepEvent {
+		r.a.Events = append(r.a.Events, ev)
+	}
+	r.step(ev)
 }
 
 func (r *reconstructor) fnStat(name string) *FnStat {
@@ -151,6 +174,9 @@ func (r *reconstructor) fnStat(name string) *FnStat {
 }
 
 func (r *reconstructor) item(ev Event, kind TraceKind, n *Node, depth int) {
+	if !r.keepItems {
+		return
+	}
 	r.a.Items = append(r.a.Items, TraceItem{Time: ev.Time, Depth: depth, Kind: kind, Node: n, Mark: func() string {
 		if kind == TraceInline {
 			return ev.Name
@@ -210,6 +236,7 @@ func (r *reconstructor) switchIn(ev Event) {
 	r.pending = true
 	r.current = nil
 	r.tentative = nil
+	r.lastSwitchIn = ev.Time
 	r.item(ev, TraceSwitchIn, nil, 0)
 }
 
@@ -353,14 +380,10 @@ func (r *reconstructor) adopt(i int, ev Event) {
 	r.closeOn(st, ev, true)
 }
 
-// lastSwitchInTime finds the time of the most recent switch-in marker.
+// lastSwitchInTime reports the time of the most recent switch-in marker
+// (the capture start when none has occurred).
 func (r *reconstructor) lastSwitchInTime() sim.Time {
-	for i := len(r.a.Items) - 1; i >= 0; i-- {
-		if r.a.Items[i].Kind == TraceSwitchIn {
-			return r.a.Items[i].Time
-		}
-	}
-	return r.a.Start
+	return r.lastSwitchIn
 }
 
 // doneRoots reports a stack's completed top-level frames (used when

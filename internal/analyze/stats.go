@@ -1,0 +1,82 @@
+package analyze
+
+import "math"
+
+// Acc is an online accumulator for a scalar metric observed across runs:
+// count, mean, variance (Welford's algorithm), minimum and maximum. Two
+// accumulators combine exactly with Merge (the parallel-variance update of
+// Chan, Golub and LeVeque), so per-seed statistics folded worker by worker
+// equal the ones a single serial pass would produce when folded in the
+// same order.
+type Acc struct {
+	N    int
+	Mean float64
+	M2   float64 // sum of squared deviations from the running mean
+	MinV float64
+	MaxV float64
+}
+
+// Add folds one observation in.
+func (a *Acc) Add(x float64) {
+	if a.N == 0 {
+		a.MinV, a.MaxV = x, x
+	} else {
+		if x < a.MinV {
+			a.MinV = x
+		}
+		if x > a.MaxV {
+			a.MaxV = x
+		}
+	}
+	a.N++
+	d := x - a.Mean
+	a.Mean += d / float64(a.N)
+	a.M2 += d * (x - a.Mean)
+}
+
+// Merge folds another accumulator in.
+func (a *Acc) Merge(b Acc) {
+	if b.N == 0 {
+		return
+	}
+	if a.N == 0 {
+		*a = b
+		return
+	}
+	if b.MinV < a.MinV {
+		a.MinV = b.MinV
+	}
+	if b.MaxV > a.MaxV {
+		a.MaxV = b.MaxV
+	}
+	n := float64(a.N + b.N)
+	d := b.Mean - a.Mean
+	a.M2 += b.M2 + d*d*float64(a.N)*float64(b.N)/n
+	a.Mean += d * float64(b.N) / n
+	a.N += b.N
+}
+
+// Std is the population standard deviation (zero for fewer than two
+// observations).
+func (a Acc) Std() float64 {
+	if a.N < 2 {
+		return 0
+	}
+	return math.Sqrt(a.M2 / float64(a.N))
+}
+
+// Min reports the smallest observation (zero when empty).
+func (a Acc) Min() float64 { return a.MinV }
+
+// Max reports the largest observation (zero when empty).
+func (a Acc) Max() float64 { return a.MaxV }
+
+// CV is the coefficient of variation, Std/|Mean| — the scale-free
+// stability measure the sweep report uses. It is zero when the mean is
+// zero (an all-zero metric is perfectly stable).
+func (a Acc) CV() float64 {
+	if a.Mean == 0 {
+		return 0
+	}
+	return a.Std() / math.Abs(a.Mean)
+}

@@ -1,0 +1,65 @@
+package analyze
+
+import (
+	"kprof/internal/hw"
+	"kprof/internal/tagfile"
+)
+
+// ReconstructOptions trims what a streaming reconstruction retains. The
+// per-function statistics, idle accounting and capture-quality counters are
+// always kept; the bulky per-event artifacts are optional.
+type ReconstructOptions struct {
+	// DiscardEvents drops the decoded event list (Analysis.Events stays
+	// empty).
+	DiscardEvents bool
+	// DiscardTrace drops the trace timeline (Analysis.Items stays empty;
+	// WriteTrace renders nothing).
+	DiscardTrace bool
+}
+
+// Reconstructor couples the streaming Decoder to the reconstruction state
+// machine, so raw card records can be fed one at a time — from the card's
+// RAM in place, or from a capture file as it is read — without ever
+// materializing the event list. A sweep worker pushes the 16384 records,
+// drops the card, and keeps only the finished per-function statistics.
+type Reconstructor struct {
+	dec        *Decoder
+	rec        *reconstructor
+	keepEvents bool
+	finished   bool
+}
+
+// NewReconstructor returns a streaming reconstructor for records captured
+// under the given clock configuration (zero values select the prototype
+// card's 1 MHz, 24 bits).
+func NewReconstructor(cfg hw.Config, tags *tagfile.File, opts ReconstructOptions) *Reconstructor {
+	a := &Analysis{fns: make(map[string]*FnStat)}
+	return &Reconstructor{
+		dec:        NewDecoder(cfg, tags),
+		rec:        &reconstructor{a: a, idleStack: &stack{}, keepItems: !opts.DiscardTrace},
+		keepEvents: !opts.DiscardEvents,
+	}
+}
+
+// Push decodes one raw record and advances the reconstruction.
+func (rc *Reconstructor) Push(r hw.Record) {
+	if rc.finished {
+		panic("analyze: Push after Finish")
+	}
+	rc.rec.feed(rc.dec.Next(r), rc.keepEvents)
+}
+
+// Finish closes the books and returns the Analysis. Overflowed and dropped
+// come from the card (or capture header) the records were read from.
+func (rc *Reconstructor) Finish(overflowed bool, dropped uint64) *Analysis {
+	if rc.finished {
+		panic("analyze: Finish called twice")
+	}
+	rc.finished = true
+	rc.rec.finish()
+	stats := rc.dec.Stats()
+	stats.Overflowed = overflowed
+	stats.Dropped = dropped
+	rc.rec.a.Stats = stats
+	return rc.rec.a
+}

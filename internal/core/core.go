@@ -173,6 +173,20 @@ func (s *Session) Analyze() *analyze.Analysis {
 	return analyze.Reconstruct(events, stats)
 }
 
+// AnalyzeLean decodes the card's RAM in place — streaming each record into
+// the reconstructor — and discards the event list and trace timeline. The
+// resulting Analysis carries the per-function statistics and idle
+// accounting only, so a sweep worker never holds a copy of the 16384-entry
+// bank list alongside its report.
+func (s *Session) AnalyzeLean() *analyze.Analysis {
+	rc := analyze.NewReconstructor(s.Card.Config(), s.Tags, analyze.ReconstructOptions{
+		DiscardEvents: true,
+		DiscardTrace:  true,
+	})
+	s.Card.Scan(rc.Push)
+	return rc.Finish(s.Card.Overflowed(), s.Card.Dropped)
+}
+
 // ModuleOf maps function names to their kernel module, for subsystem
 // grouping of analysis results.
 func (m *Machine) ModuleOf() map[string]string {

@@ -22,6 +22,9 @@ type Config struct {
 // DefaultClockHz is the prototype's counter rate.
 const DefaultClockHz = 1_000_000
 
+// WithDefaults fills zero fields with the prototype's values.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Depth == 0 {
 		c.Depth = DefaultDepth

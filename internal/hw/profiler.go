@@ -138,6 +138,16 @@ func (p *Profiler) Latch(tag uint16) {
 	}
 }
 
+// Scan visits the stored records oldest first, in place — no copy of the
+// bank list is made. Streaming decode paths (the sweep engine's workers)
+// use it so a worker never holds a second copy of the 16384-entry RAM
+// while building its report.
+func (p *Profiler) Scan(fn func(Record)) {
+	for _, r := range p.ram {
+		fn(r)
+	}
+}
+
 // Dump copies out the captured records, oldest first. This models pulling
 // the battery-backed RAMs and reading them on the host.
 func (p *Profiler) Dump() Capture {

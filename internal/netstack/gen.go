@@ -27,6 +27,13 @@ type Sender struct {
 	// Gap adds idle time between frames beyond wire occupancy; 0 means
 	// flat-out line rate.
 	Gap sim.Time
+	// Jitter adds a uniform random extra gap in [0, Jitter] before each
+	// frame, drawn from the receiver kernel's seeded PRNG: the Sparc can
+	// fill the wire, but it is not cycle-identical from run to run, so
+	// seeding the machine differently perturbs the arrival pattern (the
+	// variation a multi-seed sweep averages over). Zero keeps the wire
+	// metronomic.
+	Jitter sim.Time
 
 	seq        uint32
 	acked      uint32
@@ -125,7 +132,11 @@ func (s *Sender) pump() {
 	s.SegmentsSent++
 	s.BytesSent += uint64(s.MSS)
 	s.inFlight = true
-	s.n.k.Scheduler().After(WireTime(len(pkt))+s.Gap, func() {
+	gap := s.Gap
+	if s.Jitter > 0 {
+		gap += s.n.k.Rand().Duration(0, s.Jitter)
+	}
+	s.n.k.Scheduler().After(WireTime(len(pkt))+gap, func() {
 		s.inFlight = false
 		s.dev.HostDeliver(pkt)
 		s.pump()

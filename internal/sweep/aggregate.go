@@ -1,0 +1,149 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"kprof/internal/analyze"
+)
+
+// DefaultStableCV is the coefficient-of-variation threshold under which a
+// function's run-time share is considered reproduced stably across seeds.
+const DefaultStableCV = 0.10
+
+// FnAggregate is one function's statistics across all seeds of a sweep.
+// Each accumulator's observations are per-seed scalars: a seed where the
+// function never ran contributes nothing (see Seeds versus the sweep's
+// seed count).
+type FnAggregate struct {
+	Name string
+	// Seeds counts the seeds in which the function appeared.
+	Seeds int
+
+	Calls   analyze.Acc // per-seed call counts
+	NetUS   analyze.Acc // per-seed net µs
+	AvgUS   analyze.Acc // per-seed mean net µs per call
+	PctReal analyze.Acc // per-seed % of elapsed
+	PctNet  analyze.Acc // per-seed % of run time
+}
+
+// Stable reports whether the function's run-time share reproduces across
+// seeds: it appeared in every seed and the spread of its % net share is
+// within maxCV of its mean (DefaultStableCV when maxCV is 0).
+func (f *FnAggregate) Stable(totalSeeds int, maxCV float64) bool {
+	if maxCV <= 0 {
+		maxCV = DefaultStableCV
+	}
+	return f.Seeds == totalSeeds && f.PctNet.CV() <= maxCV
+}
+
+// Aggregate is the cross-seed merge of a sweep.
+type Aggregate struct {
+	Scenario string
+	Seeds    int
+
+	// Whole-run scalars, one observation per seed.
+	ElapsedUS analyze.Acc
+	RunUS     analyze.Acc
+	IdlePct   analyze.Acc
+	Records   analyze.Acc
+	Switches  analyze.Acc
+
+	// Fns is sorted by mean net time descending (ties by name).
+	Fns    []*FnAggregate
+	byName map[string]*FnAggregate
+}
+
+// aggregate folds per-seed results in slice order — a fixed order, so the
+// merged statistics are identical however the seeds were scheduled.
+func aggregate(scenario string, results []SeedResult) *Aggregate {
+	g := &Aggregate{
+		Scenario: scenario,
+		Seeds:    len(results),
+		byName:   make(map[string]*FnAggregate),
+	}
+	for _, r := range results {
+		g.ElapsedUS.Add(r.ElapsedUS)
+		g.RunUS.Add(r.RunUS)
+		g.IdlePct.Add(r.IdlePct)
+		g.Records.Add(float64(r.Records))
+		g.Switches.Add(float64(r.Switches))
+
+		// Map iteration order is random; fold each seed's functions in
+		// sorted name order to keep the float accumulation deterministic.
+		names := make([]string, 0, len(r.Fns))
+		for name := range r.Fns {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			s := r.Fns[name]
+			f := g.byName[name]
+			if f == nil {
+				f = &FnAggregate{Name: name}
+				g.byName[name] = f
+				g.Fns = append(g.Fns, f)
+			}
+			f.Seeds++
+			f.Calls.Add(float64(s.Calls))
+			f.NetUS.Add(s.NetUS)
+			f.AvgUS.Add(s.AvgUS)
+			f.PctReal.Add(s.PctReal)
+			f.PctNet.Add(s.PctNet)
+		}
+	}
+	sort.Slice(g.Fns, func(i, j int) bool {
+		if g.Fns[i].NetUS.Mean != g.Fns[j].NetUS.Mean {
+			return g.Fns[i].NetUS.Mean > g.Fns[j].NetUS.Mean
+		}
+		return g.Fns[i].Name < g.Fns[j].Name
+	})
+	return g
+}
+
+// Fn looks one function's aggregate up by name.
+func (g *Aggregate) Fn(name string) (*FnAggregate, bool) {
+	f, ok := g.byName[name]
+	return f, ok
+}
+
+// Write renders the aggregate table: the whole-run header, then one line
+// per function in the style of the paper's summary, each column carrying
+// mean ± stddev across seeds, with the % net coefficient of variation and
+// a stability marker ('*' = appeared in every seed with CV within
+// DefaultStableCV).
+func (g *Aggregate) Write(w io.Writer, top int) error {
+	fmt.Fprintf(w, "Sweep of %s across %d seeds\n", g.Scenario, g.Seeds)
+	fmt.Fprintf(w, "Elapsed us = %.0f ± %.0f  [%.0f, %.0f]\n",
+		g.ElapsedUS.Mean, g.ElapsedUS.Std(), g.ElapsedUS.Min(), g.ElapsedUS.Max())
+	fmt.Fprintf(w, "Run us     = %.0f ± %.0f\n", g.RunUS.Mean, g.RunUS.Std())
+	fmt.Fprintf(w, "Idle %%     = %.2f ± %.2f\n", g.IdlePct.Mean, g.IdlePct.Std())
+	fmt.Fprintf(w, "Tags       = %.0f ± %.0f   context switches = %.0f ± %.0f\n",
+		g.Records.Mean, g.Records.Std(), g.Switches.Mean, g.Switches.Std())
+	fmt.Fprintln(w, strings.Repeat("-", 78))
+	fmt.Fprintf(w, "%18s %16s %14s %7s %5s   %s\n",
+		"net us (mean±sd)", "% net (mean±sd)", "calls (mean)", "CV", "seeds", "")
+	fns := g.Fns
+	if top > 0 && len(fns) > top {
+		fns = fns[:top]
+	}
+	for _, f := range fns {
+		marker := " "
+		if f.Stable(g.Seeds, 0) {
+			marker = "*"
+		}
+		fmt.Fprintf(w, "%11.0f ±%5.0f %10.2f ±%5.2f %14.1f %7.3f %4d %s %s\n",
+			f.NetUS.Mean, f.NetUS.Std(), f.PctNet.Mean, f.PctNet.Std(),
+			f.Calls.Mean, f.PctNet.CV(), f.Seeds, marker, f.Name)
+	}
+	return nil
+}
+
+// String renders the top 20 functions.
+func (g *Aggregate) String() string {
+	var b strings.Builder
+	_ = g.Write(&b, 20)
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MaxSeeds bounds a parsed seed set; a typo like "1..1e9" should fail,
+// not allocate the machine park.
+const MaxSeeds = 65536
+
+// ParseSeeds parses a seed-set specification: comma-separated terms, each
+// a single seed ("7") or an inclusive range ("1..32"). Terms may mix:
+// "1..4,10,20..22". Duplicates are kept (the caller asked for them);
+// order is preserved.
+func ParseSeeds(spec string) ([]uint64, error) {
+	var seeds []uint64
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			return nil, fmt.Errorf("sweep: empty term in seed spec %q", spec)
+		}
+		lo, hi, ok := strings.Cut(term, "..")
+		if !ok {
+			v, err := strconv.ParseUint(term, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: bad seed %q: %w", term, err)
+			}
+			seeds = append(seeds, v)
+			continue
+		}
+		from, err := strconv.ParseUint(strings.TrimSpace(lo), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad range start %q: %w", term, err)
+		}
+		to, err := strconv.ParseUint(strings.TrimSpace(hi), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad range end %q: %w", term, err)
+		}
+		if to < from {
+			return nil, fmt.Errorf("sweep: descending range %q", term)
+		}
+		if to-from >= MaxSeeds {
+			return nil, fmt.Errorf("sweep: range %q spans more than %d seeds", term, MaxSeeds)
+		}
+		for v := from; v <= to; v++ {
+			seeds = append(seeds, v)
+		}
+		if len(seeds) > MaxSeeds {
+			return nil, fmt.Errorf("sweep: spec %q yields more than %d seeds", spec, MaxSeeds)
+		}
+	}
+	if len(seeds) > MaxSeeds {
+		return nil, fmt.Errorf("sweep: spec %q yields more than %d seeds", spec, MaxSeeds)
+	}
+	return seeds, nil
+}

@@ -1,0 +1,202 @@
+// Package sweep is the parallel multi-seed sweep engine: it fans N
+// independent (scenario, seed, config) profiling runs across a pool of
+// worker goroutines and merges the per-seed analyses into cross-seed
+// aggregate statistics.
+//
+// The paper's figures come from single runs on one machine. The simulator
+// is deterministic, so one run is perfectly reproducible — but it is still
+// one sample of the seed-dependent workload jitter. A sweep reruns the
+// same study under many seeds and reports, per function, the mean, spread
+// and extremes of net time, call counts and run-time share, plus a
+// stability measure (coefficient of variation) saying whether a
+// paper-reproduced percentage holds across seeds or was luck of one seed.
+//
+// Each worker boots its own Machine and Session, runs the workload, and
+// analyzes locally through the streaming decode path (core.AnalyzeLean),
+// so no worker ever holds the raw 16384-entry bank list and the merged
+// report at the same time. Workers deposit compact per-seed samples; the
+// merge folds them in seed order after the pool drains, so the aggregate
+// is byte-identical no matter how many workers ran or in what order they
+// finished.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"kprof/internal/analyze"
+	"kprof/internal/core"
+	"kprof/internal/kernel"
+	"kprof/internal/sim"
+	"kprof/internal/workload"
+)
+
+// Config describes one sweep.
+type Config struct {
+	// Scenario names a registered workload (workload.ScenarioNames).
+	Scenario string
+	// Seeds are the simulation seeds to run, one machine each. Order is
+	// the merge order, so it fixes the aggregate bit-for-bit.
+	Seeds []uint64
+	// Parallel is the worker-pool size; 0 means GOMAXPROCS. The pool is
+	// clamped to len(Seeds).
+	Parallel int
+	// Params tunes the workload (zero values select scenario defaults).
+	Params workload.Params
+	// Profile configures each worker's instrumentation and card.
+	Profile core.ProfileConfig
+	// Observe, when non-nil, receives every seed's full Analysis (events
+	// and trace retained) as it completes. Calls are serialized but
+	// arrive in completion order. When nil, workers use the lean
+	// streaming analysis and keep only compact samples.
+	Observe func(seed uint64, a *analyze.Analysis)
+}
+
+// FnSample is one function's footprint in a single seed's run.
+type FnSample struct {
+	Calls   int
+	NetUS   float64 // net µs in the function alone
+	AvgUS   float64 // mean net µs per call
+	PctReal float64 // net as % of elapsed (the summary's % real column)
+	PctNet  float64 // net as % of accumulated run time (% net)
+}
+
+// SeedResult is one seed's compact outcome.
+type SeedResult struct {
+	Seed     uint64
+	Workload string // the scenario's one-line result description
+
+	ElapsedUS float64
+	RunUS     float64
+	IdleUS    float64
+	IdlePct   float64
+	Records   int
+	Switches  int
+
+	Fns map[string]FnSample
+}
+
+// Result is a finished sweep.
+type Result struct {
+	Scenario string
+	// PerSeed holds one entry per configured seed, in Config.Seeds order.
+	PerSeed []SeedResult
+	// Agg is the cross-seed aggregate.
+	Agg *Aggregate
+	// Workers is the pool size actually used.
+	Workers int
+}
+
+// Run executes the sweep. Any seed's failure aborts the sweep and is
+// reported (the first one in seed order); completed workers are drained
+// first.
+func Run(cfg Config) (*Result, error) {
+	sc, ok := workload.FindScenario(cfg.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("sweep: unknown scenario %q (have %v)", cfg.Scenario, workload.ScenarioNames())
+	}
+	if len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("sweep: no seeds")
+	}
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfg.Seeds) {
+		workers = len(cfg.Seeds)
+	}
+
+	results := make([]SeedResult, len(cfg.Seeds))
+	errs := make([]error, len(cfg.Seeds))
+	jobs := make(chan int)
+	var observeMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results[idx], errs[idx] = runSeed(cfg, sc, cfg.Seeds[idx], &observeMu)
+			}
+		}()
+	}
+	for idx := range cfg.Seeds {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		Scenario: cfg.Scenario,
+		PerSeed:  results,
+		Agg:      aggregate(cfg.Scenario, results),
+		Workers:  workers,
+	}, nil
+}
+
+// runSeed is one worker unit: boot, instrument, run, analyze, sample.
+func runSeed(cfg Config, sc workload.Scenario, seed uint64, observeMu *sync.Mutex) (SeedResult, error) {
+	m := core.NewMachine(kernel.Config{Seed: seed})
+	s, err := core.NewSession(m, cfg.Profile)
+	if err != nil {
+		return SeedResult{}, fmt.Errorf("sweep: seed %d: %w", seed, err)
+	}
+	s.Arm()
+	line, err := sc.Run(m, cfg.Params)
+	if err != nil {
+		return SeedResult{}, fmt.Errorf("sweep: seed %d: %w", seed, err)
+	}
+	s.Disarm()
+
+	var a *analyze.Analysis
+	if cfg.Observe != nil {
+		a = s.Analyze()
+		observeMu.Lock()
+		cfg.Observe(seed, a)
+		observeMu.Unlock()
+	} else {
+		a = s.AnalyzeLean()
+	}
+	return sample(seed, line, a), nil
+}
+
+// sample condenses an Analysis into the compact per-seed record the merge
+// consumes.
+func sample(seed uint64, line string, a *analyze.Analysis) SeedResult {
+	elapsed, run := a.Elapsed(), a.RunTime()
+	r := SeedResult{
+		Seed:      seed,
+		Workload:  line,
+		ElapsedUS: us(elapsed),
+		RunUS:     us(run),
+		IdleUS:    us(a.Idle),
+		Records:   a.Stats.Records,
+		Switches:  a.Switches,
+		Fns:       make(map[string]FnSample),
+	}
+	if elapsed > 0 {
+		r.IdlePct = 100 * float64(a.Idle) / float64(elapsed)
+	}
+	for _, s := range a.Functions() {
+		if s.Name == "swtch" {
+			continue // idle is accounted in the header, as in the summary
+		}
+		fs := FnSample{Calls: s.Calls, NetUS: us(s.Net), AvgUS: us(s.Avg())}
+		if elapsed > 0 {
+			fs.PctReal = 100 * float64(s.Net) / float64(elapsed)
+		}
+		if run > 0 {
+			fs.PctNet = 100 * float64(s.Net) / float64(run)
+		}
+		r.Fns[s.Name] = fs
+	}
+	return r
+}
+
+func us(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }

@@ -1,0 +1,203 @@
+package sweep
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"kprof/internal/analyze"
+	"kprof/internal/core"
+	"kprof/internal/kernel"
+	"kprof/internal/sim"
+	"kprof/internal/workload"
+)
+
+// shortNet is a quick saturation-test sweep configuration.
+func shortNet(seeds []uint64, parallel int) Config {
+	return Config{
+		Scenario: "netrecv",
+		Seeds:    seeds,
+		Parallel: parallel,
+		Params:   workload.Params{Duration: 30 * sim.Millisecond},
+	}
+}
+
+// The acceptance bar: the merged statistics are identical whether the
+// seeds ran serially or fanned across workers.
+func TestSerialAndParallelMergeIdentically(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5, 6}
+	serial, err := Run(shortNet(seeds, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(shortNet(seeds, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := parallel.Agg.String(), serial.Agg.String(); got != want {
+		t.Fatalf("aggregates differ\n--- parallel ---\n%s--- serial ---\n%s", got, want)
+	}
+	if !reflect.DeepEqual(parallel.PerSeed, serial.PerSeed) {
+		t.Fatal("per-seed results differ between serial and parallel runs")
+	}
+	if serial.Workers != 1 || parallel.Workers != 4 {
+		t.Fatalf("workers = %d, %d", serial.Workers, parallel.Workers)
+	}
+}
+
+// Same process, two consecutive sweeps: byte-identical.
+func TestConsecutiveSweepsIdentical(t *testing.T) {
+	seeds := []uint64{10, 11, 12}
+	first, err := Run(shortNet(seeds, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(shortNet(seeds, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Agg.String() != second.Agg.String() {
+		t.Fatal("two consecutive sweeps disagree")
+	}
+	if !reflect.DeepEqual(first.PerSeed, second.PerSeed) {
+		t.Fatal("two consecutive sweeps disagree per seed")
+	}
+}
+
+// A seed profiled inside a parallel sweep renders the same summary and
+// trace, byte for byte, as the same seed run serially on its own — the
+// workers share nothing.
+func TestSweepMatchesSerialSummaryAndTrace(t *testing.T) {
+	const dur = 25 * sim.Millisecond
+	serialRun := func(seed uint64) (summary, trace string) {
+		m := core.NewMachine(kernel.Config{Seed: seed})
+		s, err := core.NewSession(m, core.ProfileConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Arm()
+		if _, err := workload.NetReceive(m, dur); err != nil {
+			t.Fatal(err)
+		}
+		s.Disarm()
+		a := s.Analyze()
+		return a.SummaryString(0), a.TraceString(analyze.TraceOptions{})
+	}
+
+	seeds := []uint64{3, 7, 21, 42}
+	summaries := make(map[uint64]string)
+	traces := make(map[uint64]string)
+	cfg := shortNet(seeds, len(seeds))
+	cfg.Params.Duration = dur
+	cfg.Observe = func(seed uint64, a *analyze.Analysis) {
+		summaries[seed] = a.SummaryString(0)
+		traces[seed] = a.TraceString(analyze.TraceOptions{})
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range seeds {
+		wantSummary, wantTrace := serialRun(seed)
+		if summaries[seed] != wantSummary {
+			t.Fatalf("seed %d: sweep summary differs from serial run", seed)
+		}
+		if traces[seed] != wantTrace {
+			t.Fatalf("seed %d: sweep trace differs from serial run", seed)
+		}
+		if wantTrace == "" {
+			t.Fatalf("seed %d: empty trace", seed)
+		}
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := Run(Config{Scenario: "no-such", Seeds: []uint64{1}}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := Run(Config{Scenario: "netrecv"}); err == nil {
+		t.Fatal("empty seed set accepted")
+	}
+}
+
+// The saturation test's headline percentages must reproduce stably: bcopy
+// and in_cksum appear in every seed with a tight %net spread.
+func TestAggregateStability(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5}
+	res, err := Run(shortNet(seeds, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Agg
+	if g.Seeds != len(seeds) {
+		t.Fatalf("aggregate seeds = %d", g.Seeds)
+	}
+	for _, name := range []string{"bcopy", "in_cksum"} {
+		f, ok := g.Fn(name)
+		if !ok {
+			t.Fatalf("%s missing from aggregate", name)
+		}
+		if f.Seeds != len(seeds) {
+			t.Fatalf("%s ran in %d/%d seeds", name, f.Seeds, len(seeds))
+		}
+		if !f.Stable(g.Seeds, 0) {
+			t.Fatalf("%s unstable: %%net CV = %.3f (mean %.2f ± %.2f)",
+				name, f.PctNet.CV(), f.PctNet.Mean, f.PctNet.Std())
+		}
+	}
+	// The table renders with the stability marker and header.
+	s := g.String()
+	if !strings.Contains(s, "Sweep of netrecv across 5 seeds") || !strings.Contains(s, "* bcopy") {
+		t.Fatalf("aggregate table:\n%s", s)
+	}
+	// swtch is accounted as idle in the header, not a row.
+	if _, ok := g.Fn("swtch"); ok {
+		t.Fatal("swtch leaked into the aggregate rows")
+	}
+}
+
+// Count-based scenarios sweep too.
+func TestForkExecSweep(t *testing.T) {
+	res, err := Run(Config{
+		Scenario: "forkexec",
+		Seeds:    []uint64{7, 8},
+		Params:   workload.Params{Count: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := res.Agg.Fn("pmap_pte"); !ok || f.Calls.Mean == 0 {
+		t.Fatal("forkexec sweep lost pmap_pte")
+	}
+	for _, r := range res.PerSeed {
+		if !strings.HasPrefix(r.Workload, "forkexec: 1 cycles") {
+			t.Fatalf("workload line %q", r.Workload)
+		}
+	}
+}
+
+func TestParseSeeds(t *testing.T) {
+	good := []struct {
+		spec string
+		want []uint64
+	}{
+		{"7", []uint64{7}},
+		{"1..4", []uint64{1, 2, 3, 4}},
+		{"1..2,10,20..21", []uint64{1, 2, 10, 20, 21}},
+		{" 5 , 6 ", []uint64{5, 6}},
+		{"3..3", []uint64{3}},
+	}
+	for _, tc := range good {
+		got, err := ParseSeeds(tc.spec)
+		if err != nil {
+			t.Fatalf("ParseSeeds(%q): %v", tc.spec, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("ParseSeeds(%q) = %v, want %v", tc.spec, got, tc.want)
+		}
+	}
+	for _, spec := range []string{"", "x", "4..1", "1..", "..4", "1,,2", "0..100000000000"} {
+		if _, err := ParseSeeds(spec); err == nil {
+			t.Fatalf("ParseSeeds(%q) accepted", spec)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"fmt"
+
+	"kprof/internal/core"
+	"kprof/internal/sim"
+)
+
+// Params parameterizes a registered scenario run. Zero values select each
+// scenario's paper defaults, so Params{} reproduces the figures.
+type Params struct {
+	// Duration bounds time-based scenarios (netrecv, ffswrite, mixed).
+	Duration sim.Time
+	// Count sets the iteration count of count-based scenarios (forkexec
+	// cycles, ffsread batches).
+	Count int
+}
+
+func (p Params) duration(def sim.Time) sim.Time {
+	if p.Duration > 0 {
+		return p.Duration
+	}
+	return def
+}
+
+func (p Params) count(def int) int {
+	if p.Count > 0 {
+		return p.Count
+	}
+	return def
+}
+
+// Scenario is a named workload driver runnable on a stock PC machine: the
+// unit cmd/kprof selects by flag and the sweep engine fans out over seeds.
+// (The embedded 68020 and two-machine NFS-versus-FTP studies need special
+// machine construction and stay outside the registry.)
+type Scenario struct {
+	Name string
+	// TimeBased reports whether Duration (true) or Count (false)
+	// parameterizes the run.
+	TimeBased bool
+	// Run drives the workload on m and returns a one-line result
+	// description.
+	Run func(m *core.Machine, p Params) (string, error)
+}
+
+// The registry, in presentation order.
+var scenarios = []Scenario{
+	{
+		Name: "netrecv", TimeBased: true,
+		Run: func(m *core.Machine, p Params) (string, error) {
+			res, err := NetReceive(m, p.duration(400*sim.Millisecond))
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("netrecv: %d bytes delivered, %d frames, %d ring drops",
+				res.BytesDelivered, res.Frames, res.Drops), nil
+		},
+	},
+	{
+		Name: "forkexec",
+		Run: func(m *core.Machine, p Params) (string, error) {
+			res := ForkExec(m, p.count(3))
+			return fmt.Sprintf("forkexec: %d cycles, vfork %v avg, execve %v avg, pmap_pte %d calls/fork",
+				res.Cycles, res.ForkTime, res.ExecTime, res.PmapPteCallsPerFork), nil
+		},
+	},
+	{
+		Name: "ffswrite", TimeBased: true,
+		Run: func(m *core.Machine, p Params) (string, error) {
+			res := FFSWrite(m, p.duration(2*sim.Second))
+			return fmt.Sprintf("ffswrite: %d bytes, %d sectors, %d disk interrupts (%d back-to-back <100us)",
+				res.BytesWritten, res.WriteSectors, res.DiskInterrupts, res.ShortGaps), nil
+		},
+	},
+	{
+		Name: "ffsread",
+		Run: func(m *core.Machine, p Params) (string, error) {
+			res := FFSRead(m, p.count(3)*10)
+			return fmt.Sprintf("ffsread: %d bytes, mean read latency %v", res.BytesRead, res.MeanReadLatency), nil
+		},
+	},
+	{
+		Name: "mixed", TimeBased: true,
+		Run: func(m *core.Machine, p Params) (string, error) {
+			d := p.duration(sim.Second)
+			Mixed(m, d)
+			return fmt.Sprintf("mixed: ran for %v", d), nil
+		},
+	},
+}
+
+// FindScenario looks a scenario up by name.
+func FindScenario(name string) (Scenario, bool) {
+	for _, s := range scenarios {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// ScenarioNames lists the registered scenario names in order.
+func ScenarioNames() []string {
+	names := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		names[i] = s.Name
+	}
+	return names
+}

@@ -47,6 +47,10 @@ func NetReceive(m *core.Machine, d sim.Time) (*NetReceiveResult, error) {
 		}
 	})
 	sender := netstack.NewSender(m.Net, port)
+	// The Sparc fills the wire but is not cycle-identical run to run:
+	// a little seeded arrival jitter (≈5% of a frame's wire time) is what
+	// distinguishes one seed's run from another's in a multi-seed sweep.
+	sender.Jitter = 64 * sim.Microsecond
 	res.Sender = sender
 	sender.Start()
 	m.K.Run(deadline)

@@ -37,6 +37,7 @@ import (
 	"kprof/internal/sampling"
 	"kprof/internal/sim"
 	"kprof/internal/snmp"
+	"kprof/internal/sweep"
 	"kprof/internal/tagfile"
 	"kprof/internal/workload"
 )
@@ -199,6 +200,39 @@ type UserProgram = core.UserProgram
 // SNMPServe runs the mixed kernel/user scenario: a profiled user-mode
 // snmpd serving GETNEXT requests over UDP.
 var SNMPServe = workload.SNMPServe
+
+// Multi-seed sweeps: the deterministic simulator makes every run
+// reproducible, so statistical confidence comes from rerunning a scenario
+// under many seeds. Sweep fans (scenario, seed) runs across a worker pool
+// — each worker boots its own Machine and Session and analyzes through
+// the streaming decode path — and merges the per-seed results into
+// cross-seed aggregate statistics (per-function mean/stddev/min/max and a
+// stability measure).
+type (
+	// SweepConfig selects the scenario, seeds, pool size and per-worker
+	// profiling configuration.
+	SweepConfig = sweep.Config
+	// SweepResult carries the per-seed results and the merged aggregate.
+	SweepResult = sweep.Result
+	// SweepSeedResult is one seed's compact outcome.
+	SweepSeedResult = sweep.SeedResult
+	// SweepAggregate is the cross-seed merge.
+	SweepAggregate = sweep.Aggregate
+	// SweepFnAggregate is one function's cross-seed statistics.
+	SweepFnAggregate = sweep.FnAggregate
+	// WorkloadParams tunes a registered scenario (duration / count).
+	WorkloadParams = workload.Params
+)
+
+// Sweep runs a parallel multi-seed sweep.
+func Sweep(cfg SweepConfig) (*SweepResult, error) { return sweep.Run(cfg) }
+
+// ParseSeeds parses a seed-set specification such as "1..32" or
+// "1..4,10,20..22".
+var ParseSeeds = sweep.ParseSeeds
+
+// ScenarioNames lists the workload scenarios a sweep can run.
+var ScenarioNames = workload.ScenarioNames
 
 // Sampler is the clock-sampling software profiler the paper contrasts the
 // hardware approach with (granularity versus perturbation).

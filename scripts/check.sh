@@ -1,0 +1,31 @@
+#!/bin/sh
+# check.sh — the repository's verification gate: formatting, vet, build,
+# tests, and (unless SKIP_RACE=1) the full suite under the race detector.
+# CI and pre-commit hooks should run exactly this.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+if [ "${SKIP_RACE:-0}" != "1" ]; then
+	echo "== go test -race =="
+	go test -race ./...
+fi
+
+echo "check: all clean"
