@@ -18,9 +18,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# A short fuzz pass over the decoder's timestamp unwrap.
+# Short fuzz passes over the decoder's timestamp unwrap and the
+# segment-boundary stitching state.
 fuzz:
 	$(GO) test -run FuzzDecodeUnwrap -fuzz FuzzDecodeUnwrap -fuzztime 20s ./internal/analyze/
+	$(GO) test -run FuzzSegmentBoundary -fuzz FuzzSegmentBoundary -fuzztime 20s ./internal/analyze/
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -38,22 +38,26 @@ import (
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "netrecv", "workload: netrecv, forkexec, ffswrite, ffsread, nfsftp, mixed, embedded, embedded-old")
-		duration = flag.Duration("duration", 400*time.Millisecond, "virtual duration for time-based scenarios")
-		count    = flag.Int("count", 3, "iterations for count-based scenarios (forkexec)")
-		report   = flag.String("report", "summary", "report: summary, trace, groups, hist, timeline, callgraph, json")
-		top      = flag.Int("top", 20, "rows in the summary report (0 = all)")
-		maxlines = flag.Int("maxlines", 80, "lines in the trace report (0 = all)")
-		fn       = flag.String("fn", "bcopy", "function for -report hist")
-		modules  = flag.String("modules", "", "comma-separated modules to instrument (selective profiling); empty = whole kernel")
-		seed     = flag.Uint64("seed", 42, "simulation seed")
-		seeds    = flag.String("seeds", "", "seed set for a multi-seed sweep, e.g. 1..32 or 1,2,7 (enables -report sweep)")
-		parallel = flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
-		depth    = flag.Int("depth", 0, "profiler RAM depth (0 = 16384)")
-		save     = flag.String("save", "", "write the raw capture to this file")
-		tagsOut  = flag.String("tagsout", "", "write the name/tag file to this file")
-		load     = flag.String("load", "", "analyze a saved capture instead of running a scenario")
-		tagsIn   = flag.String("tags", "", "name/tag file for -load")
+		scenario   = flag.String("scenario", "netrecv", "workload: netrecv, netrecv-long, forkexec, ffswrite, ffsread, nfsftp, mixed, embedded, embedded-old")
+		duration   = flag.Duration("duration", 400*time.Millisecond, "virtual duration for time-based scenarios")
+		count      = flag.Int("count", 3, "iterations for count-based scenarios (forkexec)")
+		report     = flag.String("report", "summary", "report: summary, trace, groups, hist, timeline, callgraph, json")
+		top        = flag.Int("top", 20, "rows in the summary report (0 = all)")
+		maxlines   = flag.Int("maxlines", 80, "lines in the trace report (0 = all)")
+		fn         = flag.String("fn", "bcopy", "function for -report hist")
+		modules    = flag.String("modules", "", "comma-separated modules to instrument (selective profiling); empty = whole kernel")
+		seed       = flag.Uint64("seed", 42, "simulation seed")
+		seeds      = flag.String("seeds", "", "seed set for a multi-seed sweep, e.g. 1..32 or 1,2,7 (enables -report sweep)")
+		parallel   = flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+		depth      = flag.Int("depth", 0, "profiler RAM depth (0 = 16384)")
+		drain      = flag.Bool("drain", false, "continuous capture: drain the card through the EPROM socket before it overflows")
+		highWater  = flag.Int("highwater", 0, "drain when this many records are stored (0 = 3/4 of depth; needs -drain)")
+		drainEvery = flag.Duration("draininterval", 0, "virtual fill-level poll period (0 = 1ms; needs -drain)")
+		segments   = flag.Bool("segments", false, "print the drain-segment summary before the report")
+		save       = flag.String("save", "", "write the raw capture to this file")
+		tagsOut    = flag.String("tagsout", "", "write the name/tag file to this file")
+		load       = flag.String("load", "", "analyze a saved capture instead of running a scenario")
+		tagsIn     = flag.String("tags", "", "name/tag file for -load")
 	)
 	flag.Parse()
 
@@ -69,9 +73,14 @@ func main() {
 	if *modules != "" {
 		mods = strings.Split(*modules, ",")
 	}
+	mode := core.CaptureOneShot
+	if *drain {
+		mode = core.CaptureContinuous
+	}
+	drainCfg := core.DrainConfig{HighWater: *highWater, Interval: sim.Time(drainEvery.Nanoseconds())}
 	if *seeds != "" || *report == "sweep" {
 		if err := runSweep(*scenario, *seeds, *parallel, *seed,
-			sim.Time(duration.Nanoseconds()), *count, mods, *depth, *top); err != nil {
+			sim.Time(duration.Nanoseconds()), *count, mods, *depth, *top, mode, drainCfg); err != nil {
 			fmt.Fprintln(os.Stderr, "kprof:", err)
 			os.Exit(1)
 		}
@@ -86,7 +95,9 @@ func main() {
 		return
 	}
 	m := core.NewMachine(kernel.Config{Seed: *seed})
-	s, err := core.NewSession(m, core.ProfileConfig{Modules: mods, Depth: *depth})
+	s, err := core.NewSession(m, core.ProfileConfig{
+		Mode: mode, Drain: drainCfg, Modules: mods, Depth: *depth,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kprof:", err)
 		os.Exit(1)
@@ -99,17 +110,33 @@ func main() {
 	}
 	s.Disarm()
 
-	if s.Card.Overflowed() {
-		fmt.Fprintf(os.Stderr, "kprof: note: profiler RAM overflowed after %d events; the capture is the head of the run\n", s.Card.Stored())
+	if err := s.DrainErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "kprof: drain failed:", err)
+		os.Exit(1)
+	}
+	if mode == core.CaptureOneShot && s.Card.Overflowed() {
+		fmt.Fprintf(os.Stderr, "kprof: note: profiler RAM overflowed after %d events; the capture is the head of the run (rerun with -drain to keep everything)\n", s.Card.Stored())
 	}
 
 	if *save != "" {
+		// A drained run's records live host-side; flatten the segments
+		// into one capture file (drain boundaries are not preserved).
+		c := s.Capture()
+		if segs := s.Segments(); len(segs) > 0 {
+			c = segs[0].Capture
+			c.Records = append([]hw.Record(nil), c.Records...)
+			for _, seg := range segs[1:] {
+				c.Records = append(c.Records, seg.Capture.Records...)
+				c.Dropped += seg.Capture.Dropped
+				c.Overflowed = c.Overflowed || seg.Capture.Overflowed
+			}
+		}
 		f, err := os.Create(*save)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kprof:", err)
 			os.Exit(1)
 		}
-		if _, err := s.Capture().WriteTo(f); err != nil {
+		if _, err := c.WriteTo(f); err != nil {
 			fmt.Fprintln(os.Stderr, "kprof:", err)
 			os.Exit(1)
 		}
@@ -129,6 +156,10 @@ func main() {
 	}
 
 	a := s.Analyze()
+	if *segments {
+		a.WriteSegments(os.Stdout)
+		fmt.Println()
+	}
 	printReport(a, m, *report, *top, *maxlines, *fn)
 }
 
@@ -201,7 +232,7 @@ func printReport(a *analyze.Analysis, m *core.Machine, report string, top, maxli
 // runSweep fans the scenario across a seed set on a worker pool and prints
 // the cross-seed aggregate. With -report sweep but no -seeds, the single
 // -seed value runs (a one-seed sweep).
-func runSweep(scenario, spec string, parallel int, seed uint64, d sim.Time, count int, mods []string, depth, top int) error {
+func runSweep(scenario, spec string, parallel int, seed uint64, d sim.Time, count int, mods []string, depth, top int, mode core.CaptureMode, drain core.DrainConfig) error {
 	var seedSet []uint64
 	if spec == "" {
 		seedSet = []uint64{seed}
@@ -216,13 +247,23 @@ func runSweep(scenario, spec string, parallel int, seed uint64, d sim.Time, coun
 		Seeds:    seedSet,
 		Parallel: parallel,
 		Params:   workload.Params{Duration: d, Count: count},
-		Profile:  core.ProfileConfig{Modules: mods, Depth: depth},
+		Profile:  core.ProfileConfig{Mode: mode, Drain: drain, Modules: mods, Depth: depth},
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s sweep: %d seeds on %d workers\n", res.Scenario, len(res.PerSeed), res.Workers)
-	fmt.Printf("first seed: %s\n\n", res.PerSeed[0].Workload)
+	fmt.Printf("first seed: %s\n", res.PerSeed[0].Workload)
+	if mode == core.CaptureContinuous {
+		var segs int
+		var lost uint64
+		for _, r := range res.PerSeed {
+			segs += r.Segments
+			lost += r.Dropped
+		}
+		fmt.Printf("drained %d segments across %d seeds, %d strobes lost\n", segs, len(res.PerSeed), lost)
+	}
+	fmt.Println()
 	return res.Agg.Write(os.Stdout, top)
 }
 

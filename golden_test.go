@@ -93,6 +93,50 @@ func TestGoldenForkExecReports(t *testing.T) {
 	golden(t, "forkexec_seed7.trace", a.TraceString(kprof.TraceOptions{MaxLines: 40}))
 }
 
+// The long-run scenario under continuous capture: a workload generating
+// >=10x the card's RAM depth completes with every record drained into
+// host-side segments and zero silent loss, and the stitched reports
+// reproduce byte for byte.
+func TestGoldenNetReceiveLongDrain(t *testing.T) {
+	const depth = 1024
+	m := kprof.NewMachine(kprof.MachineConfig{Seed: 42})
+	s, err := kprof.NewSession(m, kprof.ProfileConfig{
+		Mode:  kprof.CaptureContinuous,
+		Depth: depth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	// netrecv-long's driver at a golden-test-sized duration: still >=10x
+	// the (shrunken) card RAM.
+	if _, err := kprof.NetReceive(m, 400*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.Disarm()
+	if err := s.DrainErr(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	var lost uint64
+	for _, seg := range s.Segments() {
+		total += seg.Capture.Len()
+		lost += seg.Capture.Dropped
+	}
+	if total < 10*depth {
+		t.Fatalf("captured %d records, want >= 10x the %d-entry RAM", total, depth)
+	}
+	if lost != 0 {
+		t.Fatalf("%d strobes lost silently despite draining", lost)
+	}
+	a := s.Analyze()
+	if a.Stats.Records != total || a.Stats.Dropped != 0 {
+		t.Fatalf("stitched stats %+v, want %d records and no loss", a.Stats, total)
+	}
+	golden(t, "netrecv_long_drain_seed42.segments", a.SegmentsString())
+	golden(t, "netrecv_long_drain_seed42.summary", a.SummaryString(15))
+}
+
 // The sweep aggregate is golden too: per-seed merges are deterministic in
 // seed order regardless of the worker pool, so the whole cross-seed table
 // must reproduce byte for byte.

@@ -42,10 +42,14 @@ type Comparison struct {
 func Compare(before, after *Analysis) *Comparison {
 	names := map[string]bool{}
 	for _, s := range before.Functions() {
-		names[s.Name] = true
+		if !s.CtxSwitch {
+			names[s.Name] = true
+		}
 	}
 	for _, s := range after.Functions() {
-		names[s.Name] = true
+		if !s.CtxSwitch {
+			names[s.Name] = true
+		}
 	}
 	c := &Comparison{}
 	if e := before.Elapsed(); e > 0 {
@@ -62,9 +66,6 @@ func Compare(before, after *Analysis) *Comparison {
 		return float64(s.Net) / float64(a.RunTime()), s.Avg(), s.Calls
 	}
 	for name := range names {
-		if name == "swtch" {
-			continue
-		}
 		var d Delta
 		d.Name = name
 		d.BeforeShare, d.BeforePerCall, d.BeforeCalls = share(before, name)

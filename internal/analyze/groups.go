@@ -27,8 +27,8 @@ func (a *Analysis) Groups(groupOf map[string]string) []*GroupStat {
 	agg := make(map[string]*GroupStat)
 	run := a.RunTime()
 	for _, s := range a.Functions() {
-		if s.Name == "swtch" {
-			continue
+		if s.CtxSwitch {
+			continue // idle is accounted in the header, not a subsystem
 		}
 		g := groupOf[s.Name]
 		if g == "" {

@@ -11,22 +11,36 @@ import (
 
 // JSONReport is the serialized form of an Analysis.
 type JSONReport struct {
-	ElapsedUS  int64 `json:"elapsed_us"`
-	RunUS      int64 `json:"run_us"`
-	IdleUS     int64 `json:"idle_us"`
-	Records    int   `json:"records"`
-	Overflowed bool  `json:"overflowed"`
-	Switches   int   `json:"context_switches"`
-	Orphans    int   `json:"orphan_exits"`
-	Recovered  int   `json:"recovered_frames"`
+	ElapsedUS  int64  `json:"elapsed_us"`
+	RunUS      int64  `json:"run_us"`
+	IdleUS     int64  `json:"idle_us"`
+	Records    int    `json:"records"`
+	Overflowed bool   `json:"overflowed"`
+	Dropped    uint64 `json:"dropped_strobes,omitempty"`
+	Switches   int    `json:"context_switches"`
+	Orphans    int    `json:"orphan_exits"`
+	Recovered  int    `json:"recovered_frames"`
+
+	// Segments describes the drained slices of a stitched capture.
+	Segments []JSONSegment `json:"segments,omitempty"`
 
 	Functions []JSONFn `json:"functions"`
+}
+
+// JSONSegment is one drained slice of a stitched capture.
+type JSONSegment struct {
+	Index       int    `json:"index"`
+	Records     int    `json:"records"`
+	Dropped     uint64 `json:"dropped,omitempty"`
+	Overflowed  bool   `json:"overflowed,omitempty"`
+	ForceClosed int    `json:"force_closed,omitempty"`
 }
 
 // JSONFn is one function's statistics row.
 type JSONFn struct {
 	Name      string  `json:"name"`
 	Calls     int     `json:"calls"`
+	Timed     int     `json:"timed_calls"`
 	ElapsedUS int64   `json:"elapsed_us"`
 	NetUS     int64   `json:"net_us"`
 	MaxUS     int64   `json:"max_us"`
@@ -45,15 +59,23 @@ func (a *Analysis) Report() JSONReport {
 		IdleUS:     a.Idle.Micros(),
 		Records:    a.Stats.Records,
 		Overflowed: a.Stats.Overflowed,
+		Dropped:    a.Stats.Dropped,
 		Switches:   a.Switches,
 		Orphans:    a.OrphanExits,
 		Recovered:  a.Recovered,
+	}
+	for _, s := range a.Segments {
+		r.Segments = append(r.Segments, JSONSegment{
+			Index: s.Index, Records: s.Records, Dropped: s.Dropped,
+			Overflowed: s.Overflowed, ForceClosed: s.ForceClosed,
+		})
 	}
 	elapsed, run := a.Elapsed(), a.RunTime()
 	for _, s := range a.Functions() {
 		fn := JSONFn{
 			Name:      s.Name,
 			Calls:     s.Calls,
+			Timed:     s.TimedCalls,
 			ElapsedUS: s.Elapsed.Micros(),
 			NetUS:     s.Net.Micros(),
 			MaxUS:     s.Max.Micros(),

@@ -66,11 +66,34 @@ const (
 	TraceSwitchIn  // swtch exited: context switch in
 )
 
+// SegmentInfo describes one drained slice of a stitched capture: the
+// drain-and-stitch pipeline reads the card out whenever it nears capacity,
+// and each readout becomes one segment of the reconstructed timeline.
+type SegmentInfo struct {
+	// Index is the segment's position in drain order.
+	Index int
+	// Records is the number of records the segment contributed.
+	Records int
+	// Dropped counts strobes lost at the segment's end: the card filled
+	// (or was disarmed) before the drain completed, so events between
+	// this segment's last record and the next segment's first are gone.
+	Dropped uint64
+	// Overflowed reports whether the card's RAM filled during the segment.
+	Overflowed bool
+	// ForceClosed counts frames force-closed at the segment's lossy end
+	// boundary (each is also counted in Analysis.Recovered).
+	ForceClosed int
+}
+
 // Analysis is the full reconstruction of a capture.
 type Analysis struct {
 	Events []Event
 	Items  []TraceItem
 	Stats  DecodeStats
+
+	// Segments describes the drained slices of a stitched capture, in
+	// drain order; empty for a single-readout capture.
+	Segments []SegmentInfo
 
 	Start, End sim.Time
 
@@ -91,16 +114,26 @@ type Analysis struct {
 
 // FnStat aggregates one function's invocations.
 type FnStat struct {
-	Name    string
-	Calls   int
-	Elapsed sim.Time // inclusive, in-context
-	Net     sim.Time
+	Name string
+	// Calls counts every observed invocation, including untimed ones:
+	// orphan exits, frames force-closed by mismatch recovery, and frames
+	// still open when the capture ended.
+	Calls int
+	// TimedCalls counts only the invocations with complete timing; the
+	// averages divide by it, so an untimed call never biases them.
+	TimedCalls int
+	Elapsed    sim.Time // inclusive, in-context
+	Net        sim.Time
 	// Max/Min are per-call *net* extremes: the paper's (max/avg/min)
 	// columns report time in the function alone (Figure 3's soreceive
 	// line: 16391 µs net over 166 calls and an avg column of 98).
 	Max     sim.Time
 	Min     sim.Time
 	Inlines int // inline marks carrying this name
+	// CtxSwitch marks the context-switch function (the name/tag file's
+	// '!' modifier): its in-function time is idle, accounted in the
+	// analysis header, so reports skip its row whatever it is named.
+	CtxSwitch bool
 }
 
 // stack is one process context's call stack.
@@ -206,7 +239,12 @@ func (r *reconstructor) step(ev Event) {
 // (apart from interrupts) until the next swtch exit.
 func (r *reconstructor) switchOut(ev Event) {
 	r.a.Switches++
-	r.fnStat("swtch").Calls++
+	// The switcher is whatever the name/tag file marked '!' — not
+	// necessarily named "swtch"; flag its stat so reports and the sweep
+	// merge can skip the row without knowing the name.
+	sw := r.fnStat(ev.Name)
+	sw.Calls++
+	sw.CtxSwitch = true
 	r.resolvePendingAsNew(ev.Time)
 	if r.current != nil {
 		r.current.suspendedAt = ev.Time
@@ -230,9 +268,10 @@ func (r *reconstructor) switchIn(ev Event) {
 		r.a.Idle += idle
 		r.idleOpen = false
 	}
-	// Interrupt frames opened in the idle loop but never closed stay on
-	// the idle stack; they will close on later events in whatever
-	// context — treat unclosed idle frames as recovered.
+	// Interrupt frames opened in the idle loop but never closed (a lost
+	// interrupt exit) are force-closed here as recovered: left open they
+	// would permanently nest every later idle-window interrupt.
+	r.closeAll(r.idleStack, ev.Time)
 	r.pending = true
 	r.current = nil
 	r.tentative = nil
@@ -434,6 +473,50 @@ func (r *reconstructor) closeOn(st *stack, ev Event, recover bool) bool {
 	return true
 }
 
+// closeAll force-closes every open frame on st, deepest first, counting
+// each as recovered — the exits were lost (a missed interrupt return, or
+// records dropped at a lossy drain boundary).
+func (r *reconstructor) closeAll(st *stack, at sim.Time) {
+	for len(st.open) > 0 {
+		top := st.open[len(st.open)-1]
+		st.open = st.open[:len(st.open)-1]
+		top.End = at
+		top.Complete = false
+		r.a.Recovered++
+		r.record(top)
+	}
+}
+
+// lossBoundary closes the books at a lossy drain boundary: records were
+// dropped between two segments, so every open frame — in the running
+// context, the idle stack, and every suspended process — is force-closed
+// as recovered rather than left to mis-nest against post-loss events, and
+// the context-tracking state starts afresh. It reports how many frames it
+// force-closed.
+func (r *reconstructor) lossBoundary() int {
+	before := r.a.Recovered
+	at := r.a.End
+	if r.idleOpen {
+		idle := at - r.idleStart - r.idleIntr
+		if idle > 0 {
+			r.a.Idle += idle
+		}
+		r.idleOpen = false
+	}
+	r.closeAll(r.idleStack, at)
+	if r.current != nil {
+		r.closeAll(r.current, at)
+		r.current = nil
+	}
+	for _, st := range r.suspended {
+		r.closeAll(st, at)
+	}
+	r.suspended = nil
+	r.pending = false
+	r.tentative = nil
+	return r.a.Recovered - before
+}
+
 // record folds a closed node into the per-function statistics.
 func (r *reconstructor) record(n *Node) {
 	s := r.fnStat(n.Name)
@@ -441,6 +524,7 @@ func (r *reconstructor) record(n *Node) {
 	if !n.Complete {
 		return
 	}
+	s.TimedCalls++
 	s.Elapsed += n.Elapsed()
 	net := n.Net()
 	s.Net += net
@@ -501,20 +585,24 @@ func (a *Analysis) Elapsed() sim.Time { return a.End - a.Start }
 func (a *Analysis) RunTime() sim.Time { return a.Elapsed() - a.Idle }
 
 // Avg reports a stat's mean per-call net time (the paper's avg column).
+// Only timed calls divide: Calls also counts orphan exits, recovered
+// frames and frames open at capture end, whose durations are unknowable,
+// and dividing by them would bias the average low.
 func (s *FnStat) Avg() sim.Time {
-	if s.Calls == 0 {
+	if s.TimedCalls == 0 {
 		return 0
 	}
-	return s.Net / sim.Time(s.Calls)
+	return s.Net / sim.Time(s.TimedCalls)
 }
 
 // AvgElapsed reports mean per-call inclusive time — Table 1's "times are
-// inclusive of subroutines that are called" basis.
+// inclusive of subroutines that are called" basis. As with Avg, untimed
+// calls are excluded.
 func (s *FnStat) AvgElapsed() sim.Time {
-	if s.Calls == 0 {
+	if s.TimedCalls == 0 {
 		return 0
 	}
-	return s.Elapsed / sim.Time(s.Calls)
+	return s.Elapsed / sim.Time(s.TimedCalls)
 }
 
 // MinOrZero is Min, or zero when no timed call completed.

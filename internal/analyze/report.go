@@ -34,7 +34,7 @@ func (a *Analysis) WriteSummary(w io.Writer, top int) error {
 		stats = stats[:top]
 	}
 	for _, s := range stats {
-		if s.Name == "swtch" {
+		if s.CtxSwitch {
 			continue // idle is reported in the header
 		}
 		var pctReal, pctNet float64
@@ -56,6 +56,42 @@ func (a *Analysis) WriteSummary(w io.Writer, top int) error {
 func (a *Analysis) SummaryString(top int) string {
 	var b strings.Builder
 	_ = a.WriteSummary(&b, top)
+	return b.String()
+}
+
+// WriteSegments renders the drain-segment summary of a stitched capture:
+// one line per readout with its record count and, for lossy boundaries,
+// the strobes dropped and frames force-closed there. Every loss the card
+// suffered is on this table — nothing is lost silently.
+func (a *Analysis) WriteSegments(w io.Writer) error {
+	if len(a.Segments) == 0 {
+		fmt.Fprintln(w, "single capture (no drain segments)")
+		return nil
+	}
+	var records, forced int
+	var lost uint64
+	for _, s := range a.Segments {
+		records += s.Records
+		lost += s.Dropped
+		forced += s.ForceClosed
+	}
+	fmt.Fprintf(w, "Drained %d segments: %d records, %d strobes lost, %d frames force-closed\n",
+		len(a.Segments), records, lost, forced)
+	fmt.Fprintf(w, "%5s %9s %9s %13s\n", "seg", "records", "lost", "force-closed")
+	for _, s := range a.Segments {
+		mark := ""
+		if s.Overflowed {
+			mark = "  overflow LED"
+		}
+		fmt.Fprintf(w, "%5d %9d %9d %13d%s\n", s.Index, s.Records, s.Dropped, s.ForceClosed, mark)
+	}
+	return nil
+}
+
+// SegmentsString renders the segment summary to a string.
+func (a *Analysis) SegmentsString() string {
+	var b strings.Builder
+	_ = a.WriteSegments(&b)
 	return b.String()
 }
 

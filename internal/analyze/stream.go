@@ -27,6 +27,9 @@ type Reconstructor struct {
 	rec        *reconstructor
 	keepEvents bool
 	finished   bool
+	// segStart is the decoder's record count at the current segment's
+	// first record, so EndSegment can size the segment.
+	segStart int
 }
 
 // NewReconstructor returns a streaming reconstructor for records captured
@@ -49,8 +52,35 @@ func (rc *Reconstructor) Push(r hw.Record) {
 	rc.rec.feed(rc.dec.Next(r), rc.keepEvents)
 }
 
+// EndSegment marks a drain boundary: the records pushed since the previous
+// boundary (or the start) form one segment that lost dropped strobes before
+// its drain completed. The timestamp-unwrap state always carries across the
+// boundary — the card's counter free-runs through a drain — so a clean
+// boundary (dropped == 0) is a pure continuation of the timeline. A lossy
+// boundary additionally force-closes every open frame (counted in
+// Recovered and the segment's ForceClosed) so that frames spanning the
+// loss are never mis-nested against post-loss events.
+func (rc *Reconstructor) EndSegment(dropped uint64, overflowed bool) {
+	if rc.finished {
+		panic("analyze: EndSegment after Finish")
+	}
+	seg := SegmentInfo{
+		Index:      len(rc.rec.a.Segments),
+		Records:    rc.dec.records - rc.segStart,
+		Dropped:    dropped,
+		Overflowed: overflowed,
+	}
+	if dropped > 0 {
+		seg.ForceClosed = rc.rec.lossBoundary()
+	}
+	rc.rec.a.Segments = append(rc.rec.a.Segments, seg)
+	rc.segStart = rc.dec.records
+}
+
 // Finish closes the books and returns the Analysis. Overflowed and dropped
-// come from the card (or capture header) the records were read from.
+// describe any trailing records not covered by an EndSegment call; for a
+// fully segmented capture pass (false, 0). Per-segment losses recorded by
+// EndSegment are folded into the capture-quality stats.
 func (rc *Reconstructor) Finish(overflowed bool, dropped uint64) *Analysis {
 	if rc.finished {
 		panic("analyze: Finish called twice")
@@ -60,6 +90,32 @@ func (rc *Reconstructor) Finish(overflowed bool, dropped uint64) *Analysis {
 	stats := rc.dec.Stats()
 	stats.Overflowed = overflowed
 	stats.Dropped = dropped
+	for _, seg := range rc.rec.a.Segments {
+		stats.Dropped += seg.Dropped
+		if seg.Overflowed {
+			stats.Overflowed = true
+		}
+	}
 	rc.rec.a.Stats = stats
 	return rc.rec.a
+}
+
+// Stitch reconstructs a segmented capture produced by the drain-and-stitch
+// pipeline: each hw.Capture is one drained slice of a single continuous
+// run, in drain order, with its Dropped/Overflowed fields describing the
+// loss (if any) at its end boundary. The segments decode as one continuous
+// timeline; lossy boundaries are force-closed and reported per segment.
+func Stitch(segs []hw.Capture, tags *tagfile.File, opts ReconstructOptions) *Analysis {
+	cfg := hw.Config{}
+	if len(segs) > 0 {
+		cfg = segs[0].ClockConfig()
+	}
+	rc := NewReconstructor(cfg, tags, opts)
+	for _, seg := range segs {
+		for _, r := range seg.Records {
+			rc.Push(r)
+		}
+		rc.EndSegment(seg.Dropped, seg.Overflowed)
+	}
+	return rc.Finish(false, 0)
 }

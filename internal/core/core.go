@@ -18,6 +18,7 @@ import (
 	"kprof/internal/mem"
 	"kprof/internal/netstack"
 	"kprof/internal/nfs"
+	"kprof/internal/sim"
 	"kprof/internal/tagfile"
 	"kprof/internal/vm"
 )
@@ -63,8 +64,47 @@ func (m *Machine) NFS() (*nfs.Client, error) {
 	return m.nfsClient, nil
 }
 
+// CaptureMode selects how a Session manages the card's finite RAM.
+type CaptureMode int
+
+const (
+	// CaptureOneShot is the paper's workflow: arm, run, pull the RAMs.
+	// Capture ceases silently when the 16384-entry RAM fills; only the
+	// head of a long run is kept.
+	CaptureOneShot CaptureMode = iota
+	// CaptureContinuous is the drain-and-stitch pipeline built on the
+	// paper's future-work fast readout: whenever the card crosses a
+	// high-water mark the session pauses capture at a safe point, reads
+	// the RAM out through the EPROM socket into a host-side segment
+	// store, resets the card and resumes. Captures are then bounded only
+	// by host memory, and any records lost between drains are reported
+	// per segment — never silently.
+	CaptureContinuous
+)
+
+// DefaultDrainInterval is how often a continuous-capture session polls the
+// card's fill level when DrainConfig.Interval is zero.
+const DefaultDrainInterval = sim.Millisecond
+
+// DrainConfig tunes continuous capture.
+type DrainConfig struct {
+	// HighWater is the stored-record count that triggers a drain; 0
+	// means three quarters of the card depth. The headroom above it
+	// absorbs the records that arrive between polls.
+	HighWater int
+	// Interval is the fill-level poll period in virtual time; 0 means
+	// DefaultDrainInterval. The card has no interrupt line to the host —
+	// the front panel has only LEDs — so the host polls.
+	Interval sim.Time
+}
+
 // ProfileConfig selects what to instrument and where the card sits.
 type ProfileConfig struct {
+	// Mode selects one-shot (the default, the paper's pull-the-RAMs
+	// workflow) or continuous (drain-and-stitch) capture.
+	Mode CaptureMode
+	// Drain tunes continuous capture; ignored in one-shot mode.
+	Drain DrainConfig
 	// Modules restricts instrumentation (micro-profiling); empty
 	// instruments the whole kernel.
 	Modules []string
@@ -89,6 +129,15 @@ type ProfileConfig struct {
 	NoMGETInline bool
 }
 
+// Segment is one drained slice of a continuous capture, held host-side.
+// Its Capture.Dropped and Capture.Overflowed fields describe the loss (if
+// any) at the segment's end: strobes that arrived after the card filled
+// but before the drain ran.
+type Segment struct {
+	Capture   hw.Capture
+	DrainedAt sim.Time // virtual time the drain ran
+}
+
 // Session is one profiling setup: an instrumented kernel with the card
 // attached.
 type Session struct {
@@ -98,6 +147,13 @@ type Session struct {
 	Inst   *instrument.Result
 	Linked *instrument.Linked
 	Tags   *tagfile.File
+
+	// Continuous-capture state.
+	mode     CaptureMode
+	drain    DrainConfig
+	segments []Segment
+	drainEv  *sim.Event
+	drainErr error
 }
 
 // NewSession instruments the machine's kernel per cfg, performs the
@@ -141,7 +197,22 @@ func NewSession(m *Machine, cfg ProfileConfig) (*Session, error) {
 	if addr, ok := inst.InlineAddr(linked, "MGET"); ok {
 		m.Net.Pool().SetMGetInline(addr)
 	}
-	return &Session{M: m, Card: card, Socket: socket, Inst: inst, Linked: linked, Tags: inst.Tags}, nil
+	s := &Session{
+		M: m, Card: card, Socket: socket, Inst: inst, Linked: linked, Tags: inst.Tags,
+		mode: cfg.Mode, drain: cfg.Drain,
+	}
+	if cfg.Mode == CaptureContinuous {
+		if card.Depth() > hw.WindowSize {
+			return nil, fmt.Errorf("core: continuous capture needs the RAM readable through the 64 KiB EPROM window; depth %d exceeds it", card.Depth())
+		}
+		if cfg.Drain.HighWater < 0 || cfg.Drain.HighWater > card.Depth() {
+			return nil, fmt.Errorf("core: drain high-water mark %d outside the card's %d-record RAM", cfg.Drain.HighWater, card.Depth())
+		}
+		if cfg.Drain.Interval < 0 {
+			return nil, fmt.Errorf("core: negative drain interval %v", cfg.Drain.Interval)
+		}
+	}
+	return s, nil
 }
 
 // Detach unplugs the Profiler: trigger instructions remain (and still cost
@@ -155,20 +226,131 @@ func (s *Session) Reattach() {
 	s.M.K.SetTrigger(func(va uint32) { sock.Read(linked.VirtToPhys(va)) })
 }
 
-// Arm flips the front-panel switch to begin capture.
-func (s *Session) Arm() { s.Card.Arm() }
+// Arm flips the front-panel switch to begin capture. In continuous mode it
+// also starts the drain loop: a periodic poll of the card's fill level that
+// drains the RAM through the EPROM socket whenever the high-water mark is
+// crossed.
+func (s *Session) Arm() {
+	s.Card.Arm()
+	if s.mode == CaptureContinuous && s.drainEv == nil {
+		s.scheduleDrainPoll()
+	}
+}
 
-// Disarm stops capture.
-func (s *Session) Disarm() { s.Card.Disarm() }
+// Disarm stops capture. In continuous mode the drain loop stops and any
+// remaining records (and the card's loss counters) are drained into a final
+// segment, so nothing is left behind on the card.
+func (s *Session) Disarm() {
+	if s.drainEv != nil {
+		s.M.K.Scheduler().Cancel(s.drainEv)
+		s.drainEv = nil
+	}
+	if s.mode == CaptureContinuous {
+		s.drainNow(false)
+	}
+	s.Card.Disarm()
+}
 
-// Reset clears the card for a fresh run.
-func (s *Session) Reset() { s.Card.Reset() }
+// Reset clears the card — and, in continuous mode, the host-side segment
+// store — for a fresh run.
+func (s *Session) Reset() {
+	s.Card.Reset()
+	s.segments = nil
+	s.drainErr = nil
+}
+
+// Mode reports the session's capture mode.
+func (s *Session) Mode() CaptureMode { return s.mode }
+
+// Segments reports the host-side segment store: the drained slices of a
+// continuous capture, in drain order.
+func (s *Session) Segments() []Segment { return s.segments }
+
+// DrainErr reports the first drain failure, if any. Drains cannot fail for
+// cards whose RAM fits the readout window (NewSession enforces that), so a
+// non-nil value indicates a bug, not a runtime condition.
+func (s *Session) DrainErr() error { return s.drainErr }
+
+// highWater reports the effective drain threshold.
+func (s *Session) highWater() int {
+	if s.drain.HighWater > 0 {
+		return s.drain.HighWater
+	}
+	return s.Card.Depth() * 3 / 4
+}
+
+// drainInterval reports the effective fill-level poll period.
+func (s *Session) drainInterval() sim.Time {
+	if s.drain.Interval > 0 {
+		return s.drain.Interval
+	}
+	return DefaultDrainInterval
+}
+
+// scheduleDrainPoll arms the next fill-level check on the machine's event
+// scheduler. The callback runs between simulation events — a safe point:
+// no kernel code is mid-trigger, and no virtual time passes while the
+// host reads the card out.
+func (s *Session) scheduleDrainPoll() {
+	s.drainEv = s.M.K.Scheduler().After(s.drainInterval(), func() {
+		if s.Card.Stored() >= s.highWater() || s.Card.Overflowed() {
+			s.drainNow(true)
+		}
+		s.scheduleDrainPoll()
+	})
+}
+
+// drainNow performs one drain: pause capture, fast-read the RAM bank by
+// bank through the EPROM socket, append the result to the segment store,
+// reset the card, and (between polls, not at the final drain) re-arm. The
+// whole cycle is atomic in virtual time; a real host would pause the
+// workload for the microseconds the readout takes.
+func (s *Session) drainNow(rearm bool) {
+	if s.Card.Stored() == 0 && s.Card.Dropped == 0 {
+		return // nothing captured and nothing lost since the last drain
+	}
+	c, err := hw.ReadoutViaSocket(s.Socket, s.Card.Stored())
+	if err != nil {
+		if s.drainErr == nil {
+			s.drainErr = err
+		}
+		return
+	}
+	s.segments = append(s.segments, Segment{Capture: c, DrainedAt: s.M.K.Now()})
+	s.Card.Reset()
+	if rearm {
+		s.Card.Arm()
+	}
+}
 
 // Capture pulls the battery-backed RAMs: the raw event list.
 func (s *Session) Capture() hw.Capture { return s.Card.Dump() }
 
-// Analyze decodes and reconstructs the current capture.
+// stitchList assembles the full capture sequence of a continuous run: the
+// drained segments plus whatever is still on the card (a Disarm leaves the
+// card empty, but callers may analyze mid-run). Nil when nothing was ever
+// drained — the one-shot case.
+func (s *Session) stitchList() []hw.Capture {
+	if len(s.segments) == 0 {
+		return nil
+	}
+	caps := make([]hw.Capture, 0, len(s.segments)+1)
+	for _, seg := range s.segments {
+		caps = append(caps, seg.Capture)
+	}
+	if s.Card.Stored() > 0 || s.Card.Dropped > 0 {
+		caps = append(caps, s.Card.Dump())
+	}
+	return caps
+}
+
+// Analyze decodes and reconstructs the current capture. A continuous run's
+// drained segments are stitched back into one timeline, with per-boundary
+// losses reported on Analysis.Segments.
 func (s *Session) Analyze() *analyze.Analysis {
+	if caps := s.stitchList(); caps != nil {
+		return analyze.Stitch(caps, s.Tags, analyze.ReconstructOptions{})
+	}
 	events, stats := analyze.Decode(s.Capture(), s.Tags)
 	return analyze.Reconstruct(events, stats)
 }
@@ -177,12 +359,26 @@ func (s *Session) Analyze() *analyze.Analysis {
 // the reconstructor — and discards the event list and trace timeline. The
 // resulting Analysis carries the per-function statistics and idle
 // accounting only, so a sweep worker never holds a copy of the 16384-entry
-// bank list alongside its report.
+// bank list alongside its report. Drained segments stream the same way:
+// the worker holds the segment store it already paid for, nothing more.
 func (s *Session) AnalyzeLean() *analyze.Analysis {
 	rc := analyze.NewReconstructor(s.Card.Config(), s.Tags, analyze.ReconstructOptions{
 		DiscardEvents: true,
 		DiscardTrace:  true,
 	})
+	if len(s.segments) > 0 {
+		for _, seg := range s.segments {
+			for _, r := range seg.Capture.Records {
+				rc.Push(r)
+			}
+			rc.EndSegment(seg.Capture.Dropped, seg.Capture.Overflowed)
+		}
+		if s.Card.Stored() > 0 || s.Card.Dropped > 0 {
+			s.Card.Scan(rc.Push)
+			rc.EndSegment(s.Card.Dropped, s.Card.Overflowed())
+		}
+		return rc.Finish(false, 0)
+	}
 	s.Card.Scan(rc.Push)
 	return rc.Finish(s.Card.Overflowed(), s.Card.Dropped)
 }

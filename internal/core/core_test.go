@@ -183,6 +183,206 @@ func TestNFSLazyAttach(t *testing.T) {
 	}
 }
 
+// mallocStorm spawns a worker that generates records well past a small
+// card's RAM depth: iters syscalls each doing a malloc/free pair.
+func mallocStorm(m *Machine, iters int) {
+	m.K.Spawn("storm", func(p *kernel.Proc) {
+		for i := 0; i < iters; i++ {
+			m.K.Syscall(p, func() {
+				blk := m.Alloc.Malloc(256)
+				m.Alloc.Free(blk)
+			})
+			p.Yield()
+		}
+	})
+}
+
+// The tentpole: a continuous-capture session drains the card before it
+// overflows, so a workload generating many times the RAM depth loses
+// nothing — every record lands in some host-side segment.
+func TestContinuousCaptureOutrunsRAM(t *testing.T) {
+	m := NewMachine(kernel.Config{Seed: 9})
+	s, err := NewSession(m, ProfileConfig{
+		Mode:  CaptureContinuous,
+		Depth: 256,
+		Drain: DrainConfig{HighWater: 64, Interval: 20 * sim.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	mallocStorm(m, 400)
+	m.K.Run(2 * sim.Second)
+	s.Disarm()
+	if err := s.DrainErr(); err != nil {
+		t.Fatal(err)
+	}
+	segs := s.Segments()
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple drain segments, got %d", len(segs))
+	}
+	total := 0
+	var lost uint64
+	for _, seg := range segs {
+		total += seg.Capture.Len()
+		lost += seg.Capture.Dropped
+	}
+	if total < 10*256 {
+		t.Fatalf("captured %d records, want >= 10x the 256-entry RAM", total)
+	}
+	if lost != 0 {
+		t.Fatalf("%d strobes lost despite drains", lost)
+	}
+	if s.Card.Stored() != 0 {
+		t.Fatalf("%d records left on the card after Disarm", s.Card.Stored())
+	}
+	a := s.Analyze()
+	if len(a.Segments) != len(segs) {
+		t.Fatalf("analysis has %d segments, session drained %d", len(a.Segments), len(segs))
+	}
+	if a.Stats.Records != total {
+		t.Fatalf("analysis decoded %d records, segments hold %d", a.Stats.Records, total)
+	}
+	if a.Stats.Dropped != 0 || a.Stats.Overflowed {
+		t.Fatalf("loss reported on a lossless run: dropped=%d overflowed=%v",
+			a.Stats.Dropped, a.Stats.Overflowed)
+	}
+	if _, ok := a.Fn("malloc"); !ok {
+		t.Fatal("malloc missing from stitched analysis")
+	}
+}
+
+// A drained run and a one-shot run of the same seeded workload must produce
+// identical per-function summaries: the drain pipeline may not perturb the
+// simulation, and stitching a losslessly segmented capture is exact.
+func TestDrainedAnalysisMatchesOneShot(t *testing.T) {
+	run := func(cfg ProfileConfig) (*Session, *analyze.Analysis) {
+		m := NewMachine(kernel.Config{Seed: 11})
+		s, err := NewSession(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Arm()
+		mallocStorm(m, 300)
+		m.K.Run(2 * sim.Second)
+		s.Disarm()
+		return s, s.Analyze()
+	}
+	// One-shot with the full-size RAM: nothing overflows.
+	sOne, one := run(ProfileConfig{})
+	if one.Stats.Overflowed {
+		t.Fatal("one-shot reference overflowed; shrink the workload")
+	}
+	// Continuous with a RAM 1/64 the size.
+	sCont, cont := run(ProfileConfig{
+		Mode:  CaptureContinuous,
+		Depth: 256,
+		Drain: DrainConfig{HighWater: 64, Interval: 20 * sim.Microsecond},
+	})
+	if err := sCont.DrainErr(); err != nil {
+		t.Fatal(err)
+	}
+	if cont.Stats.Dropped != 0 {
+		t.Fatalf("continuous run lost %d strobes; tighten the drain config", cont.Stats.Dropped)
+	}
+	if len(sCont.Segments()) < 2 {
+		t.Fatalf("continuous run drained only %d segments", len(sCont.Segments()))
+	}
+	if got, want := cont.SummaryString(0), one.SummaryString(0); got != want {
+		t.Fatalf("stitched summary differs from one-shot:\n--- one-shot\n%s--- stitched\n%s", want, got)
+	}
+	// The lean path agrees with the full path segment for segment.
+	lean := sCont.AnalyzeLean()
+	if got, want := lean.SummaryString(0), cont.SummaryString(0); got != want {
+		t.Fatalf("lean stitched summary differs:\n--- full\n%s--- lean\n%s", want, got)
+	}
+	if len(lean.Segments) != len(cont.Segments) {
+		t.Fatalf("lean %d segments, full %d", len(lean.Segments), len(cont.Segments))
+	}
+	_ = sOne
+}
+
+// When drains cannot keep up (a poll interval far too long), records are
+// lost — but the loss is *accounted*: each segment reports its dropped
+// strobes and the stitched totals match the card's counters.
+func TestContinuousCaptureReportsLoss(t *testing.T) {
+	m := NewMachine(kernel.Config{Seed: 9})
+	s, err := NewSession(m, ProfileConfig{
+		Mode:  CaptureContinuous,
+		Depth: 256,
+		Drain: DrainConfig{Interval: 100 * sim.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	mallocStorm(m, 400)
+	m.K.Run(2 * sim.Second)
+	s.Disarm()
+	segs := s.Segments()
+	if len(segs) == 0 {
+		t.Fatal("no segments drained")
+	}
+	var lost uint64
+	for _, seg := range segs {
+		lost += seg.Capture.Dropped
+	}
+	if lost == 0 {
+		t.Fatal("expected losses with a 100ms poll on a 256-entry card")
+	}
+	a := s.Analyze()
+	if a.Stats.Dropped != lost {
+		t.Fatalf("analysis reports %d dropped, segments recorded %d", a.Stats.Dropped, lost)
+	}
+	if !a.Stats.Overflowed {
+		t.Fatal("overflow flag lost in stitching")
+	}
+	forced := 0
+	for _, seg := range a.Segments {
+		forced += seg.ForceClosed
+	}
+	if forced == 0 {
+		t.Fatal("lossy boundaries force-closed no frames")
+	}
+	if a.Recovered < forced {
+		t.Fatalf("Recovered=%d < force-closed=%d", a.Recovered, forced)
+	}
+}
+
+// Continuous-mode configuration errors are caught at session setup, not at
+// the first drain.
+func TestContinuousConfigValidation(t *testing.T) {
+	m := NewMachine(kernel.Config{Seed: 1})
+	if _, err := NewSession(m, ProfileConfig{Mode: CaptureContinuous, Depth: 2 * hw.WindowSize}); err == nil {
+		t.Fatal("depth beyond the EPROM window accepted")
+	}
+	if _, err := NewSession(m, ProfileConfig{Mode: CaptureContinuous, Drain: DrainConfig{HighWater: 99999}}); err == nil {
+		t.Fatal("high-water above depth accepted")
+	}
+	if _, err := NewSession(m, ProfileConfig{Mode: CaptureContinuous, Drain: DrainConfig{Interval: -1}}); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+	// Session.Reset clears the segment store for a fresh run.
+	s, err := NewSession(m, ProfileConfig{
+		Mode: CaptureContinuous, Depth: 256,
+		Drain: DrainConfig{HighWater: 64, Interval: 20 * sim.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	mallocStorm(m, 100)
+	m.K.Run(sim.Second)
+	s.Disarm()
+	if len(s.Segments()) == 0 {
+		t.Fatal("no segments before reset")
+	}
+	s.Reset()
+	if len(s.Segments()) != 0 {
+		t.Fatal("Reset left segments behind")
+	}
+}
+
 // The future-work fast readout: pull the capture back through the EPROM
 // window instead of unsocketing the RAMs, and get an identical analysis.
 func TestReadoutViaSocketMatchesDirectDump(t *testing.T) {

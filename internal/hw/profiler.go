@@ -92,8 +92,16 @@ func (p *Profiler) Counter() uint32 {
 }
 
 // Arm starts capture, as the front-panel switch does. Arming does not clear
-// previously captured records; use Reset for a fresh capture.
-func (p *Profiler) Arm() { p.armed = true }
+// previously captured records; use Reset for a fresh capture. While the card
+// is in readout mode the switch is ignored: the mode line gates the latch
+// path, because an address strobe during readout would corrupt the capture
+// being read.
+func (p *Profiler) Arm() {
+	if p.readout.active {
+		return
+	}
+	p.armed = true
+}
 
 // Disarm stops capture.
 func (p *Profiler) Disarm() { p.armed = false }
@@ -105,14 +113,15 @@ func (p *Profiler) Armed() bool { return p.armed }
 // the RAM filled and the card has ceased storing.
 func (p *Profiler) Overflowed() bool { return p.overflow }
 
-// Reset clears the RAM address counter, the overflow latch and the capture
-// statistics, ready for a new profiling run.
+// Reset clears the RAM address counter, the overflow latch, the capture
+// statistics and any readout-mode state, ready for a new profiling run.
 func (p *Profiler) Reset() {
 	p.ram = p.ram[:0]
 	p.addr = 0
 	p.overflow = false
 	p.Latched = 0
 	p.Dropped = 0
+	p.readout = readoutState{}
 }
 
 // Stored reports how many records are currently in the RAM.

@@ -1,0 +1,96 @@
+package hw
+
+import (
+	"testing"
+
+	"kprof/internal/sim"
+)
+
+// Arming the card during readout must be ignored: the mode line gates the
+// latch path, because an address strobe while the RAM is multiplexed onto
+// the window would corrupt the capture being read.
+func TestArmIsNoOpDuringReadout(t *testing.T) {
+	s, p := newTestCard(8)
+	p.Arm()
+	s.AdvanceTo(10 * sim.Microsecond)
+	p.Latch(500)
+	p.EnterReadout()
+	if p.Armed() {
+		t.Fatal("EnterReadout left the card armed")
+	}
+	p.Arm()
+	if p.Armed() {
+		t.Fatal("Arm during readout re-enabled latching")
+	}
+	p.Latch(502)
+	if p.Stored() != 1 {
+		t.Fatalf("strobe during readout stored a record: %d stored", p.Stored())
+	}
+	if p.Dropped != 1 {
+		t.Fatalf("strobe during readout not counted dropped: %d", p.Dropped)
+	}
+	p.ExitReadout()
+	// Back in normal mode the switch works again.
+	p.Arm()
+	if !p.Armed() {
+		t.Fatal("Arm after ExitReadout did not arm")
+	}
+	p.Latch(504)
+	if p.Stored() != 2 {
+		t.Fatalf("latch after readout stored %d records, want 2", p.Stored())
+	}
+}
+
+// Reset must clear readout-mode state: a card reset mid-readout comes back
+// in normal mode with bank 0 selected, not half-way into a stale readout.
+func TestResetClearsReadoutState(t *testing.T) {
+	s, p := newTestCard(8)
+	p.Arm()
+	s.AdvanceTo(3 * sim.Microsecond)
+	p.Latch(500)
+	p.EnterReadout()
+	p.SelectBank(3)
+	p.Reset()
+	if p.InReadout() {
+		t.Fatal("Reset left the card in readout mode")
+	}
+	if p.readout.bank != 0 {
+		t.Fatalf("Reset left bank %d selected", p.readout.bank)
+	}
+	// A fresh capture works immediately after the reset.
+	p.Arm()
+	p.Latch(502)
+	if p.Stored() != 1 || p.Dropped != 0 {
+		t.Fatalf("capture after mid-readout reset: stored=%d dropped=%d", p.Stored(), p.Dropped)
+	}
+}
+
+// A socket read during readout must serve RAM bytes without latching, and
+// the drain cycle readout -> reset -> arm must leave a clean card.
+func TestDrainCycleLeavesCleanCard(t *testing.T) {
+	s, p := newTestCard(4)
+	sock := NewEPROMSocket(0xD0000, p)
+	p.Arm()
+	for i := 0; i < 6; i++ { // overfill: 4 stored, 2 dropped
+		s.AdvanceTo(sim.Time(i+1) * sim.Microsecond)
+		sock.Read(0xD0000 + uint32(500+2*i))
+	}
+	if !p.Overflowed() || p.Dropped != 2 {
+		t.Fatalf("overfill: overflowed=%v dropped=%d", p.Overflowed(), p.Dropped)
+	}
+	c, err := ReadoutViaSocket(sock, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 4 || c.Dropped != 2 || !c.Overflowed {
+		t.Fatalf("drained capture: len=%d dropped=%d overflowed=%v", c.Len(), c.Dropped, c.Overflowed)
+	}
+	p.Reset()
+	p.Arm()
+	s.AdvanceTo(20 * sim.Microsecond)
+	sock.Read(0xD0000 + 500)
+	if p.Stored() != 1 || p.Dropped != 0 || p.Overflowed() {
+		t.Fatalf("card not clean after drain cycle: stored=%d dropped=%d overflowed=%v",
+			p.Stored(), p.Dropped, p.Overflowed())
+	}
+}

@@ -74,6 +74,12 @@ type SeedResult struct {
 	Records   int
 	Switches  int
 
+	// Segments and Dropped describe a continuous-capture run: how many
+	// drain segments the seed produced and how many strobes were lost at
+	// their boundaries (0/0 for one-shot runs).
+	Segments int
+	Dropped  uint64
+
 	Fns map[string]FnSample
 }
 
@@ -178,13 +184,15 @@ func sample(seed uint64, line string, a *analyze.Analysis) SeedResult {
 		IdleUS:    us(a.Idle),
 		Records:   a.Stats.Records,
 		Switches:  a.Switches,
+		Segments:  len(a.Segments),
+		Dropped:   a.Stats.Dropped,
 		Fns:       make(map[string]FnSample),
 	}
 	if elapsed > 0 {
 		r.IdlePct = 100 * float64(a.Idle) / float64(elapsed)
 	}
 	for _, s := range a.Functions() {
-		if s.Name == "swtch" {
+		if s.CtxSwitch {
 			continue // idle is accounted in the header, as in the summary
 		}
 		fs := FnSample{Calls: s.Calls, NetUS: us(s.Net), AvgUS: us(s.Avg())}

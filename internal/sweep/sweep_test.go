@@ -155,6 +155,46 @@ func TestAggregateStability(t *testing.T) {
 	}
 }
 
+// A sweep under continuous capture: every worker drains its small card
+// through the EPROM socket and the lean stitched analysis merges into the
+// same aggregate a one-shot sweep with a big-enough RAM produces.
+func TestContinuousSweepMatchesOneShot(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	oneShot := shortNet(seeds, 0)
+	ref, err := Run(oneShot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := shortNet(seeds, 0)
+	drained.Profile = core.ProfileConfig{
+		Mode:  core.CaptureContinuous,
+		Depth: 512,
+		Drain: core.DrainConfig{HighWater: 128, Interval: 100 * sim.Microsecond},
+	}
+	res, err := Run(drained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.PerSeed {
+		if r.Segments < 2 {
+			t.Fatalf("seed %d drained only %d segments", r.Seed, r.Segments)
+		}
+		if r.Dropped != 0 {
+			t.Fatalf("seed %d lost %d strobes; tighten the drain config", r.Seed, r.Dropped)
+		}
+		if r.Records != ref.PerSeed[i].Records {
+			t.Fatalf("seed %d: drained %d records, one-shot %d", r.Seed, r.Records, ref.PerSeed[i].Records)
+		}
+		// The switcher row never leaks into the per-seed samples.
+		if _, ok := r.Fns["swtch"]; ok {
+			t.Fatalf("seed %d: switcher leaked into samples", r.Seed)
+		}
+	}
+	if got, want := res.Agg.String(), ref.Agg.String(); got != want {
+		t.Fatalf("drained aggregate differs from one-shot\n--- drained ---\n%s--- one-shot ---\n%s", got, want)
+	}
+}
+
 // Count-based scenarios sweep too.
 func TestForkExecSweep(t *testing.T) {
 	res, err := Run(Config{

@@ -65,6 +65,27 @@ func NewMachine(cfg MachineConfig) *Machine { return core.NewMachine(cfg) }
 // ProfileConfig selects what to instrument and where the card sits.
 type ProfileConfig = core.ProfileConfig
 
+// CaptureMode selects how a Session manages the card's finite RAM.
+type CaptureMode = core.CaptureMode
+
+// Capture modes: the paper's arm-run-pull workflow, or the drain-and-stitch
+// pipeline that bounds captures by host memory instead of the 16384-entry
+// RAM.
+const (
+	CaptureOneShot    = core.CaptureOneShot
+	CaptureContinuous = core.CaptureContinuous
+)
+
+// DrainConfig tunes continuous capture (high-water mark and poll period).
+type DrainConfig = core.DrainConfig
+
+// Segment is one drained slice of a continuous capture, held host-side.
+type Segment = core.Segment
+
+// SegmentInfo is one segment's entry in a stitched Analysis: record count
+// plus the losses (dropped strobes, force-closed frames) at its boundary.
+type SegmentInfo = analyze.SegmentInfo
+
 // Session is an instrumented kernel with the Profiler card attached.
 type Session = core.Session
 
@@ -117,6 +138,13 @@ var ParseTagFile = tagfile.ParseString
 func Analyze(c Capture, tags *TagFile) *Analysis {
 	events, stats := analyze.Decode(c, tags)
 	return analyze.Reconstruct(events, stats)
+}
+
+// Stitch reconstructs a segmented capture — the drained slices of one
+// continuous run, in drain order — into a single Analysis, reporting any
+// per-boundary losses on Analysis.Segments.
+func Stitch(segs []Capture, tags *TagFile) *Analysis {
+	return analyze.Stitch(segs, tags, analyze.ReconstructOptions{})
 }
 
 // Workload drivers (see internal/workload for details).

@@ -23,6 +23,15 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== long-scenario drain golden =="
+go test -run TestGoldenNetReceiveLongDrain .
+
+echo "== fuzz smoke =="
+go test -run 'FuzzDecodeUnwrap|FuzzSegmentBoundary' ./internal/analyze/
+if [ "${SKIP_FUZZ:-0}" != "1" ]; then
+	go test -run FuzzSegmentBoundary -fuzz FuzzSegmentBoundary -fuzztime 10s ./internal/analyze/
+fi
+
 if [ "${SKIP_RACE:-0}" != "1" ]; then
 	echo "== go test -race =="
 	go test -race ./...
