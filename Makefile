@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fuzz check fmt vet
+.PHONY: all build test race bench fuzz check fmt vet docs-check
 
 all: build test
 
@@ -30,6 +30,13 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Documentation consistency: every exported identifier in kprof.go has a
+# doc comment, every relative markdown link resolves, and every kprof CLI
+# flag is covered in README.md.
+docs-check:
+	./scripts/godoc_check.sh
+	./scripts/docs_check.sh
 
 # Everything tier-1 verification should cover: formatting, vet, build,
 # tests, and the race detector.

@@ -16,6 +16,12 @@
 //
 //	kprof -scenario netrecv -seeds 1..32 -parallel 8 -report sweep
 //	kprof -scenario forkexec -seeds 1..16 -count 2 -report sweep -top 15
+//
+// Exporters hand the reconstruction to modern viewers, and -http serves
+// live capture status while the run executes:
+//
+//	kprof -scenario netrecv -pprof out.pb.gz -trace out.json -http :6060
+//	go tool pprof -top out.pb.gz
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 
 	"kprof/internal/analyze"
 	"kprof/internal/core"
+	"kprof/internal/export"
 	"kprof/internal/hw"
 	"kprof/internal/kernel"
 	"kprof/internal/netstack"
@@ -58,15 +65,52 @@ func main() {
 		tagsOut    = flag.String("tagsout", "", "write the name/tag file to this file")
 		load       = flag.String("load", "", "analyze a saved capture instead of running a scenario")
 		tagsIn     = flag.String("tags", "", "name/tag file for -load")
+		pprofOut   = flag.String("pprof", "", "write the analysis as a gzipped pprof profile (view with `go tool pprof`)")
+		traceOut   = flag.String("trace", "", "write the analysis as a Chrome trace_event JSON file (view in Perfetto or chrome://tracing)")
+		httpAddr   = flag.String("http", "", "serve live capture status (JSON + HTML) on this address, e.g. :6060; keeps serving after the run")
 	)
 	flag.Parse()
 
-	if *load != "" {
-		if err := analyzeSaved(*load, *tagsIn, *report, *top, *maxlines, *fn); err != nil {
+	var status *export.StatusServer
+	serveStatus := func(scenario string) {
+		if *httpAddr == "" {
+			return
+		}
+		status = export.NewStatusServer()
+		status.SetScenario(scenario)
+		status.SetState("running")
+		url, _, err := status.Start(*httpAddr)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "kprof:", err)
 			os.Exit(1)
 		}
-		return
+		fmt.Fprintf(os.Stderr, "kprof: live status at %s\n", url)
+	}
+	// finish flushes the exporters, parks the status server in its "done"
+	// state, and exits the process.
+	finish := func(a *analyze.Analysis) {
+		if a != nil {
+			if err := writeExports(a, *pprofOut, *traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "kprof:", err)
+				os.Exit(1)
+			}
+		}
+		if status != nil {
+			status.SetState("done")
+			fmt.Fprintf(os.Stderr, "kprof: run finished; status endpoint still serving (Ctrl-C to exit)\n")
+			select {}
+		}
+		os.Exit(0)
+	}
+
+	if *load != "" {
+		serveStatus("(saved capture)")
+		a, err := analyzeSaved(*load, *tagsIn, *report, *top, *maxlines, *fn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kprof:", err)
+			os.Exit(1)
+		}
+		finish(a)
 	}
 
 	var mods []string
@@ -79,21 +123,34 @@ func main() {
 	}
 	drainCfg := core.DrainConfig{HighWater: *highWater, Interval: sim.Time(drainEvery.Nanoseconds())}
 	if *seeds != "" || *report == "sweep" {
+		// The per-run exporters need one analysis; a sweep has many.
+		if *pprofOut != "" || *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "kprof: -pprof/-trace export a single run; drop -seeds or pick one -seed")
+			os.Exit(1)
+		}
+		serveStatus(*scenario)
+		var onProgress func(sweep.Progress)
+		if status != nil {
+			onProgress = status.OnSweepProgress
+		}
 		if err := runSweep(*scenario, *seeds, *parallel, *seed,
-			sim.Time(duration.Nanoseconds()), *count, mods, *depth, *top, mode, drainCfg); err != nil {
+			sim.Time(duration.Nanoseconds()), *count, mods, *depth, *top, mode, drainCfg, onProgress); err != nil {
 			fmt.Fprintln(os.Stderr, "kprof:", err)
 			os.Exit(1)
 		}
-		return
+		finish(nil)
 	}
 	if *scenario == "embedded" || *scenario == "embedded-old" {
-		if err := runEmbedded(*scenario == "embedded-old", sim.Time(duration.Nanoseconds()),
-			*seed, mods, *report, *top, *maxlines, *fn); err != nil {
+		serveStatus(*scenario)
+		a, err := runEmbedded(*scenario == "embedded-old", sim.Time(duration.Nanoseconds()),
+			*seed, mods, *report, *top, *maxlines, *fn, status)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "kprof:", err)
 			os.Exit(1)
 		}
-		return
+		finish(a)
 	}
+	serveStatus(*scenario)
 	m := core.NewMachine(kernel.Config{Seed: *seed})
 	s, err := core.NewSession(m, core.ProfileConfig{
 		Mode: mode, Drain: drainCfg, Modules: mods, Depth: *depth,
@@ -101,6 +158,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kprof:", err)
 		os.Exit(1)
+	}
+	if status != nil {
+		s.SetProgress(status.OnSessionProgress)
 	}
 
 	s.Arm()
@@ -161,6 +221,38 @@ func main() {
 		fmt.Println()
 	}
 	printReport(a, m, *report, *top, *maxlines, *fn)
+	finish(a)
+}
+
+// writeExports runs the file exporters requested on the command line.
+func writeExports(a *analyze.Analysis, pprofPath, tracePath string) error {
+	if pprofPath != "" {
+		f, err := os.Create(pprofPath)
+		if err != nil {
+			return err
+		}
+		if err := export.WritePprof(f, a, export.PprofOptions{}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := export.WriteChromeTrace(f, a); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func runScenario(m *core.Machine, scenario string, d sim.Time, count int) error {
@@ -232,7 +324,7 @@ func printReport(a *analyze.Analysis, m *core.Machine, report string, top, maxli
 // runSweep fans the scenario across a seed set on a worker pool and prints
 // the cross-seed aggregate. With -report sweep but no -seeds, the single
 // -seed value runs (a one-seed sweep).
-func runSweep(scenario, spec string, parallel int, seed uint64, d sim.Time, count int, mods []string, depth, top int, mode core.CaptureMode, drain core.DrainConfig) error {
+func runSweep(scenario, spec string, parallel int, seed uint64, d sim.Time, count int, mods []string, depth, top int, mode core.CaptureMode, drain core.DrainConfig, onProgress func(sweep.Progress)) error {
 	var seedSet []uint64
 	if spec == "" {
 		seedSet = []uint64{seed}
@@ -243,11 +335,12 @@ func runSweep(scenario, spec string, parallel int, seed uint64, d sim.Time, coun
 		}
 	}
 	res, err := sweep.Run(sweep.Config{
-		Scenario: scenario,
-		Seeds:    seedSet,
-		Parallel: parallel,
-		Params:   workload.Params{Duration: d, Count: count},
-		Profile:  core.ProfileConfig{Mode: mode, Drain: drain, Modules: mods, Depth: depth},
+		Scenario:   scenario,
+		Seeds:      seedSet,
+		Parallel:   parallel,
+		Params:     workload.Params{Duration: d, Count: count},
+		Profile:    core.ProfileConfig{Mode: mode, Drain: drain, Modules: mods, Depth: depth},
+		OnProgress: onProgress,
 	})
 	if err != nil {
 		return err
@@ -270,7 +363,7 @@ func runSweep(scenario, spec string, parallel int, seed uint64, d sim.Time, coun
 // runEmbedded profiles the Megadata 68020 platform (the paper's first case
 // study): `-scenario embedded` uses the recoded Ethernet driver,
 // `-scenario embedded-old` the original double-copy one.
-func runEmbedded(oldDriver bool, d sim.Time, seed uint64, mods []string, report string, top, maxlines int, fn string) error {
+func runEmbedded(oldDriver bool, d sim.Time, seed uint64, mods []string, report string, top, maxlines int, fn string, status *export.StatusServer) (*analyze.Analysis, error) {
 	style := netstack.DriverRecoded
 	if oldDriver {
 		style = netstack.DriverOld
@@ -278,44 +371,48 @@ func runEmbedded(oldDriver bool, d sim.Time, seed uint64, mods []string, report 
 	m, le := core.NewEmbeddedMachine(kernel.Config{Seed: seed}, style)
 	s, err := core.NewSession(m, core.ProfileConfig{Modules: mods})
 	if err != nil {
-		return err
+		return nil, err
+	}
+	if status != nil {
+		s.SetProgress(status.OnSessionProgress)
 	}
 	s.Arm()
 	res, err := workload.EmbeddedNetReceive(m, le, d)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	s.Disarm()
 	fmt.Printf("embedded (68020, %v driver): %d bytes delivered, %d frames, %d drops\n\n",
 		style, res.BytesDelivered, res.Frames, res.Drops)
-	printReport(s.Analyze(), m, report, top, maxlines, fn)
-	return nil
+	a := s.Analyze()
+	printReport(a, m, report, top, maxlines, fn)
+	return a, nil
 }
 
-func analyzeSaved(capPath, tagsPath, report string, top, maxlines int, fn string) error {
+func analyzeSaved(capPath, tagsPath, report string, top, maxlines int, fn string) (*analyze.Analysis, error) {
 	if tagsPath == "" {
-		return fmt.Errorf("-load requires -tags")
+		return nil, fmt.Errorf("-load requires -tags")
 	}
 	cf, err := os.Open(capPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer cf.Close()
 	c, err := hw.ReadCapture(cf)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	tf, err := os.Open(tagsPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer tf.Close()
 	tags, err := tagfile.Parse(tf)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	events, stats := analyze.Decode(c, tags)
 	a := analyze.Reconstruct(events, stats)
 	printReport(a, nil, report, top, maxlines, fn)
-	return nil
+	return a, nil
 }

@@ -137,6 +137,34 @@ func TestGoldenNetReceiveLongDrain(t *testing.T) {
 	golden(t, "netrecv_long_drain_seed42.summary", a.SummaryString(15))
 }
 
+// The exporters are golden too: MarshalPprof assigns every id in
+// first-encounter order and WriteChromeTrace formats deterministically,
+// so both byte streams must reproduce exactly. The pprof golden holds the
+// raw (uncompressed) protobuf — the gzip layer is checked separately in
+// the export package's own tests.
+func TestGoldenPprofExport(t *testing.T) {
+	a := profileScenario(t, 42, func(m *kprof.Machine) {
+		if _, err := kprof.NetReceive(m, 60*sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	})
+	golden(t, "netrecv_seed42.pprof", string(kprof.MarshalPprof(a, kprof.PprofOptions{})))
+}
+
+func TestGoldenChromeTraceExport(t *testing.T) {
+	// A short window keeps the golden trace reviewable.
+	a := profileScenario(t, 42, func(m *kprof.Machine) {
+		if _, err := kprof.NetReceive(m, 10*sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var b strings.Builder
+	if err := kprof.WriteChromeTrace(&b, a); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "netrecv_seed42.trace.json", b.String())
+}
+
 // The sweep aggregate is golden too: per-seed merges are deterministic in
 // seed order regardless of the worker pool, so the whole cross-seed table
 // must reproduce byte for byte.

@@ -17,6 +17,8 @@ import (
 // EventKind classifies a decoded event.
 type EventKind int
 
+// Event kinds: even tags are function entries, odd tags exits, '='-marked
+// tags inline marks; tags absent from the name/tag file decode as Unknown.
 const (
 	Entry EventKind = iota
 	Exit
@@ -24,6 +26,7 @@ const (
 	Unknown
 )
 
+// String names the kind for reports and errors.
 func (k EventKind) String() string {
 	switch k {
 	case Entry:

@@ -7,33 +7,48 @@ import (
 
 // JSON export of an analysis, for downstream tooling (plotting, regression
 // tracking between kernel builds). Times are integer microseconds, the
-// Profiler's native resolution.
+// Profiler's native resolution. The schema is documented in DESIGN.md
+// ("JSON report schema"); its loss-accounting names deliberately match the
+// text reports' vocabulary: strobes are *dropped* (dropped_strobes),
+// frames are *force-closed* (force_closed_frames).
 
 // JSONReport is the serialized form of an Analysis.
 type JSONReport struct {
-	ElapsedUS  int64  `json:"elapsed_us"`
-	RunUS      int64  `json:"run_us"`
-	IdleUS     int64  `json:"idle_us"`
+	// ElapsedUS is the capture's wall span; RunUS is elapsed minus idle;
+	// IdleUS is time inside the context switcher net of interrupts.
+	ElapsedUS int64 `json:"elapsed_us"`
+	RunUS     int64 `json:"run_us"`
+	IdleUS    int64 `json:"idle_us"`
+	// Records counts decoded capture records; Overflowed propagates the
+	// card's overflow LED; Dropped counts strobes the card could not
+	// store (including every lossy drain boundary of a stitched run).
 	Records    int    `json:"records"`
 	Overflowed bool   `json:"overflowed"`
 	Dropped    uint64 `json:"dropped_strobes,omitempty"`
-	Switches   int    `json:"context_switches"`
-	Orphans    int    `json:"orphan_exits"`
-	Recovered  int    `json:"recovered_frames"`
+	// Switches counts context-switch entries; Orphans counts exits that
+	// matched no open frame; ForceClosed counts frames closed by mismatch
+	// recovery or at lossy boundaries (Analysis.Recovered).
+	Switches    int `json:"context_switches"`
+	Orphans     int `json:"orphan_exits"`
+	ForceClosed int `json:"force_closed_frames"`
 
 	// Segments describes the drained slices of a stitched capture.
 	Segments []JSONSegment `json:"segments,omitempty"`
 
+	// Functions holds one row per function, sorted by net time.
 	Functions []JSONFn `json:"functions"`
 }
 
-// JSONSegment is one drained slice of a stitched capture.
+// JSONSegment is one drained slice of a stitched capture. Its field names
+// mirror WriteSegments' columns: records, end µs, dropped strobes,
+// force-closed frames.
 type JSONSegment struct {
 	Index       int    `json:"index"`
 	Records     int    `json:"records"`
-	Dropped     uint64 `json:"dropped,omitempty"`
+	EndUS       int64  `json:"end_us"`
+	Dropped     uint64 `json:"dropped_strobes,omitempty"`
 	Overflowed  bool   `json:"overflowed,omitempty"`
-	ForceClosed int    `json:"force_closed,omitempty"`
+	ForceClosed int    `json:"force_closed_frames,omitempty"`
 }
 
 // JSONFn is one function's statistics row.
@@ -54,20 +69,20 @@ type JSONFn struct {
 // Report builds the serializable form.
 func (a *Analysis) Report() JSONReport {
 	r := JSONReport{
-		ElapsedUS:  a.Elapsed().Micros(),
-		RunUS:      a.RunTime().Micros(),
-		IdleUS:     a.Idle.Micros(),
-		Records:    a.Stats.Records,
-		Overflowed: a.Stats.Overflowed,
-		Dropped:    a.Stats.Dropped,
-		Switches:   a.Switches,
-		Orphans:    a.OrphanExits,
-		Recovered:  a.Recovered,
+		ElapsedUS:   a.Elapsed().Micros(),
+		RunUS:       a.RunTime().Micros(),
+		IdleUS:      a.Idle.Micros(),
+		Records:     a.Stats.Records,
+		Overflowed:  a.Stats.Overflowed,
+		Dropped:     a.Stats.Dropped,
+		Switches:    a.Switches,
+		Orphans:     a.OrphanExits,
+		ForceClosed: a.Recovered,
 	}
 	for _, s := range a.Segments {
 		r.Segments = append(r.Segments, JSONSegment{
-			Index: s.Index, Records: s.Records, Dropped: s.Dropped,
-			Overflowed: s.Overflowed, ForceClosed: s.ForceClosed,
+			Index: s.Index, Records: s.Records, EndUS: s.End.Micros(),
+			Dropped: s.Dropped, Overflowed: s.Overflowed, ForceClosed: s.ForceClosed,
 		})
 	}
 	elapsed, run := a.Elapsed(), a.RunTime()

@@ -58,6 +58,7 @@ type TraceItem struct {
 // TraceKind classifies trace lines.
 type TraceKind int
 
+// Trace item kinds, in the order the timeline can contain them.
 const (
 	TraceEnter TraceKind = iota
 	TraceExit
@@ -83,6 +84,10 @@ type SegmentInfo struct {
 	// ForceClosed counts frames force-closed at the segment's lossy end
 	// boundary (each is also counted in Analysis.Recovered).
 	ForceClosed int
+	// End is the stitched timeline's position at the segment's end
+	// boundary: the decoded timestamp of the last record seen when the
+	// drain ran (capture-relative, like every Analysis time).
+	End sim.Time
 }
 
 // Analysis is the full reconstruction of a capture.

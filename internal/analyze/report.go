@@ -60,30 +60,34 @@ func (a *Analysis) SummaryString(top int) string {
 }
 
 // WriteSegments renders the drain-segment summary of a stitched capture:
-// one line per readout with its record count and, for lossy boundaries,
-// the strobes dropped and frames force-closed there. Every loss the card
-// suffered is on this table — nothing is lost silently.
+// one line per readout with its record count, end-boundary time, and, for
+// lossy boundaries, the strobes dropped and frames force-closed there.
+// Every loss the card suffered is on this table — nothing is lost
+// silently. The column vocabulary ("dropped" strobes, "force-closed"
+// frames) matches the JSON report's dropped_strobes / force_closed_frames
+// fields; see DESIGN.md's schema section.
 func (a *Analysis) WriteSegments(w io.Writer) error {
 	if len(a.Segments) == 0 {
 		fmt.Fprintln(w, "single capture (no drain segments)")
 		return nil
 	}
 	var records, forced int
-	var lost uint64
+	var dropped uint64
 	for _, s := range a.Segments {
 		records += s.Records
-		lost += s.Dropped
+		dropped += s.Dropped
 		forced += s.ForceClosed
 	}
-	fmt.Fprintf(w, "Drained %d segments: %d records, %d strobes lost, %d frames force-closed\n",
-		len(a.Segments), records, lost, forced)
-	fmt.Fprintf(w, "%5s %9s %9s %13s\n", "seg", "records", "lost", "force-closed")
+	fmt.Fprintf(w, "Drained %d segments: %d records, %d strobes dropped, %d frames force-closed\n",
+		len(a.Segments), records, dropped, forced)
+	fmt.Fprintf(w, "%5s %9s %10s %9s %13s\n", "seg", "records", "end us", "dropped", "force-closed")
 	for _, s := range a.Segments {
 		mark := ""
 		if s.Overflowed {
 			mark = "  overflow LED"
 		}
-		fmt.Fprintf(w, "%5d %9d %9d %13d%s\n", s.Index, s.Records, s.Dropped, s.ForceClosed, mark)
+		fmt.Fprintf(w, "%5d %9d %10d %9d %13d%s\n",
+			s.Index, s.Records, s.End.Micros(), s.Dropped, s.ForceClosed, mark)
 	}
 	return nil
 }

@@ -69,6 +69,7 @@ func (rc *Reconstructor) EndSegment(dropped uint64, overflowed bool) {
 		Records:    rc.dec.records - rc.segStart,
 		Dropped:    dropped,
 		Overflowed: overflowed,
+		End:        rc.rec.a.End,
 	}
 	if dropped > 0 {
 		seg.ForceClosed = rc.rec.lossBoundary()

@@ -41,6 +41,7 @@ func (w WhatIf) Delta() sim.Time { return w.Estimate - w.Baseline }
 // Improves reports whether the alternative is a win.
 func (w WhatIf) Improves() bool { return w.Estimate < w.Baseline }
 
+// String renders the estimate with its win/LOSS verdict.
 func (w WhatIf) String() string {
 	verdict := "LOSS"
 	if w.Improves() {

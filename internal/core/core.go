@@ -67,6 +67,17 @@ func (m *Machine) NFS() (*nfs.Client, error) {
 // CaptureMode selects how a Session manages the card's finite RAM.
 type CaptureMode int
 
+// String names the mode ("one-shot" or "continuous").
+func (m CaptureMode) String() string {
+	switch m {
+	case CaptureOneShot:
+		return "one-shot"
+	case CaptureContinuous:
+		return "continuous"
+	}
+	return fmt.Sprintf("CaptureMode(%d)", int(m))
+}
+
 const (
 	// CaptureOneShot is the paper's workflow: arm, run, pull the RAMs.
 	// Capture ceases silently when the 16384-entry RAM fills; only the
@@ -154,6 +165,64 @@ type Session struct {
 	segments []Segment
 	drainEv  *sim.Event
 	drainErr error
+
+	// progress, when set, observes capture state changes (see SetProgress).
+	progress func(Progress)
+}
+
+// Progress is a point-in-time snapshot of a session's capture state,
+// delivered to the callback registered with SetProgress. It is the feed
+// for live observability (export.StatusServer): fill level, drained
+// segments and loss counters while a long continuous capture runs.
+type Progress struct {
+	// Now is the machine's virtual time at the snapshot.
+	Now sim.Time
+	// Armed reports whether the card is capturing; Mode is the session's
+	// capture mode.
+	Armed bool
+	Mode  CaptureMode
+	// Stored and Depth are the card RAM's fill state; Overflowed reports
+	// the overflow LED.
+	Stored     int
+	Depth      int
+	Overflowed bool
+	// Segments counts host-side drained segments so far, holding
+	// SegmentRecords records in total.
+	Segments       int
+	SegmentRecords int
+	// Dropped counts every strobe lost so far: the card's current drop
+	// counter plus the losses attached to already-drained segments.
+	Dropped uint64
+}
+
+// SetProgress registers fn to observe the session's capture state: it
+// fires on Arm and Disarm, on every drain-loop fill poll, and after every
+// drain. The callback runs on the simulation goroutine between events —
+// it must not re-enter the session, and anything it shares with other
+// goroutines (an HTTP status server, say) must do its own locking. A nil
+// fn unregisters.
+func (s *Session) SetProgress(fn func(Progress)) { s.progress = fn }
+
+// notifyProgress delivers a snapshot to the registered callback.
+func (s *Session) notifyProgress() {
+	if s.progress == nil {
+		return
+	}
+	p := Progress{
+		Now:        s.M.K.Now(),
+		Armed:      s.Card.Armed(),
+		Mode:       s.mode,
+		Stored:     s.Card.Stored(),
+		Depth:      s.Card.Depth(),
+		Overflowed: s.Card.Overflowed(),
+		Segments:   len(s.segments),
+		Dropped:    s.Card.Dropped,
+	}
+	for _, seg := range s.segments {
+		p.SegmentRecords += seg.Capture.Len()
+		p.Dropped += seg.Capture.Dropped
+	}
+	s.progress(p)
 }
 
 // NewSession instruments the machine's kernel per cfg, performs the
@@ -235,6 +304,7 @@ func (s *Session) Arm() {
 	if s.mode == CaptureContinuous && s.drainEv == nil {
 		s.scheduleDrainPoll()
 	}
+	s.notifyProgress()
 }
 
 // Disarm stops capture. In continuous mode the drain loop stops and any
@@ -249,6 +319,7 @@ func (s *Session) Disarm() {
 		s.drainNow(false)
 	}
 	s.Card.Disarm()
+	s.notifyProgress()
 }
 
 // Reset clears the card — and, in continuous mode, the host-side segment
@@ -296,6 +367,7 @@ func (s *Session) scheduleDrainPoll() {
 		if s.Card.Stored() >= s.highWater() || s.Card.Overflowed() {
 			s.drainNow(true)
 		}
+		s.notifyProgress()
 		s.scheduleDrainPoll()
 	})
 }

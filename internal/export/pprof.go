@@ -1,0 +1,243 @@
+// Package export converts a reconstructed capture (analyze.Analysis) into
+// the formats modern profiling consumers expect, and serves live capture
+// status over HTTP:
+//
+//   - MarshalPprof / WritePprof emit a pprof-compatible protobuf profile
+//     (hand-rolled encoding, no dependencies) whose samples carry the
+//     reconstructed call stacks with per-stack call counts and nanosecond
+//     self times, so `go tool pprof` renders the simulated kernel exactly
+//     as it renders a Go program: flat = the paper's net column,
+//     cumulative = the paper's elapsed column.
+//   - WriteChromeTrace emits the nested frames as Chrome trace_event
+//     duration events — viewable in Perfetto or chrome://tracing — with
+//     per-process tracks split at the context switcher and one instant
+//     event per drain-segment boundary (loss boundaries marked).
+//   - StatusServer exposes capture progress (fill level, drained
+//     segments, dropped strobes, sweep worker progress) as JSON plus a
+//     minimal HTML view, fed by the progress hooks on core.Session and
+//     sweep.Config.
+//
+// The exporters need a full reconstruction (Session.Analyze or
+// analyze.Reconstruct): the lean streaming path discards the invocation
+// trees the stacks and duration events are built from.
+package export
+
+import (
+	"compress/gzip"
+	"io"
+
+	"kprof/internal/analyze"
+)
+
+// pprof profile.proto field numbers. The schema is the stable public one
+// consumed by `go tool pprof` (google/pprof/proto/profile.proto).
+const (
+	// Profile
+	profSampleType    = 1
+	profSample        = 2
+	profLocation      = 4
+	profFunction      = 5
+	profStringTable   = 6
+	profTimeNanos     = 9
+	profDurationNanos = 10
+	profPeriodType    = 11
+	profPeriod        = 12
+
+	// ValueType
+	vtType = 1
+	vtUnit = 2
+
+	// Sample
+	sampleLocationID = 1
+	sampleValue      = 2
+
+	// Location
+	locID   = 1
+	locLine = 4
+
+	// Line
+	lineFunctionID = 1
+
+	// Function
+	fnID         = 1
+	fnName       = 2
+	fnSystemName = 3
+)
+
+// PprofOptions tunes the pprof export.
+type PprofOptions struct {
+	// PeriodNS is the sampling period recorded on the profile, in
+	// nanoseconds; 0 means 1000 — the prototype card's 1 µs counter
+	// resolution.
+	PeriodNS int64
+}
+
+// pprofSample is one unique call stack's accumulated values.
+type pprofSample struct {
+	locs  []uint64 // leaf first, as the schema requires
+	calls int64
+	ns    int64
+}
+
+// pprofBuilder assigns deterministic ids while walking the invocation
+// trees: functions and locations in first-encounter order (1:1, one
+// synthetic location per function), samples in first-encounter stack
+// order, strings in insertion order. Determinism is what makes the golden
+// byte-for-byte tests possible.
+type pprofBuilder struct {
+	strings  map[string]int64
+	strtab   []string
+	funcIDs  map[string]uint64
+	funcs    []string // name per id, in id order (id = index+1)
+	sampleIx map[string]int
+	samples  []*pprofSample
+}
+
+func newPprofBuilder() *pprofBuilder {
+	b := &pprofBuilder{
+		strings:  map[string]int64{"": 0},
+		strtab:   []string{""},
+		funcIDs:  map[string]uint64{},
+		sampleIx: map[string]int{},
+	}
+	return b
+}
+
+func (b *pprofBuilder) str(s string) int64 {
+	if ix, ok := b.strings[s]; ok {
+		return ix
+	}
+	ix := int64(len(b.strtab))
+	b.strings[s] = ix
+	b.strtab = append(b.strtab, s)
+	return ix
+}
+
+func (b *pprofBuilder) loc(name string) uint64 {
+	if id, ok := b.funcIDs[name]; ok {
+		return id
+	}
+	id := uint64(len(b.funcs) + 1)
+	b.funcIDs[name] = id
+	b.funcs = append(b.funcs, name)
+	b.str(name)
+	return id
+}
+
+// add folds one invocation into the sample keyed by its root-first stack.
+func (b *pprofBuilder) add(rootFirst []uint64, ns int64) {
+	var key protoBuf
+	for _, l := range rootFirst {
+		key.varint(l)
+	}
+	k := string(key.b)
+	var smp *pprofSample
+	if ix, ok := b.sampleIx[k]; ok {
+		smp = b.samples[ix]
+	} else {
+		leafFirst := make([]uint64, len(rootFirst))
+		for i, l := range rootFirst {
+			leafFirst[len(rootFirst)-1-i] = l
+		}
+		smp = &pprofSample{locs: leafFirst}
+		b.sampleIx[k] = len(b.samples)
+		b.samples = append(b.samples, smp)
+	}
+	smp.calls++
+	smp.ns += ns
+}
+
+// walk adds every complete invocation of the tree rooted at n. Incomplete
+// frames (force-closed or still open) have unknowable self time and
+// contribute no sample of their own, exactly as they are excluded from the
+// summary's timed statistics — but their name still appears in the stacks
+// of their complete descendants.
+func (b *pprofBuilder) walk(stack []uint64, n *analyze.Node) {
+	stack = append(stack, b.loc(n.Name))
+	if n.Complete {
+		ns := int64(n.Net())
+		if ns < 0 {
+			ns = 0
+		}
+		b.add(stack, ns)
+	}
+	for _, c := range n.Children {
+		b.walk(stack, c)
+	}
+}
+
+// MarshalPprof encodes the analysis as an uncompressed pprof protobuf
+// profile. Sample values are [calls/count, time/nanoseconds]; each sample
+// is one unique reconstructed call stack, its time the accumulated net
+// (self) time of the invocations with that stack. `go tool pprof -top`
+// therefore shows flat = the summary report's net column and cum = its
+// elapsed column. The output is deterministic byte for byte.
+func MarshalPprof(a *analyze.Analysis, opts PprofOptions) []byte {
+	period := opts.PeriodNS
+	if period == 0 {
+		period = 1000
+	}
+	b := newPprofBuilder()
+	// Pre-intern the type/unit strings so the table layout is stable
+	// regardless of function names.
+	callsIx, countIx := b.str("calls"), b.str("count")
+	timeIx, nanosIx := b.str("time"), b.str("nanoseconds")
+	for _, it := range a.Items {
+		if it.Kind == analyze.TraceExit && it.Node != nil && it.Depth == 0 {
+			b.walk(nil, it.Node)
+		}
+	}
+
+	var p protoBuf
+	vt := func(typ, unit int64) []byte {
+		var v protoBuf
+		v.int64Field(vtType, typ)
+		v.int64Field(vtUnit, unit)
+		return v.b
+	}
+	p.bytesField(profSampleType, vt(callsIx, countIx))
+	p.bytesField(profSampleType, vt(timeIx, nanosIx))
+	for _, smp := range b.samples {
+		var s protoBuf
+		s.packedUint64(sampleLocationID, smp.locs)
+		s.packedInt64(sampleValue, []int64{smp.calls, smp.ns})
+		p.bytesField(profSample, s.b)
+	}
+	for i := range b.funcs {
+		id := uint64(i + 1)
+		var line protoBuf
+		line.uint64Field(lineFunctionID, id)
+		var loc protoBuf
+		loc.uint64Field(locID, id)
+		loc.bytesField(locLine, line.b)
+		p.bytesField(profLocation, loc.b)
+	}
+	for i, name := range b.funcs {
+		nameIx := b.strings[name]
+		var fn protoBuf
+		fn.uint64Field(fnID, uint64(i+1))
+		fn.int64Field(fnName, nameIx)
+		fn.int64Field(fnSystemName, nameIx)
+		p.bytesField(profFunction, fn.b)
+	}
+	for _, s := range b.strtab {
+		p.bytesField(profStringTable, []byte(s))
+	}
+	// time_nanos stays zero: the capture's timeline is virtual, and a wall
+	// timestamp would break byte-identical golden output.
+	p.int64Field(profTimeNanos, 0)
+	p.int64Field(profDurationNanos, int64(a.Elapsed()))
+	p.bytesField(profPeriodType, vt(timeIx, nanosIx))
+	p.int64Field(profPeriod, period)
+	return p.b
+}
+
+// WritePprof writes the gzipped pprof profile — the on-disk form
+// `go tool pprof` expects.
+func WritePprof(w io.Writer, a *analyze.Analysis, opts PprofOptions) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(MarshalPprof(a, opts)); err != nil {
+		return err
+	}
+	return zw.Close()
+}

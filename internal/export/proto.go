@@ -1,0 +1,93 @@
+package export
+
+// Minimal protobuf wire-format encoder — exactly the subset the pprof
+// profile.proto schema needs (varints, length-delimited submessages and
+// strings, packed repeated scalars). Hand-rolled so the repository stays
+// standard-library only; the encoding is deterministic byte for byte,
+// which the golden exporter tests rely on.
+
+// Wire types of the protobuf encoding.
+const (
+	wireVarint = 0
+	wireBytes  = 2
+)
+
+// protoBuf accumulates an encoded message.
+type protoBuf struct {
+	b []byte
+}
+
+// varint appends v in base-128 little-endian-group encoding.
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// key appends a field key (field number + wire type).
+func (p *protoBuf) key(field, wire int) {
+	p.varint(uint64(field)<<3 | uint64(wire))
+}
+
+// uint64Field appends field=v, omitting the proto3 zero default.
+func (p *protoBuf) uint64Field(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.key(field, wireVarint)
+	p.varint(v)
+}
+
+// int64Field appends field=v, omitting the proto3 zero default. pprof's
+// schema never stores negative values in practice, but the two's-complement
+// varint form is the correct general encoding.
+func (p *protoBuf) int64Field(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	p.key(field, wireVarint)
+	p.varint(uint64(v))
+}
+
+// stringField appends field=s. Empty strings are omitted (proto3 default);
+// repeated-string entries that must be present even when empty (the string
+// table's index 0) go through bytesField instead.
+func (p *protoBuf) stringField(field int, s string) {
+	if s == "" {
+		return
+	}
+	p.bytesField(field, []byte(s))
+}
+
+// bytesField appends field=b as a length-delimited value, even when empty.
+func (p *protoBuf) bytesField(field int, b []byte) {
+	p.key(field, wireBytes)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+// packedUint64 appends a packed repeated uint64 field.
+func (p *protoBuf) packedUint64(field int, vals []uint64) {
+	if len(vals) == 0 {
+		return
+	}
+	var inner protoBuf
+	for _, v := range vals {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+// packedInt64 appends a packed repeated int64 field.
+func (p *protoBuf) packedInt64(field int, vals []int64) {
+	if len(vals) == 0 {
+		return
+	}
+	var inner protoBuf
+	for _, v := range vals {
+		inner.varint(uint64(v))
+	}
+	p.bytesField(field, inner.b)
+}

@@ -1,0 +1,210 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net"
+	"net/http"
+	"sync"
+
+	"kprof/internal/core"
+	"kprof/internal/sim"
+	"kprof/internal/sweep"
+)
+
+// The live status endpoint: a tiny HTTP server that renders whatever the
+// progress hooks on core.Session and sweep.Config last reported — capture
+// fill level, drained segments, dropped strobes, sweep worker progress —
+// as JSON (/status.json) and as a self-refreshing HTML page (/). It is
+// the observability half of the drain-and-stitch pipeline: a long
+// continuous capture or a big sweep is no longer a black box until the
+// report prints.
+
+// SessionStatus is the live view of one profiling session's capture
+// state, mirroring core.Progress. Loss-accounting field names follow the
+// repository-wide vocabulary (dropped_strobes; see DESIGN.md).
+type SessionStatus struct {
+	NowUS          int64   `json:"now_us"`
+	Armed          bool    `json:"armed"`
+	Mode           string  `json:"mode"`
+	Stored         int     `json:"stored"`
+	Depth          int     `json:"depth"`
+	FillPct        float64 `json:"fill_pct"`
+	Overflowed     bool    `json:"overflowed"`
+	Segments       int     `json:"segments"`
+	DrainedRecords int     `json:"drained_records"`
+	Dropped        uint64  `json:"dropped_strobes"`
+}
+
+// SweepStatus is the live view of a multi-seed sweep, mirroring
+// sweep.Progress.
+type SweepStatus struct {
+	Scenario string `json:"scenario"`
+	Seeds    int    `json:"seeds"`
+	Started  int    `json:"started"`
+	Done     int    `json:"done"`
+	LastSeed uint64 `json:"last_seed"`
+	Segments int    `json:"segments"`
+	Dropped  uint64 `json:"dropped_strobes"`
+}
+
+// StatusSnapshot is everything /status.json serves.
+type StatusSnapshot struct {
+	// Scenario and State describe the run as a whole; State is free-form
+	// ("running", "done", ...) and set by the driver via SetState.
+	Scenario string `json:"scenario,omitempty"`
+	State    string `json:"state"`
+	// Session and Sweep are present once the corresponding hook has
+	// fired at least once.
+	Session *SessionStatus `json:"session,omitempty"`
+	Sweep   *SweepStatus   `json:"sweep,omitempty"`
+}
+
+// StatusServer serves the live capture status. Zero value is not usable;
+// call NewStatusServer. Wire it up with
+//
+//	srv := export.NewStatusServer()
+//	session.SetProgress(srv.OnSessionProgress)   // and/or
+//	sweepCfg.OnProgress = srv.OnSweepProgress
+//	url, stop, err := srv.Start(":6060")
+//
+// All methods are safe for concurrent use: the hooks run on simulation or
+// worker goroutines while HTTP handlers read.
+type StatusServer struct {
+	mu   sync.RWMutex
+	snap StatusSnapshot
+	mux  *http.ServeMux
+}
+
+// NewStatusServer returns a server with an empty snapshot and State
+// "idle".
+func NewStatusServer() *StatusServer {
+	s := &StatusServer{snap: StatusSnapshot{State: "idle"}}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/status.json", s.serveJSON)
+	s.mux.HandleFunc("/", s.serveHTML)
+	return s
+}
+
+// SetScenario records the scenario name shown in the status.
+func (s *StatusServer) SetScenario(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snap.Scenario = name
+}
+
+// SetState records the run state ("running", "done", ...).
+func (s *StatusServer) SetState(state string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snap.State = state
+}
+
+// OnSessionProgress is a core.Session progress hook: pass it to
+// Session.SetProgress.
+func (s *StatusServer) OnSessionProgress(p core.Progress) {
+	st := &SessionStatus{
+		NowUS:          p.Now.Micros(),
+		Armed:          p.Armed,
+		Mode:           p.Mode.String(),
+		Stored:         p.Stored,
+		Depth:          p.Depth,
+		Overflowed:     p.Overflowed,
+		Segments:       p.Segments,
+		DrainedRecords: p.SegmentRecords,
+		Dropped:        p.Dropped,
+	}
+	if p.Depth > 0 {
+		st.FillPct = 100 * float64(p.Stored) / float64(p.Depth)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snap.Session = st
+}
+
+// OnSweepProgress is a sweep progress hook: assign it to
+// sweep.Config.OnProgress.
+func (s *StatusServer) OnSweepProgress(p sweep.Progress) {
+	st := &SweepStatus{
+		Scenario: p.Scenario,
+		Seeds:    p.Seeds,
+		Started:  p.Started,
+		Done:     p.Done,
+		LastSeed: p.Seed,
+		Segments: p.Segments,
+		Dropped:  p.Dropped,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snap.Sweep = st
+}
+
+// Snapshot returns a copy of the current status.
+func (s *StatusServer) Snapshot() StatusSnapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snap
+}
+
+// Handler returns the HTTP handler serving / (HTML) and /status.json.
+func (s *StatusServer) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (e.g. ":6060") and serves the status in a
+// background goroutine. It returns the reachable URL and a stop function
+// that closes the listener.
+func (s *StatusServer) Start(addr string) (string, func() error, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: s.mux}
+	go srv.Serve(l)
+	return "http://" + l.Addr().String(), srv.Close, nil
+}
+
+func (s *StatusServer) serveJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot())
+}
+
+func (s *StatusServer) serveHTML(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	snap := s.Snapshot()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, "<!DOCTYPE html><html><head><meta charset=\"utf-8\">")
+	fmt.Fprint(w, "<meta http-equiv=\"refresh\" content=\"1\"><title>kprof status</title>")
+	fmt.Fprint(w, "<style>body{font-family:monospace;margin:2em}table{border-collapse:collapse}")
+	fmt.Fprint(w, "td,th{border:1px solid #999;padding:.3em .8em;text-align:right}th{text-align:left}</style>")
+	fmt.Fprint(w, "</head><body><h1>kprof</h1>")
+	fmt.Fprintf(w, "<p>scenario <b>%s</b> — state <b>%s</b> — <a href=\"/status.json\">status.json</a></p>",
+		html.EscapeString(snap.Scenario), html.EscapeString(snap.State))
+	if st := snap.Session; st != nil {
+		fmt.Fprint(w, "<h2>capture</h2><table>")
+		fmt.Fprintf(w, "<tr><th>virtual time</th><td>%s</td></tr>", sim.Time(st.NowUS)*sim.Microsecond)
+		fmt.Fprintf(w, "<tr><th>mode</th><td>%s</td></tr>", html.EscapeString(st.Mode))
+		fmt.Fprintf(w, "<tr><th>armed</th><td>%v</td></tr>", st.Armed)
+		fmt.Fprintf(w, "<tr><th>card fill</th><td>%d / %d (%.1f%%)</td></tr>", st.Stored, st.Depth, st.FillPct)
+		fmt.Fprintf(w, "<tr><th>overflow LED</th><td>%v</td></tr>", st.Overflowed)
+		fmt.Fprintf(w, "<tr><th>drained segments</th><td>%d</td></tr>", st.Segments)
+		fmt.Fprintf(w, "<tr><th>drained records</th><td>%d</td></tr>", st.DrainedRecords)
+		fmt.Fprintf(w, "<tr><th>dropped strobes</th><td>%d</td></tr>", st.Dropped)
+		fmt.Fprint(w, "</table>")
+	}
+	if st := snap.Sweep; st != nil {
+		fmt.Fprint(w, "<h2>sweep</h2><table>")
+		fmt.Fprintf(w, "<tr><th>scenario</th><td>%s</td></tr>", html.EscapeString(st.Scenario))
+		fmt.Fprintf(w, "<tr><th>seeds done</th><td>%d / %d (%d in flight)</td></tr>",
+			st.Done, st.Seeds, st.Started-st.Done)
+		fmt.Fprintf(w, "<tr><th>last seed</th><td>%d</td></tr>", st.LastSeed)
+		fmt.Fprintf(w, "<tr><th>drain segments</th><td>%d</td></tr>", st.Segments)
+		fmt.Fprintf(w, "<tr><th>dropped strobes</th><td>%d</td></tr>", st.Dropped)
+		fmt.Fprint(w, "</table>")
+	}
+	fmt.Fprint(w, "</body></html>")
+}

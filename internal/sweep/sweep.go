@@ -51,6 +51,31 @@ type Config struct {
 	// arrive in completion order. When nil, workers use the lean
 	// streaming analysis and keep only compact samples.
 	Observe func(seed uint64, a *analyze.Analysis)
+	// OnProgress, when non-nil, observes sweep scheduling: it fires once
+	// when a worker picks a seed up and once when the seed finishes.
+	// Calls are serialized; the callback must not block for long (every
+	// worker contends on its lock). It feeds live observability
+	// (export.StatusServer) for long sweeps.
+	OnProgress func(Progress)
+}
+
+// Progress is one sweep scheduling event, delivered to Config.OnProgress.
+type Progress struct {
+	// Scenario and Seeds identify the sweep (Seeds is the total count).
+	Scenario string
+	Seeds    int
+	// Started counts seeds handed to workers so far; Done counts seeds
+	// finished. Started - Done seeds are in flight.
+	Started int
+	Done    int
+	// Seed is the seed this event concerns; Finished distinguishes its
+	// completion event from its pickup event.
+	Seed     uint64
+	Finished bool
+	// Segments and Dropped accumulate finished seeds' drain-segment
+	// counts and dropped-strobe losses (always zero for one-shot sweeps).
+	Segments int
+	Dropped  uint64
 }
 
 // FnSample is one function's footprint in a single seed's run.
@@ -117,13 +142,16 @@ func Run(cfg Config) (*Result, error) {
 	errs := make([]error, len(cfg.Seeds))
 	jobs := make(chan int)
 	var observeMu sync.Mutex
+	prog := newProgressTracker(cfg)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
+				prog.started(cfg.Seeds[idx])
 				results[idx], errs[idx] = runSeed(cfg, sc, cfg.Seeds[idx], &observeMu)
+				prog.finished(cfg.Seeds[idx], results[idx], errs[idx])
 			}
 		}()
 	}
@@ -144,6 +172,44 @@ func Run(cfg Config) (*Result, error) {
 		Agg:      aggregate(cfg.Scenario, results),
 		Workers:  workers,
 	}, nil
+}
+
+// progressTracker serializes OnProgress callbacks and accumulates the
+// cross-seed counters they carry.
+type progressTracker struct {
+	cfg Config
+	mu  sync.Mutex
+	p   Progress
+}
+
+func newProgressTracker(cfg Config) *progressTracker {
+	return &progressTracker{cfg: cfg, p: Progress{Scenario: cfg.Scenario, Seeds: len(cfg.Seeds)}}
+}
+
+func (t *progressTracker) started(seed uint64) {
+	if t.cfg.OnProgress == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.p.Started++
+	t.p.Seed, t.p.Finished = seed, false
+	t.cfg.OnProgress(t.p)
+}
+
+func (t *progressTracker) finished(seed uint64, r SeedResult, err error) {
+	if t.cfg.OnProgress == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.p.Done++
+	t.p.Seed, t.p.Finished = seed, true
+	if err == nil {
+		t.p.Segments += r.Segments
+		t.p.Dropped += r.Dropped
+	}
+	t.cfg.OnProgress(t.p)
 }
 
 // runSeed is one worker unit: boot, instrument, run, analyze, sample.

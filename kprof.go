@@ -16,6 +16,9 @@
 //   - Session.Analyze decodes the captured (tag, µs) stream and produces
 //     the paper's reports: the per-function summary and the code-path
 //     trace.
+//   - Exporters (WritePprof, WriteChromeTrace) hand the reconstruction to
+//     modern viewers — `go tool pprof` and Perfetto/chrome://tracing — and
+//     StatusServer serves live capture status over HTTP.
 //
 // Quick start:
 //
@@ -31,6 +34,7 @@ package kprof
 import (
 	"kprof/internal/analyze"
 	"kprof/internal/core"
+	"kprof/internal/export"
 	"kprof/internal/hw"
 	"kprof/internal/kernel"
 	"kprof/internal/netstack"
@@ -157,9 +161,9 @@ var (
 	FFSWrite = workload.FFSWrite
 	// FFSRead performs seek-heavy reads.
 	FFSRead = workload.FFSRead
-	// NFSTransfer and FTPTransfer are the two legs of the NFS-vs-FTP
-	// comparison.
+	// NFSTransfer runs the NFS leg of the NFS-vs-FTP comparison.
 	NFSTransfer = workload.NFSTransfer
+	// FTPTransfer runs the FTP leg of the NFS-vs-FTP comparison.
 	FTPTransfer = workload.FTPTransfer
 	// Mixed is the everything-at-once background of Table 1.
 	Mixed = workload.Mixed
@@ -261,6 +265,35 @@ var ParseSeeds = sweep.ParseSeeds
 
 // ScenarioNames lists the workload scenarios a sweep can run.
 var ScenarioNames = workload.ScenarioNames
+
+// Exporters: the analysis rendered in the formats modern profiling
+// consumers expect (see internal/export).
+type (
+	// PprofOptions tunes the pprof export (sampling period metadata).
+	PprofOptions = export.PprofOptions
+	// StatusServer serves live capture/sweep status as JSON and HTML,
+	// fed by Session.SetProgress and SweepConfig.OnProgress hooks.
+	StatusServer = export.StatusServer
+	// SessionProgress is one capture-state snapshot delivered to a
+	// Session.SetProgress hook.
+	SessionProgress = core.Progress
+	// SweepProgress is one scheduling event delivered to a
+	// SweepConfig.OnProgress hook.
+	SweepProgress = sweep.Progress
+)
+
+var (
+	// MarshalPprof encodes an Analysis as an uncompressed pprof protobuf
+	// profile with deterministic bytes.
+	MarshalPprof = export.MarshalPprof
+	// WritePprof writes the gzipped pprof profile `go tool pprof` expects.
+	WritePprof = export.WritePprof
+	// WriteChromeTrace writes the Chrome trace_event JSON file Perfetto
+	// and chrome://tracing load.
+	WriteChromeTrace = export.WriteChromeTrace
+	// NewStatusServer builds a live status endpoint.
+	NewStatusServer = export.NewStatusServer
+)
 
 // Sampler is the clock-sampling software profiler the paper contrasts the
 // hardware approach with (granularity versus perturbation).

@@ -1,7 +1,8 @@
 #!/bin/sh
-# check.sh — the repository's verification gate: formatting, vet, build,
-# tests, and (unless SKIP_RACE=1) the full suite under the race detector.
-# CI and pre-commit hooks should run exactly this.
+# check.sh — the repository's verification gate: formatting, vet, doc
+# consistency (public-surface godoc, markdown links, CLI flag coverage),
+# build, tests, and (unless SKIP_RACE=1) the full suite under the race
+# detector. CI and pre-commit hooks should run exactly this.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,6 +17,10 @@ fi
 
 echo "== go vet =="
 go vet ./...
+
+echo "== docs =="
+./scripts/godoc_check.sh
+./scripts/docs_check.sh
 
 echo "== go build =="
 go build ./...

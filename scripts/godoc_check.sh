@@ -1,0 +1,37 @@
+#!/bin/sh
+# godoc_check.sh — the public surface must stay documented: every exported
+# identifier declared in kprof.go needs a doc comment (directly above it,
+# or above the var/const/type block that groups it). Pure grep/awk, no
+# tooling beyond the POSIX shell.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=$(awk '
+	BEGIN { prevc = 0; inblock = 0; blockdoc = 0 }
+	# comment lines arm the "documented" flag for the next declaration
+	/^\/\// { prevc = 1; next }
+	/^(func|type|var|const) [A-Z]/ {
+		n = $2; sub(/[^A-Za-z0-9_].*/, "", n)
+		if (!prevc)
+			print FILENAME ":" NR ": exported identifier " n " has no doc comment"
+		prevc = 0; next
+	}
+	/^(var|const|type) \(/ { inblock = 1; blockdoc = prevc; prevc = 0; next }
+	inblock && /^\)/ { inblock = 0; prevc = 0; next }
+	inblock && /^\t\/\// { prevc = 1; next }
+	inblock && /^\t[A-Z]/ {
+		n = $1; sub(/[^A-Za-z0-9_].*/, "", n)
+		if (!prevc && !blockdoc)
+			print FILENAME ":" NR ": exported identifier " n " is in an undocumented block and has no doc comment"
+		prevc = 0; next
+	}
+	{ prevc = 0 }
+' kprof.go)
+
+if [ -n "$out" ]; then
+	echo "$out"
+	echo "godoc_check: undocumented exported identifiers in kprof.go"
+	exit 1
+fi
+echo "godoc_check: kprof.go public surface fully documented"
