@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fuzz check fmt vet docs-check
+.PHONY: all build test race bench fuzz check fmt vet docs-check cover
 
 all: build test
 
@@ -18,11 +18,18 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Short fuzz passes over the decoder's timestamp unwrap and the
-# segment-boundary stitching state.
+# Short fuzz passes over the decoder's timestamp unwrap, the
+# segment-boundary stitching state, and the hardened (fault-surviving)
+# decode pipeline.
 fuzz:
 	$(GO) test -run FuzzDecodeUnwrap -fuzz FuzzDecodeUnwrap -fuzztime 20s ./internal/analyze/
 	$(GO) test -run FuzzSegmentBoundary -fuzz FuzzSegmentBoundary -fuzztime 20s ./internal/analyze/
+	$(GO) test -run FuzzFaultedDecode -fuzz FuzzFaultedDecode -fuzztime 20s ./internal/analyze/
+
+# Statement-coverage floors for the packages the fault-injection claims
+# rest on (internal/analyze, internal/faults).
+cover:
+	./scripts/cover_check.sh
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

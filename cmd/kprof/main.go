@@ -34,6 +34,7 @@ import (
 	"kprof/internal/analyze"
 	"kprof/internal/core"
 	"kprof/internal/export"
+	"kprof/internal/faults"
 	"kprof/internal/hw"
 	"kprof/internal/kernel"
 	"kprof/internal/netstack"
@@ -68,6 +69,9 @@ func main() {
 		pprofOut   = flag.String("pprof", "", "write the analysis as a gzipped pprof profile (view with `go tool pprof`)")
 		traceOut   = flag.String("trace", "", "write the analysis as a Chrome trace_event JSON file (view in Perfetto or chrome://tracing)")
 		httpAddr   = flag.String("http", "", "serve live capture status (JSON + HTML) on this address, e.g. :6060; keeps serving after the run")
+		faultsOn   = flag.Bool("faults", false, "inject deterministic hardware faults into the capture (robustness testing)")
+		faultRate  = flag.Float64("faultrate", 0.01, "per-strobe fault probability in [0,1] (needs -faults)")
+		faultSeed  = flag.Uint64("faultseed", 1, "fault-injector seed; sweeps derive a per-seed stream from it (needs -faults)")
 	)
 	flag.Parse()
 
@@ -122,6 +126,14 @@ func main() {
 		mode = core.CaptureContinuous
 	}
 	drainCfg := core.DrainConfig{HighWater: *highWater, Interval: sim.Time(drainEvery.Nanoseconds())}
+	var faultCfg *faults.Config
+	if *faultsOn {
+		if *faultRate < 0 || *faultRate > 1 {
+			fmt.Fprintf(os.Stderr, "kprof: -faultrate %v outside [0,1]\n", *faultRate)
+			os.Exit(1)
+		}
+		faultCfg = &faults.Config{Seed: *faultSeed, Rate: *faultRate}
+	}
 	if *seeds != "" || *report == "sweep" {
 		// The per-run exporters need one analysis; a sweep has many.
 		if *pprofOut != "" || *traceOut != "" {
@@ -134,7 +146,7 @@ func main() {
 			onProgress = status.OnSweepProgress
 		}
 		if err := runSweep(*scenario, *seeds, *parallel, *seed,
-			sim.Time(duration.Nanoseconds()), *count, mods, *depth, *top, mode, drainCfg, onProgress); err != nil {
+			sim.Time(duration.Nanoseconds()), *count, mods, *depth, *top, mode, drainCfg, faultCfg, onProgress); err != nil {
 			fmt.Fprintln(os.Stderr, "kprof:", err)
 			os.Exit(1)
 		}
@@ -153,7 +165,7 @@ func main() {
 	serveStatus(*scenario)
 	m := core.NewMachine(kernel.Config{Seed: *seed})
 	s, err := core.NewSession(m, core.ProfileConfig{
-		Mode: mode, Drain: drainCfg, Modules: mods, Depth: *depth,
+		Mode: mode, Drain: drainCfg, Modules: mods, Depth: *depth, Faults: faultCfg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kprof:", err)
@@ -216,6 +228,11 @@ func main() {
 	}
 
 	a := s.Analyze()
+	if st, ok := s.FaultStats(); ok {
+		fmt.Fprintf(os.Stderr, "kprof: faults injected: %s\n", st)
+		fmt.Fprintf(os.Stderr, "kprof: decode found %d corrupt records, repaired %d timestamps, %d resyncs\n",
+			a.Stats.CorruptRecords, a.Stats.RepairedTimestamps, a.Stats.Resyncs)
+	}
 	if *segments {
 		a.WriteSegments(os.Stdout)
 		fmt.Println()
@@ -324,7 +341,7 @@ func printReport(a *analyze.Analysis, m *core.Machine, report string, top, maxli
 // runSweep fans the scenario across a seed set on a worker pool and prints
 // the cross-seed aggregate. With -report sweep but no -seeds, the single
 // -seed value runs (a one-seed sweep).
-func runSweep(scenario, spec string, parallel int, seed uint64, d sim.Time, count int, mods []string, depth, top int, mode core.CaptureMode, drain core.DrainConfig, onProgress func(sweep.Progress)) error {
+func runSweep(scenario, spec string, parallel int, seed uint64, d sim.Time, count int, mods []string, depth, top int, mode core.CaptureMode, drain core.DrainConfig, faultCfg *faults.Config, onProgress func(sweep.Progress)) error {
 	var seedSet []uint64
 	if spec == "" {
 		seedSet = []uint64{seed}
@@ -339,7 +356,7 @@ func runSweep(scenario, spec string, parallel int, seed uint64, d sim.Time, coun
 		Seeds:      seedSet,
 		Parallel:   parallel,
 		Params:     workload.Params{Duration: d, Count: count},
-		Profile:    core.ProfileConfig{Mode: mode, Drain: drain, Modules: mods, Depth: depth},
+		Profile:    core.ProfileConfig{Mode: mode, Drain: drain, Modules: mods, Depth: depth, Faults: faultCfg},
 		OnProgress: onProgress,
 	})
 	if err != nil {
@@ -355,6 +372,18 @@ func runSweep(scenario, spec string, parallel int, seed uint64, d sim.Time, coun
 			lost += r.Dropped
 		}
 		fmt.Printf("drained %d segments across %d seeds, %d strobes lost\n", segs, len(res.PerSeed), lost)
+	}
+	if faultCfg != nil {
+		var injected uint64
+		var corrupt, repaired, resyncs int
+		for _, r := range res.PerSeed {
+			injected += r.Faults
+			corrupt += r.Corrupt
+			repaired += r.Repaired
+			resyncs += r.Resyncs
+		}
+		fmt.Printf("faults: %d injected across %d seeds; decode found %d corrupt records, repaired %d timestamps, %d resyncs\n",
+			injected, len(res.PerSeed), corrupt, repaired, resyncs)
 	}
 	fmt.Println()
 	return res.Agg.Write(os.Stdout, top)
@@ -411,8 +440,9 @@ func analyzeSaved(capPath, tagsPath, report string, top, maxlines int, fn string
 	if err != nil {
 		return nil, err
 	}
-	events, stats := analyze.Decode(c, tags)
-	a := analyze.Reconstruct(events, stats)
+	// Saved captures come from arbitrary hardware in arbitrary health;
+	// analyze through the hardened pipeline.
+	a := analyze.ReconstructCapture(c, tags, analyze.ReconstructOptions{Repair: analyze.DefaultRepair()})
 	printReport(a, nil, report, top, maxlines, fn)
 	return a, nil
 }

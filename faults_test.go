@@ -1,0 +1,227 @@
+// The differential fault-injection harness: every scenario profiled twice,
+// once clean and once through a faulted card, and the two analyses compared.
+// The contract under test is graceful degradation — at the rates a field
+// deployment would actually see, the report still tells the same story
+// within a declared tolerance, and at absurd rates the pipeline still
+// completes with honest loss accounting instead of panicking or hanging.
+//
+// The accuracy bar is declared per scenario because it depends on capture
+// density: netrecv's hot functions run hundreds of calls, so losing a
+// strobe costs a fraction of one call; forkexec's giants (vmspace_fork)
+// run once, so a single dropped strobe untimes their only frame — the
+// honest claim there stops at a lower rate.
+package kprof_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"kprof"
+	"kprof/internal/sim"
+)
+
+// faultScenario is one profiled workload for the differential harness.
+type faultScenario struct {
+	name string
+	seed uint64
+	run  func(t *testing.T, m *kprof.Machine)
+}
+
+// rateCase is one injection rate and the accuracy claim defended at it:
+// tol is the relative net-time tolerance for the clean top-5, or <0 when
+// the claim is completion-only.
+type rateCase struct {
+	rate float64
+	tol  float64
+}
+
+var faultCases = []struct {
+	faultScenario
+	rates []rateCase
+}{
+	{
+		faultScenario{"netrecv", 42, func(t *testing.T, m *kprof.Machine) {
+			if _, err := kprof.NetReceive(m, 60*sim.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		[]rateCase{{0.001, 0.10}, {0.01, 0.25}, {0.05, -1}, {0.20, -1}},
+	},
+	{
+		faultScenario{"forkexec", 7, func(t *testing.T, m *kprof.Machine) {
+			kprof.ForkExec(m, 1)
+		}},
+		[]rateCase{{0.001, 0.15}, {0.01, -1}, {0.05, -1}, {0.20, -1}},
+	},
+}
+
+// runFaulted profiles one scenario, with an injector attached when fc is
+// non-nil, and returns the analysis plus the injector's statistics.
+func runFaulted(t *testing.T, sc faultScenario, fc *kprof.FaultConfig) (*kprof.Analysis, kprof.FaultStats) {
+	t.Helper()
+	m := kprof.NewMachine(kprof.MachineConfig{Seed: sc.seed})
+	s, err := kprof.NewSession(m, kprof.ProfileConfig{Faults: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	sc.run(t, m)
+	s.Disarm()
+	a := s.Analyze()
+	st, ok := s.FaultStats()
+	if ok != (fc != nil) {
+		t.Fatalf("FaultStats ok=%v with config %v", ok, fc)
+	}
+	return a, st
+}
+
+// topNet returns the top n non-idle function names by net time, busiest
+// first (Functions() sorts by net descending).
+func topNet(a *kprof.Analysis, n int) []string {
+	var out []string
+	for _, s := range a.Functions() {
+		if s.CtxSwitch {
+			continue
+		}
+		out = append(out, s.Name)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// TestFaultedProfileDegradesGracefully is the differential harness. For
+// each scenario the clean run is the reference; each faulted run must
+// complete with coherent accounting at every rate, and at the rates where
+// an accuracy claim is declared the report must still tell the same story:
+// the same busiest function, the clean top-5 still in the faulted top-7
+// (and vice versa — a repair residual of a few hundred µs can swap
+// near-tied ranks, never invent a new hot function), and each clean top-5
+// net time reproduced within the declared tolerance.
+func TestFaultedProfileDegradesGracefully(t *testing.T) {
+	for _, sc := range faultCases {
+		clean, _ := runFaulted(t, sc.faultScenario, nil)
+		cleanTop := topNet(clean, 7)
+		if len(cleanTop) < 7 {
+			t.Fatalf("%s: clean run produced only %d functions", sc.name, len(cleanTop))
+		}
+		for _, rc := range sc.rates {
+			t.Run(fmt.Sprintf("%s/rate=%g", sc.name, rc.rate), func(t *testing.T) {
+				a, st := runFaulted(t, sc.faultScenario, &kprof.FaultConfig{Seed: 1, Rate: rc.rate})
+
+				// Completion invariants, at every rate: the pipeline
+				// finishes, the timeline is well-formed, the accounting
+				// is self-consistent, and the reports render.
+				if st.Injected() == 0 && rc.rate >= 0.01 {
+					t.Fatalf("injector at rate %g injected nothing over %d strobes", rc.rate, st.Strobes)
+				}
+				if a.Stats.Records == 0 {
+					t.Fatal("faulted capture decoded to zero records")
+				}
+				if a.End < a.Start || a.RunTime() < 0 {
+					t.Fatalf("incoherent timeline: start %v end %v run %v", a.Start, a.End, a.RunTime())
+				}
+				if a.Stats.CorruptRecords > a.Stats.Records {
+					t.Fatalf("corrupt %d exceeds records %d", a.Stats.CorruptRecords, a.Stats.Records)
+				}
+				// Corruption must be seen AND counted: a fault layer the
+				// decode cannot detect at a 1% rate would be silent loss.
+				if rc.rate >= 0.01 && a.Stats.CorruptRecords == 0 {
+					t.Fatalf("rate %g injected %d faults but decode reported no corrupt records", rc.rate, st.Injected())
+				}
+				for _, s := range a.Functions() {
+					if s.TimedCalls > s.Calls {
+						t.Fatalf("%s: %d timed of %d calls", s.Name, s.TimedCalls, s.Calls)
+					}
+					if s.Net < 0 || s.Elapsed < 0 {
+						t.Fatalf("%s: negative time (net %v, elapsed %v)", s.Name, s.Net, s.Elapsed)
+					}
+				}
+				if sum := a.SummaryString(15); sum == "" {
+					t.Fatal("empty summary")
+				}
+				if tr := a.TraceString(kprof.TraceOptions{MaxLines: 20}); tr == "" {
+					t.Fatal("empty trace")
+				}
+
+				if rc.tol < 0 {
+					return // absurd rate: surviving it is the whole claim
+				}
+
+				// Accuracy claims at the declared rates.
+				top := topNet(a, 7)
+				if top[0] != cleanTop[0] {
+					t.Errorf("busiest function changed: %q, clean says %q", top[0], cleanTop[0])
+				}
+				in := func(set []string, name string) bool {
+					for _, n := range set {
+						if n == name {
+							return true
+						}
+					}
+					return false
+				}
+				for _, name := range cleanTop[:5] {
+					if !in(top, name) {
+						t.Errorf("clean top-5 function %q fell out of the faulted top-7 %v", name, top)
+					}
+				}
+				for _, name := range top[:5] {
+					if !in(cleanTop, name) {
+						t.Errorf("faulted top-5 invented %q, not in clean top-7 %v", name, cleanTop)
+					}
+				}
+				for _, name := range cleanTop[:5] {
+					cs, _ := clean.Fn(name)
+					fs, ok := a.Fn(name)
+					if !ok {
+						t.Errorf("%s vanished from the faulted profile", name)
+						continue
+					}
+					diff := fs.Net - cs.Net
+					if diff < 0 {
+						diff = -diff
+					}
+					if float64(diff) > rc.tol*float64(cs.Net) {
+						t.Errorf("%s: net %v drifted beyond %.0f%% of clean %v", name, fs.Net, rc.tol*100, cs.Net)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFaultRateZeroByteIdentical is the pass-through property: a session
+// with an injector attached at rate 0 reproduces the golden reports byte
+// for byte — attaching the fault layer costs nothing and changes nothing
+// until it actually fires.
+func TestFaultRateZeroByteIdentical(t *testing.T) {
+	fc := &kprof.FaultConfig{Seed: 12345, Rate: 0}
+	run := func(dur sim.Time) (*kprof.Analysis, kprof.FaultStats) {
+		return runFaulted(t, faultScenario{"netrecv", 42, func(t *testing.T, m *kprof.Machine) {
+			if _, err := kprof.NetReceive(m, dur); err != nil {
+				t.Fatal(err)
+			}
+		}}, fc)
+	}
+
+	a, st := run(60 * sim.Millisecond)
+	if st.Injected() != 0 {
+		t.Fatalf("rate-0 injector injected %d faults", st.Injected())
+	}
+	if st.Strobes == 0 {
+		t.Fatal("rate-0 injector saw no strobes — not attached?")
+	}
+	golden(t, "netrecv_seed42.summary", a.SummaryString(15))
+	golden(t, "netrecv_seed42.pprof", string(kprof.MarshalPprof(a, kprof.PprofOptions{})))
+
+	// The Chrome trace golden comes from the shorter 10 ms window.
+	a10, _ := run(10 * sim.Millisecond)
+	var b strings.Builder
+	if err := kprof.WriteChromeTrace(&b, a10); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "netrecv_seed42.trace.json", b.String())
+}

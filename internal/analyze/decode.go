@@ -57,6 +57,19 @@ type DecodeStats struct {
 	// head of the run, and the tail was lost.
 	Overflowed bool
 	Dropped    uint64
+
+	// CorruptRecords counts records the decoder judged corrupted: a tag
+	// that resolves against nothing in the name/tag file, or a timestamp
+	// the monotonicity-repair heuristics had to replace. Each record
+	// counts once however many ways it was damaged.
+	CorruptRecords int
+	// RepairedTimestamps counts stamps replaced by interpolation (or
+	// zero-advance) because they disagreed with both neighbours.
+	RepairedTimestamps int
+	// Resyncs counts the times repair gave up interpolating and rebased
+	// the timeline on a new stamp (bounded-resync: too many consecutive
+	// implausible stamps to call them all glitches).
+	Resyncs int
 }
 
 // Decoder incrementally unwraps the truncated counter stamps into a
@@ -80,21 +93,111 @@ type Decoder struct {
 	last  uint32
 	first bool
 
+	// Monotonicity-repair state (see RepairConfig). A record whose delta
+	// from the trusted timebase is implausibly large is held pending until
+	// its successor arrives to arbitrate.
+	repair     RepairConfig
+	suspect    uint32 // deltas at or above this are implausible, in ticks
+	pending    hw.Record
+	hasPending bool
+	suspectRun int
+
 	records     int
 	unknownTags int
+	corrupt     int
+	repaired    int
+	resyncs     int
 }
+
+// RepairConfig tunes the decoder's timestamp-monotonicity repair: the
+// hardened pipeline's defense against bit flips and jitter in the stored
+// 24-bit stamps. A flipped high bit reads back as a huge modular interval;
+// left alone it would teleport the timeline forward (and, via the unwrap
+// guard, silently alias everything after it). Repair holds any record whose
+// interval from the trusted timebase is implausibly large — at least
+// SuspectTicks — until the next record arbitrates:
+//
+//   - successor agrees with the old timebase: the suspect stamp was a
+//     glitch; the record keeps its place with an interpolated midpoint
+//     time (counted in RepairedTimestamps).
+//   - successor agrees with the suspect, and the suspect sits well ahead
+//     of the timebase: the jump was real (a genuine long gap); both
+//     decode exactly as without repair.
+//   - successor agrees with the suspect, but the suspect sits only
+//     slightly *behind* the timebase (a small backward modular distance):
+//     the timebase itself overshot — an earlier corrupted stamp read as a
+//     plausible forward jump and was accepted. The decoder rebases on the
+//     suspect without advancing, so the overshoot is not compounded into
+//     a full extra timer wrap.
+//   - successor agrees with neither: the suspect is zero-advanced as
+//     corrupt; after ResyncAfter consecutive unresolvable stamps the
+//     decoder rebases its timeline on the newest one (counted in Resyncs).
+//
+// The heuristic is conservative by construction: captures whose inter-event
+// gaps stay below SuspectTicks decode byte-identically with repair on or
+// off, and larger genuine gaps still decode identically as long as two
+// consecutive records agree (the chain-accept case) — which is why the
+// default threshold can sit at ≈4 ms, far below half the wrap yet far
+// above any real inter-strobe gap, catching single-bit stamp flips down
+// to bit 12. A genuine gap landing within SuspectTicks of a full wrap is
+// indistinguishable from a small backward glitch on this counter — the
+// information is already gone — so repair prefers the glitch reading and
+// trades that corner for surviving corruption.
+type RepairConfig struct {
+	// Enabled turns repair on. Off (the zero value) reproduces the
+	// historical decoder exactly, record for record.
+	Enabled bool
+	// SuspectTicks is the smallest interval treated as implausible, in
+	// counter ticks; 0 means DefaultSuspectTicks (capped at half the
+	// wrap for narrow timers).
+	SuspectTicks uint32
+	// ResyncAfter is how many consecutive unresolvable stamps force a
+	// rebase; 0 means 3.
+	ResyncAfter int
+}
+
+// DefaultSuspectTicks is the default implausibility threshold: 4096 ticks
+// (≈4 ms at the prototype card's 1 MHz). Clean kernels strobe every few
+// microseconds and even idle gaps stay well under a millisecond, while a
+// corrupted stamp is usually wrong by a high timer bit — so the threshold
+// sits orders of magnitude above real gaps and below real damage.
+const DefaultSuspectTicks = 4096
+
+// DefaultRepair is the hardened pipeline's repair configuration: enabled,
+// with the documented defaults.
+func DefaultRepair() RepairConfig { return RepairConfig{Enabled: true} }
 
 // NewDecoder returns a decoder for records captured under the given clock
 // configuration (zero values select the prototype card's 1 MHz, 24 bits).
+// Timestamp repair is off; see NewRepairingDecoder.
 func NewDecoder(cfg hw.Config, tags *tagfile.File) *Decoder {
+	return NewRepairingDecoder(cfg, tags, RepairConfig{})
+}
+
+// NewRepairingDecoder returns a decoder with the given monotonicity-repair
+// configuration.
+func NewRepairingDecoder(cfg hw.Config, tags *tagfile.File, repair RepairConfig) *Decoder {
 	cfg = cfg.WithDefaults()
-	return &Decoder{tags: tags, mask: cfg.Mask(), tick: cfg.TickPeriod(), first: true}
+	d := &Decoder{tags: tags, mask: cfg.Mask(), tick: cfg.TickPeriod(), first: true, repair: repair}
+	d.suspect = repair.SuspectTicks
+	if d.suspect == 0 {
+		d.suspect = DefaultSuspectTicks
+		if half := d.mask/2 + 1; d.suspect > half {
+			d.suspect = half // a very narrow test timer
+		}
+	}
+	if d.repair.ResyncAfter == 0 {
+		d.repair.ResyncAfter = 3
+	}
+	return d
 }
 
 // Next decodes one record. The unwrap is a modular difference against the
 // previous stamp, so decoded time never moves backwards regardless of the
 // raw stamp values (the out-of-order guard: a stamp that appears to regress
-// reads as a near-wrap forward interval, as on the real counter).
+// reads as a near-wrap forward interval, as on the real counter). Next
+// bypasses timestamp repair — repair needs one record of lookahead, which
+// the Push/Flush pair provides.
 func (d *Decoder) Next(r hw.Record) Event {
 	if !d.first {
 		delta := (r.Stamp - d.last) & d.mask
@@ -103,8 +206,16 @@ func (d *Decoder) Next(r hw.Record) Event {
 	d.first = false
 	d.last = r.Stamp
 	d.records++
-	e := Event{Time: d.now, Tag: r.Tag}
+	return d.event(r, d.now, false)
+}
+
+// event builds the decoded event at the given time, resolving the tag and
+// maintaining the corruption accounting. repairedStamp marks a record whose
+// time was synthesized by the repair heuristics.
+func (d *Decoder) event(r hw.Record, at sim.Time, repairedStamp bool) Event {
+	e := Event{Time: at, Tag: r.Tag}
 	entry, kind := d.tags.Resolve(r.Tag)
+	isCorrupt := repairedStamp
 	switch kind {
 	case tagfile.FunctionEntry:
 		e.Kind, e.Name, e.CtxSwitch = Entry, entry.Name, entry.ContextSwitch
@@ -115,14 +226,119 @@ func (d *Decoder) Next(r hw.Record) Event {
 	default:
 		e.Kind = Unknown
 		d.unknownTags++
+		isCorrupt = true
+	}
+	if isCorrupt {
+		d.corrupt++
 	}
 	return e
+}
+
+// Push decodes one record through the repair pipeline, invoking emit for
+// each event whose time is final. With repair disabled every record emits
+// immediately, exactly as Next decodes it; with repair enabled a suspect
+// record is buffered until its successor arrives (or Flush is called), so
+// one Push can emit zero, one, or two events.
+func (d *Decoder) Push(r hw.Record, emit func(Event)) {
+	d.records++
+	if d.first {
+		d.first = false
+		d.last = r.Stamp
+		emit(d.event(r, d.now, false))
+		return
+	}
+	if !d.hasPending {
+		delta := (r.Stamp - d.last) & d.mask
+		if !d.repair.Enabled || delta < d.suspect {
+			d.now += sim.Time(delta) * d.tick
+			d.last = r.Stamp
+			emit(d.event(r, d.now, false))
+			return
+		}
+		d.pending, d.hasPending = r, true
+		return
+	}
+	// A suspect is pending; r arbitrates.
+	deltaSkip := (r.Stamp - d.last) & d.mask
+	deltaChain := (r.Stamp - d.pending.Stamp) & d.mask
+	switch {
+	case deltaSkip < d.suspect:
+		// r agrees with the trusted timebase: the pending stamp was a
+		// glitch between two mutually consistent neighbours. Keep the
+		// record, interpolate its time at the midpoint.
+		d.repaired++
+		emit(d.event(d.pending, d.now+sim.Time(deltaSkip/2)*d.tick, true))
+		d.now += sim.Time(deltaSkip) * d.tick
+		d.last = r.Stamp
+		emit(d.event(r, d.now, false))
+		d.hasPending, d.suspectRun = false, 0
+	case deltaChain < d.suspect:
+		if back := (d.last - d.pending.Stamp) & d.mask; back < d.suspect {
+			// The suspect (and r, chained on it) sits only slightly
+			// BEHIND the timebase: the timebase overshot — an earlier
+			// corrupted stamp read as a plausible forward jump and was
+			// accepted. Rebase on the suspect without advancing, so the
+			// overshoot is not compounded into a near-full wrap.
+			d.repaired++
+			emit(d.event(d.pending, d.now, true))
+			d.now += sim.Time(deltaChain) * d.tick
+			d.last = r.Stamp
+			emit(d.event(r, d.now, false))
+			d.hasPending, d.suspectRun = false, 0
+			return
+		}
+		// r agrees with the suspect, which sits well ahead of the
+		// timebase: the jump was genuine (a long gap or a wholesale
+		// timebase move). Accept both, exactly as the unrepaired
+		// decoder would have.
+		dp := (d.pending.Stamp - d.last) & d.mask
+		d.now += sim.Time(dp) * d.tick
+		emit(d.event(d.pending, d.now, false))
+		d.now += sim.Time(deltaChain) * d.tick
+		d.last = r.Stamp
+		emit(d.event(r, d.now, false))
+		d.hasPending, d.suspectRun = false, 0
+	default:
+		// r is far from both the timebase and the suspect: the suspect
+		// is unresolvable. Zero-advance it as corrupt; r becomes the new
+		// suspect, unless this has happened ResyncAfter times in a row —
+		// then the timebase has truly moved, and we rebase on r.
+		d.repaired++
+		emit(d.event(d.pending, d.now, true))
+		d.suspectRun++
+		if d.suspectRun >= d.repair.ResyncAfter {
+			d.resyncs++
+			d.last = r.Stamp
+			emit(d.event(r, d.now, false))
+			d.hasPending, d.suspectRun = false, 0
+			return
+		}
+		d.pending = r
+	}
+}
+
+// Flush emits any record still held by the repair buffer. An end-of-stream
+// suspect has no successor to arbitrate, so it is zero-advanced as corrupt
+// rather than allowed to yank the capture's end far forward.
+func (d *Decoder) Flush(emit func(Event)) {
+	if !d.hasPending {
+		return
+	}
+	d.hasPending = false
+	d.repaired++
+	emit(d.event(d.pending, d.now, true))
 }
 
 // Stats reports what the decoder has seen so far. Overflowed and Dropped
 // describe the card, not the decode, so the caller fills them in.
 func (d *Decoder) Stats() DecodeStats {
-	return DecodeStats{Records: d.records, UnknownTags: d.unknownTags}
+	return DecodeStats{
+		Records:            d.records,
+		UnknownTags:        d.unknownTags,
+		CorruptRecords:     d.corrupt,
+		RepairedTimestamps: d.repaired,
+		Resyncs:            d.resyncs,
+	}
 }
 
 // Decode unwraps a whole capture at once (see Decoder for the streaming

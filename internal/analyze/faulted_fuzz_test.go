@@ -1,0 +1,144 @@
+// Fuzzing the hardened decode pipeline end to end: arbitrary (and
+// arbitrarily corrupted) raw record streams must reconstruct without
+// panicking or hanging, with sane accounting, whatever the fuzzer finds.
+// This lives in the external test package so the corpus can be seeded from
+// a real capture taken through core — the same bytes a damaged card would
+// hand the host.
+package analyze_test
+
+import (
+	"testing"
+
+	"kprof/internal/analyze"
+	"kprof/internal/core"
+	"kprof/internal/hw"
+	"kprof/internal/kernel"
+	"kprof/internal/sim"
+	"kprof/internal/tagfile"
+	"kprof/internal/workload"
+)
+
+// encodeRecords packs records as the fuzz input format: 5 bytes each —
+// little-endian tag, then the 24-bit stamp.
+func encodeRecords(recs []hw.Record) []byte {
+	out := make([]byte, 0, 5*len(recs))
+	for _, r := range recs {
+		out = append(out, byte(r.Tag), byte(r.Tag>>8),
+			byte(r.Stamp), byte(r.Stamp>>8), byte(r.Stamp>>16))
+	}
+	return out
+}
+
+func decodeRecords(data []byte) []hw.Record {
+	var recs []hw.Record
+	for i := 0; i+5 <= len(data); i += 5 {
+		recs = append(recs, hw.Record{
+			Tag:   uint16(data[i]) | uint16(data[i+1])<<8,
+			Stamp: (uint32(data[i+2]) | uint32(data[i+3])<<8 | uint32(data[i+4])<<16) & hw.TimerMask,
+		})
+	}
+	return recs
+}
+
+// realCapture profiles a short netrecv run and returns its raw capture and
+// tag file — genuine record streams for the fuzz corpus.
+func realCapture(tb testing.TB) (hw.Capture, *tagfile.File) {
+	tb.Helper()
+	m := core.NewMachine(kernel.Config{Seed: 42})
+	s, err := core.NewSession(m, core.ProfileConfig{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s.Arm()
+	if _, err := workload.NetReceive(m, 5*sim.Millisecond); err != nil {
+		tb.Fatal(err)
+	}
+	s.Disarm()
+	return s.Capture(), s.Tags
+}
+
+// FuzzFaultedDecode streams fuzzer-controlled raw records — seeded from a
+// genuine capture, then mutated by bit flips, truncation, and whatever else
+// the fuzzer invents — through the full hardened pipeline: repairing
+// decoder, segment stitching, reconstruction. The pipeline must never
+// panic, the timeline must be well-formed, and the accounting must add up.
+func FuzzFaultedDecode(f *testing.F) {
+	c, tags := realCapture(f)
+	recs := c.Records
+	// A few hundred genuine records seed plenty of structure; a full
+	// 16384-record corpus entry just slows mutation down.
+	if len(recs) > 400 {
+		recs = recs[:400]
+	}
+	raw := encodeRecords(recs)
+	f.Add(raw, uint8(0))
+	// Seeds resembling common damage: truncation, a flipped high stamp
+	// bit, a bogus tag, duplicate records, and an empty stream.
+	if len(raw) >= 40 {
+		f.Add(raw[:35], uint8(1)) // mid-record truncation
+		flipped := append([]byte(nil), raw...)
+		flipped[4+2] ^= 0x80 // high bit of record 0's stamp
+		f.Add(flipped, uint8(2))
+		bogus := append([]byte(nil), raw...)
+		bogus[0], bogus[1] = 0xFF, 0xFF // tag 65535: resolves to nothing
+		f.Add(bogus, uint8(0))
+		f.Add(append(append([]byte(nil), raw[:10]...), raw[:10]...), uint8(3))
+	}
+	f.Add([]byte{}, uint8(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, split uint8) {
+		recs := decodeRecords(data)
+		// split carves the stream into stitched segments, exercising the
+		// drain-boundary paths; 0 keeps one segment.
+		segLen := len(recs)
+		if split > 0 {
+			segLen = len(recs)/int(split%8+2) + 1
+		}
+		rc := analyze.NewReconstructor(hw.Config{}, tags, analyze.ReconstructOptions{
+			Repair: analyze.DefaultRepair(),
+		})
+		for i, r := range recs {
+			rc.Push(r)
+			if (i+1)%segLen == 0 && i+1 < len(recs) {
+				// Odd splits are lossy boundaries, exercising force-close.
+				rc.EndSegment(uint64(split%2), false)
+			}
+		}
+		a := rc.Finish(false, 0)
+
+		if a.Stats.Records != len(recs) {
+			t.Fatalf("decoded %d records of %d", a.Stats.Records, len(recs))
+		}
+		if a.End < a.Start {
+			t.Fatalf("End %v before Start %v", a.End, a.Start)
+		}
+		if a.RunTime() < 0 {
+			t.Fatalf("negative run time %v (elapsed %v, idle %v)", a.RunTime(), a.Elapsed(), a.Idle)
+		}
+		if a.Stats.CorruptRecords > len(recs) {
+			t.Fatalf("corrupt count %d exceeds record count %d", a.Stats.CorruptRecords, len(recs))
+		}
+		if a.Stats.RepairedTimestamps > len(recs) || a.Stats.Resyncs > len(recs) {
+			t.Fatalf("implausible repair accounting: %+v", a.Stats)
+		}
+		// Per-segment corrupt counts never exceed the capture total (the
+		// tail after the last boundary belongs to no segment, so the sum
+		// can fall short but never overshoot).
+		segCorrupt := 0
+		for _, seg := range a.Segments {
+			if seg.Corrupt < 0 || seg.Records < 0 {
+				t.Fatalf("negative segment accounting: %+v", seg)
+			}
+			segCorrupt += seg.Corrupt
+		}
+		if segCorrupt > a.Stats.CorruptRecords {
+			t.Fatalf("segment corrupt counts sum to %d, stats say %d", segCorrupt, a.Stats.CorruptRecords)
+		}
+		// The per-function stats must be internally consistent.
+		for _, s := range a.Functions() {
+			if s.TimedCalls > s.Calls {
+				t.Fatalf("%s: %d timed of %d calls", s.Name, s.TimedCalls, s.Calls)
+			}
+		}
+	})
+}

@@ -31,6 +31,11 @@ type JSONReport struct {
 	Switches    int `json:"context_switches"`
 	Orphans     int `json:"orphan_exits"`
 	ForceClosed int `json:"force_closed_frames"`
+	// Corruption accounting from the hardened decoder (DecodeStats); all
+	// zero — and absent — for a clean capture.
+	Corrupt  int `json:"corrupt_records,omitempty"`
+	Repaired int `json:"repaired_timestamps,omitempty"`
+	Resyncs  int `json:"resyncs,omitempty"`
 
 	// Segments describes the drained slices of a stitched capture.
 	Segments []JSONSegment `json:"segments,omitempty"`
@@ -49,6 +54,7 @@ type JSONSegment struct {
 	Dropped     uint64 `json:"dropped_strobes,omitempty"`
 	Overflowed  bool   `json:"overflowed,omitempty"`
 	ForceClosed int    `json:"force_closed_frames,omitempty"`
+	Corrupt     int    `json:"corrupt_records,omitempty"`
 }
 
 // JSONFn is one function's statistics row.
@@ -78,11 +84,15 @@ func (a *Analysis) Report() JSONReport {
 		Switches:    a.Switches,
 		Orphans:     a.OrphanExits,
 		ForceClosed: a.Recovered,
+		Corrupt:     a.Stats.CorruptRecords,
+		Repaired:    a.Stats.RepairedTimestamps,
+		Resyncs:     a.Stats.Resyncs,
 	}
 	for _, s := range a.Segments {
 		r.Segments = append(r.Segments, JSONSegment{
 			Index: s.Index, Records: s.Records, EndUS: s.End.Micros(),
 			Dropped: s.Dropped, Overflowed: s.Overflowed, ForceClosed: s.ForceClosed,
+			Corrupt: s.Corrupt,
 		})
 	}
 	elapsed, run := a.Elapsed(), a.RunTime()

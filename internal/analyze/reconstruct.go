@@ -84,6 +84,10 @@ type SegmentInfo struct {
 	// ForceClosed counts frames force-closed at the segment's lossy end
 	// boundary (each is also counted in Analysis.Recovered).
 	ForceClosed int
+	// Corrupt counts records within the segment the decoder judged
+	// corrupted (unresolvable tags and repaired timestamps); the capture
+	// total is DecodeStats.CorruptRecords.
+	Corrupt int
 	// End is the stitched timeline's position at the segment's end
 	// boundary: the decoded timestamp of the last record seen when the
 	// drain ran (capture-relative, like every Analysis time).

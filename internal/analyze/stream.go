@@ -5,9 +5,10 @@ import (
 	"kprof/internal/tagfile"
 )
 
-// ReconstructOptions trims what a streaming reconstruction retains. The
-// per-function statistics, idle accounting and capture-quality counters are
-// always kept; the bulky per-event artifacts are optional.
+// ReconstructOptions trims what a streaming reconstruction retains and
+// selects the decode hardening. The per-function statistics, idle
+// accounting and capture-quality counters are always kept; the bulky
+// per-event artifacts are optional.
 type ReconstructOptions struct {
 	// DiscardEvents drops the decoded event list (Analysis.Events stays
 	// empty).
@@ -15,6 +16,10 @@ type ReconstructOptions struct {
 	// DiscardTrace drops the trace timeline (Analysis.Items stays empty;
 	// WriteTrace renders nothing).
 	DiscardTrace bool
+	// Repair configures timestamp-monotonicity repair. The zero value is
+	// off (the historical decoder); the production pipeline
+	// (core.Session, the kprof facade) passes DefaultRepair().
+	Repair RepairConfig
 }
 
 // Reconstructor couples the streaming Decoder to the reconstruction state
@@ -27,9 +32,11 @@ type Reconstructor struct {
 	rec        *reconstructor
 	keepEvents bool
 	finished   bool
-	// segStart is the decoder's record count at the current segment's
-	// first record, so EndSegment can size the segment.
-	segStart int
+	// segStart/segCorrupt are the decoder's record and corrupt counts at
+	// the current segment's first record, so EndSegment can size the
+	// segment and attribute its corruption.
+	segStart   int
+	segCorrupt int
 }
 
 // NewReconstructor returns a streaming reconstructor for records captured
@@ -38,19 +45,24 @@ type Reconstructor struct {
 func NewReconstructor(cfg hw.Config, tags *tagfile.File, opts ReconstructOptions) *Reconstructor {
 	a := &Analysis{fns: make(map[string]*FnStat)}
 	return &Reconstructor{
-		dec:        NewDecoder(cfg, tags),
+		dec:        NewRepairingDecoder(cfg, tags, opts.Repair),
 		rec:        &reconstructor{a: a, idleStack: &stack{}, keepItems: !opts.DiscardTrace},
 		keepEvents: !opts.DiscardEvents,
 	}
 }
 
-// Push decodes one raw record and advances the reconstruction.
+// Push decodes one raw record and advances the reconstruction. Under repair
+// a suspect record is buffered inside the decoder until its successor
+// arbitrates, so a Push may advance the reconstruction by zero, one or two
+// events.
 func (rc *Reconstructor) Push(r hw.Record) {
 	if rc.finished {
 		panic("analyze: Push after Finish")
 	}
-	rc.rec.feed(rc.dec.Next(r), rc.keepEvents)
+	rc.dec.Push(r, rc.emit)
 }
+
+func (rc *Reconstructor) emit(ev Event) { rc.rec.feed(ev, rc.keepEvents) }
 
 // EndSegment marks a drain boundary: the records pushed since the previous
 // boundary (or the start) form one segment that lost dropped strobes before
@@ -69,6 +81,7 @@ func (rc *Reconstructor) EndSegment(dropped uint64, overflowed bool) {
 		Records:    rc.dec.records - rc.segStart,
 		Dropped:    dropped,
 		Overflowed: overflowed,
+		Corrupt:    rc.dec.corrupt - rc.segCorrupt,
 		End:        rc.rec.a.End,
 	}
 	if dropped > 0 {
@@ -76,6 +89,7 @@ func (rc *Reconstructor) EndSegment(dropped uint64, overflowed bool) {
 	}
 	rc.rec.a.Segments = append(rc.rec.a.Segments, seg)
 	rc.segStart = rc.dec.records
+	rc.segCorrupt = rc.dec.corrupt
 }
 
 // Finish closes the books and returns the Analysis. Overflowed and dropped
@@ -87,6 +101,7 @@ func (rc *Reconstructor) Finish(overflowed bool, dropped uint64) *Analysis {
 		panic("analyze: Finish called twice")
 	}
 	rc.finished = true
+	rc.dec.Flush(rc.emit)
 	rc.rec.finish()
 	stats := rc.dec.Stats()
 	stats.Overflowed = overflowed
@@ -119,4 +134,16 @@ func Stitch(segs []hw.Capture, tags *tagfile.File, opts ReconstructOptions) *Ana
 		rc.EndSegment(seg.Dropped, seg.Overflowed)
 	}
 	return rc.Finish(false, 0)
+}
+
+// ReconstructCapture runs the streaming reconstruction over one single-
+// readout capture. It is the hardened equivalent of Decode followed by
+// Reconstruct: pass opts.Repair = DefaultRepair() to survive corrupted
+// stamps, or the zero options for the historical batch behaviour.
+func ReconstructCapture(c hw.Capture, tags *tagfile.File, opts ReconstructOptions) *Analysis {
+	rc := NewReconstructor(c.ClockConfig(), tags, opts)
+	for _, r := range c.Records {
+		rc.Push(r)
+	}
+	return rc.Finish(c.Overflowed, c.Dropped)
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"kprof/internal/analyze"
+	"kprof/internal/faults"
 	"kprof/internal/fdesc"
 	"kprof/internal/fs"
 	"kprof/internal/hw"
@@ -138,6 +139,11 @@ type ProfileConfig struct {
 	// NoMGETInline disables the MGET inline trigger the paper's sample
 	// tag file shows.
 	NoMGETInline bool
+	// Faults, when non-nil, attaches a deterministic fault injector to the
+	// card's capture and readout paths (see internal/faults). A non-nil
+	// config with Rate 0 attaches a pure pass-through — byte-identical
+	// captures to running with no injector at all.
+	Faults *faults.Config
 }
 
 // Segment is one drained slice of a continuous capture, held host-side.
@@ -166,6 +172,10 @@ type Session struct {
 	drainEv  *sim.Event
 	drainErr error
 
+	// injector is the fault injector attached via ProfileConfig.Faults,
+	// nil when the session runs on pristine hardware.
+	injector *faults.Injector
+
 	// progress, when set, observes capture state changes (see SetProgress).
 	progress func(Progress)
 }
@@ -193,6 +203,9 @@ type Progress struct {
 	// Dropped counts every strobe lost so far: the card's current drop
 	// counter plus the losses attached to already-drained segments.
 	Dropped uint64
+	// FaultsInjected counts corruptions the session's fault injector has
+	// applied so far (zero when no injector is attached).
+	FaultsInjected uint64
 }
 
 // SetProgress registers fn to observe the session's capture state: it
@@ -221,6 +234,9 @@ func (s *Session) notifyProgress() {
 	for _, seg := range s.segments {
 		p.SegmentRecords += seg.Capture.Len()
 		p.Dropped += seg.Capture.Dropped
+	}
+	if s.injector != nil {
+		p.FaultsInjected = s.injector.Stats().Injected()
 	}
 	s.progress(p)
 }
@@ -269,6 +285,10 @@ func NewSession(m *Machine, cfg ProfileConfig) (*Session, error) {
 	s := &Session{
 		M: m, Card: card, Socket: socket, Inst: inst, Linked: linked, Tags: inst.Tags,
 		mode: cfg.Mode, drain: cfg.Drain,
+	}
+	if cfg.Faults != nil {
+		s.injector = faults.New(*cfg.Faults)
+		card.SetFaultHook(s.injector)
 	}
 	if cfg.Mode == CaptureContinuous {
 		if card.Depth() > hw.WindowSize {
@@ -332,6 +352,15 @@ func (s *Session) Reset() {
 
 // Mode reports the session's capture mode.
 func (s *Session) Mode() CaptureMode { return s.mode }
+
+// FaultStats reports the attached fault injector's statistics; ok is false
+// when the session runs on pristine hardware.
+func (s *Session) FaultStats() (stats faults.Stats, ok bool) {
+	if s.injector == nil {
+		return faults.Stats{}, false
+	}
+	return s.injector.Stats(), true
+}
 
 // Segments reports the host-side segment store: the drained slices of a
 // continuous capture, in drain order.
@@ -416,15 +445,17 @@ func (s *Session) stitchList() []hw.Capture {
 	return caps
 }
 
-// Analyze decodes and reconstructs the current capture. A continuous run's
-// drained segments are stitched back into one timeline, with per-boundary
-// losses reported on Analysis.Segments.
+// Analyze decodes and reconstructs the current capture through the hardened
+// pipeline (timestamp repair on — see analyze.RepairConfig; clean captures
+// decode identically either way). A continuous run's drained segments are
+// stitched back into one timeline, with per-boundary losses reported on
+// Analysis.Segments.
 func (s *Session) Analyze() *analyze.Analysis {
+	opts := analyze.ReconstructOptions{Repair: analyze.DefaultRepair()}
 	if caps := s.stitchList(); caps != nil {
-		return analyze.Stitch(caps, s.Tags, analyze.ReconstructOptions{})
+		return analyze.Stitch(caps, s.Tags, opts)
 	}
-	events, stats := analyze.Decode(s.Capture(), s.Tags)
-	return analyze.Reconstruct(events, stats)
+	return analyze.ReconstructCapture(s.Capture(), s.Tags, opts)
 }
 
 // AnalyzeLean decodes the card's RAM in place — streaming each record into
@@ -437,6 +468,7 @@ func (s *Session) AnalyzeLean() *analyze.Analysis {
 	rc := analyze.NewReconstructor(s.Card.Config(), s.Tags, analyze.ReconstructOptions{
 		DiscardEvents: true,
 		DiscardTrace:  true,
+		Repair:        analyze.DefaultRepair(),
 	})
 	if len(s.segments) > 0 {
 		for _, seg := range s.segments {

@@ -24,6 +24,7 @@ package export
 
 import (
 	"compress/gzip"
+	"fmt"
 	"io"
 
 	"kprof/internal/analyze"
@@ -42,6 +43,7 @@ const (
 	profDurationNanos = 10
 	profPeriodType    = 11
 	profPeriod        = 12
+	profComment       = 13
 
 	// ValueType
 	vtType = 1
@@ -187,6 +189,15 @@ func MarshalPprof(a *analyze.Analysis, opts PprofOptions) []byte {
 			b.walk(nil, it.Node)
 		}
 	}
+	// A capture the hardened decoder had to repair carries its corruption
+	// accounting as a profile comment (`go tool pprof` prints it under
+	// "Comment:"). Interned before the string table is emitted; clean
+	// captures intern nothing, so their bytes are unchanged.
+	commentIx := int64(-1)
+	if a.Stats.CorruptRecords > 0 {
+		commentIx = b.str(fmt.Sprintf("decode: %d corrupt records, %d repaired timestamps, %d resyncs",
+			a.Stats.CorruptRecords, a.Stats.RepairedTimestamps, a.Stats.Resyncs))
+	}
 
 	var p protoBuf
 	vt := func(typ, unit int64) []byte {
@@ -229,6 +240,9 @@ func MarshalPprof(a *analyze.Analysis, opts PprofOptions) []byte {
 	p.int64Field(profDurationNanos, int64(a.Elapsed()))
 	p.bytesField(profPeriodType, vt(timeIx, nanosIx))
 	p.int64Field(profPeriod, period)
+	if commentIx >= 0 {
+		p.int64Field(profComment, commentIx)
+	}
 	return p.b
 }
 

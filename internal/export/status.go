@@ -35,6 +35,9 @@ type SessionStatus struct {
 	Segments       int     `json:"segments"`
 	DrainedRecords int     `json:"drained_records"`
 	Dropped        uint64  `json:"dropped_strobes"`
+	// FaultsInjected counts corruptions the session's fault injector has
+	// applied; absent when the run is on pristine hardware.
+	FaultsInjected uint64 `json:"faults_injected,omitempty"`
 }
 
 // SweepStatus is the live view of a multi-seed sweep, mirroring
@@ -114,6 +117,7 @@ func (s *StatusServer) OnSessionProgress(p core.Progress) {
 		Segments:       p.Segments,
 		DrainedRecords: p.SegmentRecords,
 		Dropped:        p.Dropped,
+		FaultsInjected: p.FaultsInjected,
 	}
 	if p.Depth > 0 {
 		st.FillPct = 100 * float64(p.Stored) / float64(p.Depth)
@@ -194,6 +198,9 @@ func (s *StatusServer) serveHTML(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "<tr><th>drained segments</th><td>%d</td></tr>", st.Segments)
 		fmt.Fprintf(w, "<tr><th>drained records</th><td>%d</td></tr>", st.DrainedRecords)
 		fmt.Fprintf(w, "<tr><th>dropped strobes</th><td>%d</td></tr>", st.Dropped)
+		if st.FaultsInjected > 0 {
+			fmt.Fprintf(w, "<tr><th>faults injected</th><td>%d</td></tr>", st.FaultsInjected)
+		}
 		fmt.Fprint(w, "</table>")
 	}
 	if st := snap.Sweep; st != nil {

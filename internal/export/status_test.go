@@ -1,0 +1,100 @@
+// Status endpoint coverage beyond the happy path: routing, the
+// fault-injection row, and a live faulted capture driving the progress
+// hook end to end.
+package export
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"kprof/internal/core"
+	"kprof/internal/faults"
+	"kprof/internal/kernel"
+	"kprof/internal/sim"
+	"kprof/internal/workload"
+)
+
+func statusGet(t *testing.T, srv *StatusServer, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+// Only / and /status.json exist; everything else is a clean 404.
+func TestStatusServerRouting(t *testing.T) {
+	srv := NewStatusServer()
+	for _, path := range []string{"/", "/status.json"} {
+		if rec := statusGet(t, srv, path); rec.Code != 200 {
+			t.Fatalf("GET %s = %d, want 200", path, rec.Code)
+		}
+	}
+	for _, path := range []string{"/nope", "/status", "/status.json/extra"} {
+		if rec := statusGet(t, srv, path); rec.Code != 404 {
+			t.Fatalf("GET %s = %d, want 404", path, rec.Code)
+		}
+	}
+}
+
+// The faults_injected field rides the progress hook: absent while zero
+// (clean sessions keep a clean wire format), present in both views once
+// the injector has fired.
+func TestStatusServerFaultsInjected(t *testing.T) {
+	srv := NewStatusServer()
+	srv.OnSessionProgress(core.Progress{Armed: true, Stored: 1, Depth: 1024})
+	body := statusGet(t, srv, "/status.json").Body.String()
+	if strings.Contains(body, "faults_injected") {
+		t.Fatalf("clean session leaked a faults_injected field:\n%s", body)
+	}
+	if html := statusGet(t, srv, "/").Body.String(); strings.Contains(html, "faults injected") {
+		t.Fatalf("clean session rendered a faults row:\n%s", html)
+	}
+
+	srv.OnSessionProgress(core.Progress{Armed: true, Stored: 2, Depth: 1024, FaultsInjected: 17})
+	var snap StatusSnapshot
+	if err := json.Unmarshal(statusGet(t, srv, "/status.json").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Session == nil || snap.Session.FaultsInjected != 17 {
+		t.Fatalf("session status %+v, want 17 faults injected", snap.Session)
+	}
+	html := statusGet(t, srv, "/").Body.String()
+	if !strings.Contains(html, "faults injected") || !strings.Contains(html, "17") {
+		t.Fatalf("HTML view missing the faults row:\n%s", html)
+	}
+}
+
+// A continuous faulted capture drives the hook through arm, drains and
+// disarm; the server's final count must agree with the injector's own
+// statistics — the live view never under- or over-reports corruption.
+func TestStatusServerLiveFaultedSession(t *testing.T) {
+	srv := NewStatusServer()
+	m := core.NewMachine(kernel.Config{Seed: 42})
+	s, err := core.NewSession(m, core.ProfileConfig{
+		Mode:   core.CaptureContinuous,
+		Depth:  512,
+		Faults: &faults.Config{Seed: 9, Rate: 0.02},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetProgress(srv.OnSessionProgress)
+	s.Arm()
+	if _, err := workload.NetReceive(m, 50*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.Disarm()
+	if err := s.DrainErr(); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := s.FaultStats()
+	if !ok || st.Injected() == 0 {
+		t.Fatalf("faulted session injected nothing: %+v ok=%v", st, ok)
+	}
+	snap := srv.Snapshot().Session
+	if snap == nil || snap.FaultsInjected != st.Injected() {
+		t.Fatalf("status reports %+v, injector says %d", snap, st.Injected())
+	}
+}

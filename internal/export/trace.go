@@ -28,6 +28,9 @@ const (
 	// dropped between this segment's last record and the next one's
 	// first, and every frame spanning the gap was force-closed.
 	TraceEventDrainLoss = "drain loss"
+	// TraceEventDecodeFaults marks a capture the hardened decoder had to
+	// repair; its args carry the corruption accounting.
+	TraceEventDecodeFaults = "decode faults"
 )
 
 // tracePID is the single simulated machine's process id in the trace.
@@ -192,6 +195,19 @@ func WriteChromeTrace(w io.Writer, a *analyze.Analysis) error {
 				`,"tid":` + strconv.FormatInt(tidOf(itemBlock[i]), 10) +
 				`,"ts":` + traceUS(it.Time))
 		}
+	}
+
+	// A capture the hardened decoder had to repair gets one global instant
+	// at the capture start carrying the corruption accounting; clean
+	// captures emit nothing, keeping golden traces byte-identical.
+	if a.Stats.CorruptRecords > 0 {
+		emit(`"name":` + strconv.Quote(TraceEventDecodeFaults) +
+			`,"ph":"i","s":"g","pid":` + strconv.Itoa(tracePID) +
+			`,"tid":` + strconv.Itoa(idleTID) +
+			`,"ts":` + traceUS(a.Start) +
+			`,"args":{"corrupt_records":` + strconv.Itoa(a.Stats.CorruptRecords) +
+			`,"repaired_timestamps":` + strconv.Itoa(a.Stats.RepairedTimestamps) +
+			`,"resyncs":` + strconv.Itoa(a.Stats.Resyncs) + `}`)
 	}
 
 	for _, seg := range a.Segments {

@@ -1,0 +1,253 @@
+// Package faults is a deterministic, seedable fault injector for the
+// Profiler card model. The paper's card is analog-adjacent hardware — a
+// wire-wrapped prototype piggy-backed on an EPROM socket — and McRae names
+// its real failure modes: RAM overflow, timer wraparound, and strobes that
+// never make it into the RAM. Production profilers treat corrupted and
+// partial traces as the common case; this package makes every scenario a
+// robustness scenario by corrupting captures in exactly those
+// paper-plausible ways:
+//
+//   - DropStrobe: a latch strobe lost on the way to the RAM (marginal
+//     timing on the address-strobe line).
+//   - DupStrobe: a strobe stored twice (a bounced strobe line).
+//   - TagFlip: a single-bit flip on one of the 16 tag lines.
+//   - StampFlip: a single-bit flip in the stored 24-bit timestamp.
+//   - Jitter: the free-running counter read mid-settle, off by a few
+//     ticks in either direction.
+//   - ReadoutGlitch: a single byte misread during socket readout (the
+//     drain pipeline's fast-dump path).
+//   - BankBurst: a contiguous run of one RAM bank corrupted during a
+//     drain (a marginal bank-select multiplexer).
+//
+// The injector implements hw.FaultHook and sits below the card's
+// bookkeeping: a dropped strobe is lost silently, exactly as the real
+// hardware would lose it. Everything is driven by one splitmix64 stream, so
+// a (seed, rate) pair reproduces the same corruption bit for bit — the
+// differential test harness depends on that.
+package faults
+
+import (
+	"fmt"
+
+	"kprof/internal/hw"
+	"kprof/internal/sim"
+)
+
+// Class is a bitmask of fault classes to enable.
+type Class uint32
+
+// The fault classes. CaptureClasses corrupt the latch path; ReadoutClasses
+// corrupt the EPROM-window readout used by the drain pipeline.
+const (
+	DropStrobe Class = 1 << iota
+	DupStrobe
+	TagFlip
+	StampFlip
+	Jitter
+	ReadoutGlitch
+	BankBurst
+
+	// CaptureClasses are the classes applied per latch strobe.
+	CaptureClasses = DropStrobe | DupStrobe | TagFlip | StampFlip | Jitter
+	// ReadoutClasses are the classes applied during socket readout.
+	ReadoutClasses = ReadoutGlitch | BankBurst
+	// AllClasses enables everything.
+	AllClasses = CaptureClasses | ReadoutClasses
+)
+
+// String names the class set for reports and errors.
+func (c Class) String() string {
+	names := []struct {
+		bit  Class
+		name string
+	}{
+		{DropStrobe, "drop"}, {DupStrobe, "dup"}, {TagFlip, "tagflip"},
+		{StampFlip, "stampflip"}, {Jitter, "jitter"},
+		{ReadoutGlitch, "glitch"}, {BankBurst, "burst"},
+	}
+	out := ""
+	for _, n := range names {
+		if c&n.bit != 0 {
+			if out != "" {
+				out += "+"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// Config describes one injector. The zero value injects nothing; a Config
+// attached to a session with Rate 0 is a pure pass-through, byte-identical
+// to running with no injector at all (the property tests prove it).
+type Config struct {
+	// Seed drives the deterministic fault stream. Sweeps derive a
+	// distinct per-seed stream with DeriveSeed.
+	Seed uint64
+	// Rate is the per-strobe fault probability in [0, 1]: each latch
+	// strobe suffers one fault, drawn uniformly from the enabled capture
+	// classes, with this probability.
+	Rate float64
+	// Classes selects the enabled fault classes; zero means AllClasses.
+	Classes Class
+	// JitterTicks bounds timer jitter: a jittered stamp is off by up to
+	// this many ticks in either direction. 0 means 16.
+	JitterTicks uint32
+	// ReadoutRate is the per-byte misread probability during socket
+	// readout; 0 means Rate/64 (readout is far more reliable than the
+	// asynchronous latch path).
+	ReadoutRate float64
+	// BurstLen bounds a partial-bank corruption run in bytes; 0 means 32.
+	// Each bank of each drain suffers a burst with probability Rate.
+	BurstLen int
+	// TimerBits is the card's stored counter width, so stamp flips land
+	// on real timer lines; 0 means 24.
+	TimerBits uint
+}
+
+// Stats counts what the injector has done. The card itself never sees
+// these numbers — that is the point: the decode pipeline must survive the
+// corruption without being told where it is.
+type Stats struct {
+	// Strobes counts latch strobes the injector inspected.
+	Strobes uint64
+	// Faults counts capture-path faults injected (the sum of the five
+	// capture-class counters below).
+	Faults uint64
+
+	DroppedStrobes    uint64
+	DuplicatedStrobes uint64
+	TagFlips          uint64
+	StampFlips        uint64
+	Jittered          uint64
+
+	// ReadoutGlitches counts single bytes misread during readout;
+	// BurstBytes counts bytes corrupted by partial-bank bursts.
+	ReadoutGlitches uint64
+	BurstBytes      uint64
+}
+
+// Injected reports the total number of corruptions across both paths.
+func (s Stats) Injected() uint64 { return s.Faults + s.ReadoutGlitches + s.BurstBytes }
+
+// String summarizes the statistics on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d/%d strobes faulted (%d dropped, %d duplicated, %d tag flips, %d stamp flips, %d jittered), %d readout glitches, %d burst bytes",
+		s.Faults, s.Strobes, s.DroppedStrobes, s.DuplicatedStrobes,
+		s.TagFlips, s.StampFlips, s.Jittered, s.ReadoutGlitches, s.BurstBytes)
+}
+
+// Injector is a deterministic fault source implementing hw.FaultHook.
+// It is not safe for concurrent use; each card gets its own.
+type Injector struct {
+	cfg     Config
+	rng     *sim.Rand
+	capture []Class // enabled capture classes, in bit order
+	stats   Stats
+
+	// Partial-bank burst state: decided once per (drain, bank) when
+	// offset 0 of the bank is read.
+	burstBank        int
+	burstLo, burstHi uint32
+	burstOn          bool
+}
+
+// New builds an injector from cfg, applying the documented defaults.
+func New(cfg Config) *Injector {
+	if cfg.Rate < 0 || cfg.Rate > 1 {
+		panic(fmt.Sprintf("faults: rate %v outside [0,1]", cfg.Rate))
+	}
+	if cfg.Classes == 0 {
+		cfg.Classes = AllClasses
+	}
+	if cfg.JitterTicks == 0 {
+		cfg.JitterTicks = 16
+	}
+	if cfg.ReadoutRate == 0 {
+		cfg.ReadoutRate = cfg.Rate / 64
+	}
+	if cfg.BurstLen == 0 {
+		cfg.BurstLen = 32
+	}
+	if cfg.TimerBits == 0 {
+		cfg.TimerBits = hw.TimerBits
+	}
+	in := &Injector{cfg: cfg, rng: sim.NewRand(cfg.Seed), burstBank: -1}
+	for bit := DropStrobe; bit <= Jitter; bit <<= 1 {
+		if cfg.Classes&bit != 0 {
+			in.capture = append(in.capture, bit)
+		}
+	}
+	return in
+}
+
+// Config reports the injector's effective configuration (defaults applied).
+func (in *Injector) Config() Config { return in.cfg }
+
+// Stats reports what the injector has injected so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Latch implements hw.FaultHook: with probability Rate, one capture-class
+// fault is applied to the strobe.
+func (in *Injector) Latch(r hw.Record) (hw.Record, hw.LatchVerdict) {
+	in.stats.Strobes++
+	if len(in.capture) == 0 || !in.rng.Bool(in.cfg.Rate) {
+		return r, hw.LatchKeep
+	}
+	in.stats.Faults++
+	switch in.capture[in.rng.Intn(len(in.capture))] {
+	case DropStrobe:
+		in.stats.DroppedStrobes++
+		return r, hw.LatchDrop
+	case DupStrobe:
+		in.stats.DuplicatedStrobes++
+		return r, hw.LatchDup
+	case TagFlip:
+		in.stats.TagFlips++
+		r.Tag ^= 1 << in.rng.Intn(16)
+	case StampFlip:
+		in.stats.StampFlips++
+		r.Stamp ^= 1 << in.rng.Intn(int(in.cfg.TimerBits))
+	case Jitter:
+		in.stats.Jittered++
+		j := in.rng.Intn(2*int(in.cfg.JitterTicks)+1) - int(in.cfg.JitterTicks)
+		r.Stamp = uint32(int64(r.Stamp)+int64(j)) & (1<<in.cfg.TimerBits - 1)
+	}
+	return r, hw.LatchKeep
+}
+
+// ReadoutByte implements hw.FaultHook for the socket-readout path. Reaching
+// offset 0 of a bank rolls that bank's partial-corruption burst; every byte
+// additionally risks a single-bit misread at ReadoutRate.
+func (in *Injector) ReadoutByte(bank int, offset uint32, b byte) byte {
+	if offset == 0 || bank != in.burstBank {
+		in.burstBank = bank
+		in.burstOn = in.cfg.Classes&BankBurst != 0 && in.rng.Bool(in.cfg.Rate)
+		if in.burstOn {
+			in.burstLo = uint32(in.rng.Intn(hw.DefaultDepth))
+			in.burstHi = in.burstLo + uint32(1+in.rng.Intn(in.cfg.BurstLen))
+		}
+	}
+	if in.burstOn && offset >= in.burstLo && offset < in.burstHi {
+		in.stats.BurstBytes++
+		b ^= byte(1 + in.rng.Intn(255)) // never a no-op XOR
+	}
+	if in.cfg.Classes&ReadoutGlitch != 0 && in.rng.Bool(in.cfg.ReadoutRate) {
+		in.stats.ReadoutGlitches++
+		b ^= 1 << in.rng.Intn(8)
+	}
+	return b
+}
+
+// DeriveSeed folds a sweep seed into a base fault seed so every seed of a
+// sweep gets a distinct but reproducible fault stream (the per-seed fault
+// profile). The mix is splitmix64's finalizer over the pair.
+func DeriveSeed(base, seed uint64) uint64 {
+	z := base + 0x9e3779b97f4a7c15*(seed+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,222 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"kprof/internal/hw"
+)
+
+// Two injectors with the same configuration must produce the identical
+// fault stream — the differential test harness and the sweep's per-seed
+// reproducibility depend on it.
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Config{Seed: 99, Rate: 0.1}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 5000; i++ {
+		r := hw.Record{Tag: uint16(i * 2), Stamp: uint32(i * 37)}
+		ra, va := a.Latch(r)
+		rb, vb := b.Latch(r)
+		if ra != rb || va != vb {
+			t.Fatalf("strobe %d diverged: (%v,%v) vs (%v,%v)", i, ra, va, rb, vb)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		ba := a.ReadoutByte(i%hw.NumBanks, uint32(i), byte(i))
+		bb := b.ReadoutByte(i%hw.NumBanks, uint32(i), byte(i))
+		if ba != bb {
+			t.Fatalf("readout byte %d diverged: %#x vs %#x", i, ba, bb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// Different seeds must produce different fault streams (overwhelmingly
+// likely at a 10% rate over 5000 strobes).
+func TestInjectorSeedsDiffer(t *testing.T) {
+	a, b := New(Config{Seed: 1, Rate: 0.1}), New(Config{Seed: 2, Rate: 0.1})
+	diverged := false
+	for i := 0; i < 5000; i++ {
+		r := hw.Record{Tag: uint16(i * 2), Stamp: uint32(i * 37)}
+		ra, va := a.Latch(r)
+		rb, vb := b.Latch(r)
+		if ra != rb || va != vb {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 1 and 2 produced identical fault streams")
+	}
+}
+
+// At rate 0 the injector is a pure pass-through: every record comes back
+// untouched with LatchKeep, every readout byte unchanged, zero faults.
+func TestRateZeroPassThrough(t *testing.T) {
+	in := New(Config{Seed: 7, Rate: 0})
+	for i := 0; i < 10000; i++ {
+		r := hw.Record{Tag: uint16(i), Stamp: uint32(i * 13)}
+		got, v := in.Latch(r)
+		if got != r || v != hw.LatchKeep {
+			t.Fatalf("strobe %d modified at rate 0: %+v verdict %v", i, got, v)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		b := byte(i)
+		if got := in.ReadoutByte(i%hw.NumBanks, uint32(i), b); got != b {
+			t.Fatalf("readout byte %d modified at rate 0: %#x", i, got)
+		}
+	}
+	st := in.Stats()
+	if st.Injected() != 0 {
+		t.Fatalf("injected %d faults at rate 0: %+v", st.Injected(), st)
+	}
+	if st.Strobes != 10000 {
+		t.Fatalf("counted %d strobes, want 10000", st.Strobes)
+	}
+}
+
+// Rate 1 with a single enabled class exercises exactly that class, and the
+// per-class statistics account for every strobe.
+func TestSingleClassStats(t *testing.T) {
+	cases := []struct {
+		class Class
+		count func(s Stats) uint64
+	}{
+		{DropStrobe, func(s Stats) uint64 { return s.DroppedStrobes }},
+		{DupStrobe, func(s Stats) uint64 { return s.DuplicatedStrobes }},
+		{TagFlip, func(s Stats) uint64 { return s.TagFlips }},
+		{StampFlip, func(s Stats) uint64 { return s.StampFlips }},
+		{Jitter, func(s Stats) uint64 { return s.Jittered }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.class.String(), func(t *testing.T) {
+			in := New(Config{Seed: 3, Rate: 1, Classes: tc.class})
+			const n = 500
+			for i := 0; i < n; i++ {
+				in.Latch(hw.Record{Tag: uint16(i * 2), Stamp: uint32(i)})
+			}
+			st := in.Stats()
+			if st.Faults != n || tc.count(st) != n {
+				t.Fatalf("%s: faults=%d classCount=%d, want %d each", tc.class, st.Faults, tc.count(st), n)
+			}
+		})
+	}
+}
+
+// A tag flip flips exactly one bit; a stamp flip stays within the timer
+// width; jitter stays within the configured bound.
+func TestFaultShapes(t *testing.T) {
+	in := New(Config{Seed: 11, Rate: 1, Classes: TagFlip})
+	for i := 0; i < 200; i++ {
+		r := hw.Record{Tag: 0x1234, Stamp: 500}
+		got, _ := in.Latch(r)
+		diff := got.Tag ^ r.Tag
+		if diff == 0 || diff&(diff-1) != 0 {
+			t.Fatalf("tag flip changed %016b bits, want exactly one", diff)
+		}
+		if got.Stamp != r.Stamp {
+			t.Fatalf("tag flip touched the stamp: %d", got.Stamp)
+		}
+	}
+	in = New(Config{Seed: 11, Rate: 1, Classes: StampFlip})
+	for i := 0; i < 200; i++ {
+		r := hw.Record{Tag: 2, Stamp: 0x00ABCDEF}
+		got, _ := in.Latch(r)
+		diff := got.Stamp ^ r.Stamp
+		if diff == 0 || diff&(diff-1) != 0 {
+			t.Fatalf("stamp flip changed %024b bits, want exactly one", diff)
+		}
+		if diff > hw.TimerMask {
+			t.Fatalf("stamp flip outside the %d-bit timer: %#x", hw.TimerBits, diff)
+		}
+	}
+	const bound = 5
+	in = New(Config{Seed: 11, Rate: 1, Classes: Jitter, JitterTicks: bound})
+	for i := 0; i < 200; i++ {
+		r := hw.Record{Tag: 2, Stamp: 1 << 20}
+		got, _ := in.Latch(r)
+		delta := int64(got.Stamp) - int64(r.Stamp)
+		if delta < -bound || delta > bound {
+			t.Fatalf("jitter of %d ticks outside ±%d", delta, bound)
+		}
+	}
+}
+
+// BankBurst and ReadoutGlitch corrupt the readout path and count bytes.
+func TestReadoutFaults(t *testing.T) {
+	in := New(Config{Seed: 5, Rate: 1, Classes: BankBurst, BurstLen: 8})
+	changed := 0
+	// Scan past the full RAM depth so every bank's burst window (anywhere
+	// in [0, DefaultDepth)) is covered.
+	for bank := 0; bank < hw.NumBanks; bank++ {
+		for off := uint32(0); off < hw.DefaultDepth+8; off++ {
+			if in.ReadoutByte(bank, off, 0xAA) != 0xAA {
+				changed++
+			}
+		}
+	}
+	st := in.Stats()
+	if st.BurstBytes == 0 || uint64(changed) != st.BurstBytes {
+		t.Fatalf("burst corrupted %d bytes, stats say %d (want nonzero and equal)", changed, st.BurstBytes)
+	}
+	if st.BurstBytes > uint64(hw.NumBanks*8) {
+		t.Fatalf("burst corrupted %d bytes, want <= %d (BurstLen 8 per bank)", st.BurstBytes, hw.NumBanks*8)
+	}
+
+	in = New(Config{Seed: 5, Rate: 0, Classes: ReadoutGlitch, ReadoutRate: 1})
+	for off := uint32(0); off < 100; off++ {
+		got := in.ReadoutByte(0, off, 0x55)
+		diff := got ^ 0x55
+		if diff == 0 || diff&(diff-1) != 0 {
+			t.Fatalf("glitch changed %08b bits, want exactly one", diff)
+		}
+	}
+	if g := in.Stats().ReadoutGlitches; g != 100 {
+		t.Fatalf("counted %d glitches, want 100", g)
+	}
+}
+
+// The injector never lets a corrupted stamp escape the timer width once
+// the card re-masks, and New rejects rates outside [0,1].
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted rate 1.5")
+		}
+	}()
+	New(Config{Rate: 1.5})
+}
+
+func TestDeriveSeed(t *testing.T) {
+	seen := map[uint64]bool{}
+	for seed := uint64(0); seed < 100; seed++ {
+		d := DeriveSeed(42, seed)
+		if seen[d] {
+			t.Fatalf("collision at sweep seed %d", seed)
+		}
+		seen[d] = true
+	}
+	if DeriveSeed(42, 1) == DeriveSeed(43, 1) {
+		t.Fatal("base seeds 42 and 43 derived the same stream seed")
+	}
+	if DeriveSeed(42, 1) != DeriveSeed(42, 1) {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+}
+
+func TestClassAndStatsStrings(t *testing.T) {
+	if got := (DropStrobe | Jitter).String(); got != "drop+jitter" {
+		t.Fatalf("class string %q", got)
+	}
+	if got := Class(0).String(); got != "none" {
+		t.Fatalf("zero class string %q", got)
+	}
+	in := New(Config{Seed: 1, Rate: 1, Classes: DropStrobe})
+	in.Latch(hw.Record{Tag: 2})
+	if s := in.Stats().String(); !strings.Contains(s, "1 dropped") {
+		t.Fatalf("stats string %q missing drop count", s)
+	}
+}

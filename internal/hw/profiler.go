@@ -42,6 +42,33 @@ type Record struct {
 	Stamp uint32 // microseconds, modulo TimerWrap
 }
 
+// LatchVerdict is a FaultHook's decision about one latch strobe.
+type LatchVerdict int
+
+// Latch verdicts: store the (possibly modified) record once, lose the
+// strobe entirely, or store it twice (a bounced strobe line).
+const (
+	LatchKeep LatchVerdict = iota
+	LatchDrop
+	LatchDup
+)
+
+// FaultHook intercepts the card's data paths so a fault injector can model
+// the analog failure modes the paper warns about: lost and duplicated
+// strobes, bit flips on the tag and timer lines, clock jitter, and glitched
+// reads during socket readout. The hook sits below the card's bookkeeping —
+// a dropped strobe is lost silently, exactly as real hardware would lose
+// it, and only the injector's own statistics know it happened.
+type FaultHook interface {
+	// Latch transforms a record about to be stored and rules on its fate.
+	// The returned record's stamp is re-masked by the card, so a corrupted
+	// stamp is always hardware-representable.
+	Latch(r Record) (Record, LatchVerdict)
+	// ReadoutByte transforms a byte served through the EPROM window while
+	// the card is in readout mode.
+	ReadoutByte(bank int, offset uint32, b byte) byte
+}
+
 // Profiler is the card itself.
 //
 // The card has no notion of kernel time: it owns a free-running counter that
@@ -62,6 +89,7 @@ type Profiler struct {
 	counterAt uint32
 
 	readout readoutState
+	fault   FaultHook
 
 	// Latched counts every latch strobe, including ones dropped because
 	// the card was disarmed or full; useful for capture-loss accounting.
@@ -130,6 +158,12 @@ func (p *Profiler) Stored() int { return len(p.ram) }
 // Depth reports the RAM capacity in records.
 func (p *Profiler) Depth() int { return p.depth }
 
+// SetFaultHook installs (or, with nil, removes) a fault injector on the
+// card's capture and readout paths. Reset does not clear the hook: the
+// injector models the card's analog environment, which a fresh capture does
+// not change.
+func (p *Profiler) SetFaultHook(h FaultHook) { p.fault = h }
+
 // Latch presents an event tag to the card, exactly as an access in the EPROM
 // window does. If the card is armed and not full, the tag and the current
 // counter value are stored and the address counter increments; otherwise the
@@ -140,7 +174,29 @@ func (p *Profiler) Latch(tag uint16) {
 		p.Dropped++
 		return
 	}
-	p.ram = append(p.ram, Record{Tag: tag, Stamp: p.Counter()})
+	r := Record{Tag: tag, Stamp: p.Counter()}
+	if p.fault != nil {
+		var v LatchVerdict
+		r, v = p.fault.Latch(r)
+		r.Stamp &= p.cfg.Mask()
+		switch v {
+		case LatchDrop:
+			// Lost silently: the card's own Dropped counter never sees
+			// it — only the injector's statistics do.
+			return
+		case LatchDup:
+			p.store(r)
+			if p.overflow {
+				return
+			}
+		}
+	}
+	p.store(r)
+}
+
+// store appends one record, latching overflow when the RAM fills.
+func (p *Profiler) store(r Record) {
+	p.ram = append(p.ram, r)
 	p.addr++
 	if p.addr >= p.depth {
 		p.overflow = true

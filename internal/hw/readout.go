@@ -42,24 +42,30 @@ func (p *Profiler) SelectBank(bank int) {
 
 // readoutByte serves an in-window read during readout: offset indexes the
 // selected bank's record bytes; past the stored count the unwritten RAM
-// reads as 0xFF.
+// reads as 0xFF. A fault hook sees every served byte — readout shares the
+// same analog data lines capture does, so glitched polls and partial bank
+// corruption land here.
 func (p *Profiler) readoutByte(offset uint32) byte {
-	if int(offset) >= len(p.ram) {
-		return 0xFF
+	b := byte(0xFF)
+	if int(offset) < len(p.ram) {
+		r := p.ram[offset]
+		switch p.readout.bank {
+		case 0:
+			b = byte(r.Tag)
+		case 1:
+			b = byte(r.Tag >> 8)
+		case 2:
+			b = byte(r.Stamp)
+		case 3:
+			b = byte(r.Stamp >> 8)
+		default:
+			b = byte(r.Stamp >> 16)
+		}
 	}
-	r := p.ram[offset]
-	switch p.readout.bank {
-	case 0:
-		return byte(r.Tag)
-	case 1:
-		return byte(r.Tag >> 8)
-	case 2:
-		return byte(r.Stamp)
-	case 3:
-		return byte(r.Stamp >> 8)
-	default:
-		return byte(r.Stamp >> 16)
+	if p.fault != nil {
+		b = p.fault.ReadoutByte(p.readout.bank, offset, b)
 	}
+	return b
 }
 
 // ReadoutViaSocket performs the full fast readout: bank by bank through

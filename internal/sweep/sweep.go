@@ -27,6 +27,7 @@ import (
 
 	"kprof/internal/analyze"
 	"kprof/internal/core"
+	"kprof/internal/faults"
 	"kprof/internal/kernel"
 	"kprof/internal/sim"
 	"kprof/internal/workload"
@@ -104,6 +105,14 @@ type SeedResult struct {
 	// their boundaries (0/0 for one-shot runs).
 	Segments int
 	Dropped  uint64
+
+	// Faults counts corruptions the seed's fault injector applied (0 for
+	// pristine-hardware sweeps); Corrupt, Repaired and Resyncs carry the
+	// hardened decoder's accounting of what it found and fixed.
+	Faults   uint64
+	Corrupt  int
+	Repaired int
+	Resyncs  int
 
 	Fns map[string]FnSample
 }
@@ -215,7 +224,15 @@ func (t *progressTracker) finished(seed uint64, r SeedResult, err error) {
 // runSeed is one worker unit: boot, instrument, run, analyze, sample.
 func runSeed(cfg Config, sc workload.Scenario, seed uint64, observeMu *sync.Mutex) (SeedResult, error) {
 	m := core.NewMachine(kernel.Config{Seed: seed})
-	s, err := core.NewSession(m, cfg.Profile)
+	prof := cfg.Profile
+	if prof.Faults != nil {
+		// Per-seed fault profile: every seed gets a distinct but
+		// reproducible fault stream derived from the sweep's base seed.
+		fc := *prof.Faults
+		fc.Seed = faults.DeriveSeed(fc.Seed, seed)
+		prof.Faults = &fc
+	}
+	s, err := core.NewSession(m, prof)
 	if err != nil {
 		return SeedResult{}, fmt.Errorf("sweep: seed %d: %w", seed, err)
 	}
@@ -235,7 +252,11 @@ func runSeed(cfg Config, sc workload.Scenario, seed uint64, observeMu *sync.Mute
 	} else {
 		a = s.AnalyzeLean()
 	}
-	return sample(seed, line, a), nil
+	r := sample(seed, line, a)
+	if st, ok := s.FaultStats(); ok {
+		r.Faults = st.Injected()
+	}
+	return r, nil
 }
 
 // sample condenses an Analysis into the compact per-seed record the merge
@@ -252,6 +273,9 @@ func sample(seed uint64, line string, a *analyze.Analysis) SeedResult {
 		Switches:  a.Switches,
 		Segments:  len(a.Segments),
 		Dropped:   a.Stats.Dropped,
+		Corrupt:   a.Stats.CorruptRecords,
+		Repaired:  a.Stats.RepairedTimestamps,
+		Resyncs:   a.Stats.Resyncs,
 		Fns:       make(map[string]FnSample),
 	}
 	if elapsed > 0 {

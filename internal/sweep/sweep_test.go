@@ -7,6 +7,7 @@ import (
 
 	"kprof/internal/analyze"
 	"kprof/internal/core"
+	"kprof/internal/faults"
 	"kprof/internal/kernel"
 	"kprof/internal/sim"
 	"kprof/internal/workload"
@@ -239,5 +240,44 @@ func TestParseSeeds(t *testing.T) {
 		if _, err := ParseSeeds(spec); err == nil {
 			t.Fatalf("ParseSeeds(%q) accepted", spec)
 		}
+	}
+}
+
+// A faulted sweep gives every seed its own derived fault stream: each seed
+// reports injected faults, the streams differ across seeds, and rerunning
+// the sweep reproduces every per-seed fault and corruption count exactly.
+func TestSweepPerSeedFaultStreams(t *testing.T) {
+	cfg := shortNet([]uint64{1, 2, 3, 4}, 2)
+	cfg.Profile.Faults = &faults.Config{Seed: 7, Rate: 0.02}
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]bool{}
+	for _, r := range first.PerSeed {
+		if r.Faults == 0 {
+			t.Fatalf("seed %d injected no faults at 2%%: %+v", r.Seed, r)
+		}
+		counts[r.Faults] = true
+	}
+	// Distinct derived streams: four seeds all landing on the same fault
+	// count would mean the derivation ignored the seed.
+	if len(counts) == 1 {
+		t.Fatalf("all seeds report identical fault counts %v — shared stream?", first.PerSeed)
+	}
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range first.PerSeed {
+		s := again.PerSeed[i]
+		if r.Faults != s.Faults || r.Corrupt != s.Corrupt || r.Repaired != s.Repaired || r.Resyncs != s.Resyncs {
+			t.Fatalf("seed %d not reproducible: %+v vs %+v", r.Seed, r, s)
+		}
+	}
+	// The caller's base config must come through untouched — workers
+	// clone it per seed rather than rewriting the shared pointer.
+	if cfg.Profile.Faults.Seed != 7 {
+		t.Fatalf("sweep mutated the caller's fault config: %+v", cfg.Profile.Faults)
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"kprof/internal/analyze"
 	"kprof/internal/core"
 	"kprof/internal/export"
+	"kprof/internal/faults"
 	"kprof/internal/hw"
 	"kprof/internal/kernel"
 	"kprof/internal/netstack"
@@ -137,19 +138,65 @@ type TagFile = tagfile.File
 // modifiers).
 var ParseTagFile = tagfile.ParseString
 
-// Analyze decodes and reconstructs a raw capture against a tag file,
-// for captures loaded from disk rather than a live session.
+// Analyze decodes and reconstructs a raw capture against a tag file, for
+// captures loaded from disk rather than a live session. It runs the
+// hardened pipeline — timestamp repair on — since a loaded capture's
+// provenance is unknown; clean captures decode identically either way.
 func Analyze(c Capture, tags *TagFile) *Analysis {
-	events, stats := analyze.Decode(c, tags)
-	return analyze.Reconstruct(events, stats)
+	return analyze.ReconstructCapture(c, tags, analyze.ReconstructOptions{Repair: analyze.DefaultRepair()})
 }
 
 // Stitch reconstructs a segmented capture — the drained slices of one
 // continuous run, in drain order — into a single Analysis, reporting any
-// per-boundary losses on Analysis.Segments.
+// per-boundary losses on Analysis.Segments. Like Analyze, it runs the
+// hardened pipeline.
 func Stitch(segs []Capture, tags *TagFile) *Analysis {
-	return analyze.Stitch(segs, tags, analyze.ReconstructOptions{})
+	return analyze.Stitch(segs, tags, analyze.ReconstructOptions{Repair: analyze.DefaultRepair()})
 }
+
+// RepairConfig tunes the decoder's timestamp-monotonicity repair; see
+// analyze.RepairConfig for the heuristic.
+type RepairConfig = analyze.RepairConfig
+
+// DefaultRepair is the hardened pipeline's repair configuration.
+var DefaultRepair = analyze.DefaultRepair
+
+// Fault injection: a deterministic, seedable model of the card's analog
+// failure modes (dropped/duplicated strobes, tag and timestamp bit flips,
+// timer jitter, glitched readout). Attach one via ProfileConfig.Faults to
+// prove an analysis pipeline survives broken hardware.
+type (
+	// FaultConfig configures the injector attached to a session's card.
+	FaultConfig = faults.Config
+	// FaultStats counts what an injector has done (Session.FaultStats).
+	FaultStats = faults.Stats
+	// FaultClass is a bitmask selecting fault classes.
+	FaultClass = faults.Class
+)
+
+// Fault classes for FaultConfig.Classes.
+const (
+	// FaultDropStrobe loses latch strobes silently.
+	FaultDropStrobe = faults.DropStrobe
+	// FaultDupStrobe stores a strobe twice (a bounced strobe line).
+	FaultDupStrobe = faults.DupStrobe
+	// FaultTagFlip flips one bit on the 16 tag lines.
+	FaultTagFlip = faults.TagFlip
+	// FaultStampFlip flips one bit in the stored timestamp.
+	FaultStampFlip = faults.StampFlip
+	// FaultJitter perturbs the counter by a few ticks.
+	FaultJitter = faults.Jitter
+	// FaultReadoutGlitch misreads single bytes during socket readout.
+	FaultReadoutGlitch = faults.ReadoutGlitch
+	// FaultBankBurst corrupts a contiguous run of one RAM bank on drain.
+	FaultBankBurst = faults.BankBurst
+	// FaultAllClasses enables every fault class.
+	FaultAllClasses = faults.AllClasses
+)
+
+// DeriveFaultSeed folds a sweep seed into a base fault seed, giving every
+// seed of a sweep a distinct but reproducible fault stream.
+var DeriveFaultSeed = faults.DeriveSeed
 
 // Workload drivers (see internal/workload for details).
 var (

@@ -32,10 +32,13 @@ echo "== long-scenario drain golden =="
 go test -run TestGoldenNetReceiveLongDrain .
 
 echo "== fuzz smoke =="
-go test -run 'FuzzDecodeUnwrap|FuzzSegmentBoundary' ./internal/analyze/
+go test -run 'FuzzDecodeUnwrap|FuzzSegmentBoundary|FuzzFaultedDecode' ./internal/analyze/
 if [ "${SKIP_FUZZ:-0}" != "1" ]; then
 	go test -run FuzzSegmentBoundary -fuzz FuzzSegmentBoundary -fuzztime 10s ./internal/analyze/
 fi
+
+echo "== coverage floors =="
+./scripts/cover_check.sh
 
 if [ "${SKIP_RACE:-0}" != "1" ]; then
 	echo "== go test -race =="

@@ -1,0 +1,31 @@
+#!/bin/sh
+# cover_check.sh — per-package statement-coverage floors for the packages
+# whose correctness claims rest on their test suites: the hardened decode
+# pipeline and the fault injector that attacks it. Floors sit a few points
+# below the measured baseline (analyze 91%, faults 98% at introduction) so
+# honest refactoring never trips them, but a change that lands untested
+# code in either package does.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+check() {
+	pkg=$1
+	floor=$2
+	line=$(go test -cover "$pkg" | tail -n 1)
+	pct=$(echo "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+	if [ -z "$pct" ]; then
+		echo "cover_check: no coverage figure for $pkg:"
+		echo "$line"
+		exit 1
+	fi
+	below=$(awk -v p="$pct" -v f="$floor" 'BEGIN{print (p < f) ? 1 : 0}')
+	if [ "$below" = "1" ]; then
+		echo "cover_check: $pkg at ${pct}%, floor is ${floor}%"
+		exit 1
+	fi
+	echo "cover_check: $pkg ${pct}% >= ${floor}%"
+}
+
+check ./internal/analyze 85
+check ./internal/faults 90
