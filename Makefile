@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fuzz check fmt vet docs-check cover
+.PHONY: all build test race bench gobench bench-check fuzz check fmt vet docs-check cover
 
 all: build test
 
@@ -15,7 +15,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The perf-trajectory artifact: run the full deterministic benchmark suite
+# (streaming decode, drain-and-stitch capture, multi-seed sweep) and write
+# BENCH_5.json — the artifact scripts/bench_check.sh gates regressions
+# against. Bump the artifact number alongside the ISSUE/PR number.
 bench:
+	$(GO) run ./cmd/kprof -bench BENCH_5.json
+
+# Regression gate: quick benchmark run compared against the newest
+# committed BENCH_*.json (>15 % slower or more allocs per record fails).
+bench-check:
+	./scripts/bench_check.sh
+
+# The conventional go-test microbenchmarks (exporters, decode internals).
+gobench:
 	$(GO) test -bench=. -benchmem
 
 # Short fuzz passes over the decoder's timestamp unwrap, the

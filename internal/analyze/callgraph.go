@@ -113,10 +113,11 @@ func (g *CallGraph) Arcs() []*Arc {
 // WriteFunction renders one function's call-graph block: callers above,
 // callees below, gprof-style.
 func (g *CallGraph) WriteFunction(w io.Writer, name string) error {
+	ew := &errWriter{w: w}
 	callers := g.Callers(name)
 	callees := g.Callees(name)
 	if len(callers) == 0 && len(callees) == 0 {
-		_, err := fmt.Fprintf(w, "%s: no arcs\n", name)
+		_, err := fmt.Fprintf(ew, "%s: no arcs\n", name)
 		return err
 	}
 	for _, arc := range callers {
@@ -124,30 +125,31 @@ func (g *CallGraph) WriteFunction(w io.Writer, name string) error {
 		if from == "" {
 			from = "<top>"
 		}
-		fmt.Fprintf(w, "    %8d calls %10d us   from %s\n", arc.Count, arc.Time.Micros(), from)
+		fmt.Fprintf(ew, "    %8d calls %10d us   from %s\n", arc.Count, arc.Time.Micros(), from)
 	}
-	fmt.Fprintf(w, "[%s]\n", name)
+	fmt.Fprintf(ew, "[%s]\n", name)
 	for _, arc := range callees {
-		fmt.Fprintf(w, "    %8d calls %10d us   to   %s\n", arc.Count, arc.Time.Micros(), arc.Callee)
+		fmt.Fprintf(ew, "    %8d calls %10d us   to   %s\n", arc.Count, arc.Time.Micros(), arc.Callee)
 	}
-	return nil
+	return ew.err
 }
 
 // Write renders the top arcs of the whole graph.
 func (g *CallGraph) Write(w io.Writer, top int) error {
+	ew := &errWriter{w: w}
 	arcs := g.Arcs()
 	if top > 0 && len(arcs) > top {
 		arcs = arcs[:top]
 	}
-	fmt.Fprintf(w, "%-24s %-24s %8s %12s\n", "caller", "callee", "calls", "callee us")
+	fmt.Fprintf(ew, "%-24s %-24s %8s %12s\n", "caller", "callee", "calls", "callee us")
 	for _, arc := range arcs {
 		from := arc.Caller
 		if from == "" {
 			from = "<top>"
 		}
-		fmt.Fprintf(w, "%-24s %-24s %8d %12d\n", from, arc.Callee, arc.Count, arc.Time.Micros())
+		fmt.Fprintf(ew, "%-24s %-24s %8d %12d\n", from, arc.Callee, arc.Count, arc.Time.Micros())
 	}
-	return nil
+	return ew.err
 }
 
 // String renders the top 30 arcs.

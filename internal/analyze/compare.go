@@ -92,19 +92,20 @@ func abs64(x float64) float64 {
 
 // Write renders the biggest movers.
 func (c *Comparison) Write(w io.Writer, top int) error {
-	fmt.Fprintf(w, "idle: %5.2f%% -> %5.2f%%\n", 100*c.BeforeIdle, 100*c.AfterIdle)
-	fmt.Fprintf(w, "%-20s %9s %9s %8s %10s %10s\n",
+	ew := &errWriter{w: w}
+	fmt.Fprintf(ew, "idle: %5.2f%% -> %5.2f%%\n", 100*c.BeforeIdle, 100*c.AfterIdle)
+	fmt.Fprintf(ew, "%-20s %9s %9s %8s %10s %10s\n",
 		"function", "before%", "after%", "change", "us/call", "->us/call")
 	deltas := c.Deltas
 	if top > 0 && len(deltas) > top {
 		deltas = deltas[:top]
 	}
 	for _, d := range deltas {
-		fmt.Fprintf(w, "%-20s %8.2f%% %8.2f%% %+7.2f%% %10d %10d\n",
+		fmt.Fprintf(ew, "%-20s %8.2f%% %8.2f%% %+7.2f%% %10d %10d\n",
 			d.Name, 100*d.BeforeShare, 100*d.AfterShare, 100*d.ShareChange(),
 			d.BeforePerCall.Micros(), d.AfterPerCall.Micros())
 	}
-	return nil
+	return ew.err
 }
 
 // String renders the top 20 movers.

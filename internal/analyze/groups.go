@@ -61,11 +61,12 @@ func (a *Analysis) Groups(groupOf map[string]string) []*GroupStat {
 
 // WriteGroups renders the subsystem breakdown.
 func WriteGroups(w io.Writer, groups []*GroupStat) error {
-	fmt.Fprintf(w, "%-16s %6s %8s %10s %7s\n", "subsystem", "fns", "calls", "net us", "% net")
+	ew := &errWriter{w: w}
+	fmt.Fprintf(ew, "%-16s %6s %8s %10s %7s\n", "subsystem", "fns", "calls", "net us", "% net")
 	for _, g := range groups {
-		fmt.Fprintf(w, "%-16s %6d %8d %10d %6.2f%%\n", g.Name, g.Fns, g.Calls, g.Net.Micros(), g.PctNet)
+		fmt.Fprintf(ew, "%-16s %6d %8d %10d %6.2f%%\n", g.Name, g.Fns, g.Calls, g.Net.Micros(), g.PctNet)
 	}
-	return nil
+	return ew.err
 }
 
 // GroupsString renders the subsystem breakdown to a string.

@@ -79,7 +79,8 @@ func (a *Analysis) HistogramOf(name string) *Histogram {
 
 // Write renders the histogram as an ASCII bar chart.
 func (h *Histogram) Write(w io.Writer) error {
-	fmt.Fprintf(w, "%s: %d calls\n", h.Name, h.Total)
+	ew := &errWriter{w: w}
+	fmt.Fprintf(ew, "%s: %d calls\n", h.Name, h.Total)
 	max := 0
 	for _, b := range h.Buckets {
 		if b.Count > max {
@@ -94,9 +95,9 @@ func (h *Histogram) Write(w io.Writer) error {
 		if max > 0 {
 			bar = strings.Repeat("#", 1+b.Count*40/max)
 		}
-		fmt.Fprintf(w, "%8d-%-8d us %6d %s\n", b.Lo.Micros(), b.Hi.Micros(), b.Count, bar)
+		fmt.Fprintf(ew, "%8d-%-8d us %6d %s\n", b.Lo.Micros(), b.Hi.Micros(), b.Count, bar)
 	}
-	return nil
+	return ew.err
 }
 
 // String renders the histogram.

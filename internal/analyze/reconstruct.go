@@ -20,6 +20,10 @@ type Node struct {
 	// tsleep that blocks for seconds still reports only its in-context
 	// microseconds.
 	outOfContext sim.Time
+	// childTime accumulates the in-context elapsed of direct children as
+	// they close, so Net never walks Children — which the lean streaming
+	// path does not even build.
+	childTime sim.Time
 
 	Children []*Node
 	Marks    []Mark
@@ -39,11 +43,7 @@ func (n *Node) Elapsed() sim.Time {
 // Net is elapsed minus the in-context elapsed of direct children — the
 // time spent in this function alone.
 func (n *Node) Net() sim.Time {
-	net := n.Elapsed()
-	for _, c := range n.Children {
-		net -= c.Elapsed()
-	}
-	return net
+	return n.Elapsed() - n.childTime
 }
 
 // TraceItem is one line of the chronological code-path trace.
@@ -147,8 +147,11 @@ type FnStat struct {
 
 // stack is one process context's call stack.
 type stack struct {
-	open        []*Node
-	done        []*Node // completed top-level frames
+	open []*Node
+	done []*Node // completed top-level frames (not kept by the lean path)
+	// doneElapsed is the summed in-context elapsed of the done roots —
+	// what splicing them under an adopted frame adds to its childTime.
+	doneElapsed sim.Time
 	suspendedAt sim.Time
 }
 
@@ -167,13 +170,64 @@ type reconstructor struct {
 	current   *stack   // nil while idle / pending resume
 	suspended []*stack // stacks parked inside swtch, FIFO
 	pending   bool     // saw swtch exit, context not yet identified
-	tentative []*Node  // completed top-level frames since pending began
 
-	idleStart  sim.Time
-	idleOpen   bool
-	idleStack  *stack // interrupts that run in the idle loop
-	idleIntr   sim.Time
-	intrInIdle []*Node
+	idleStart sim.Time
+	idleOpen  bool
+	idleStack *stack // interrupts that run in the idle loop
+	idleIntr  sim.Time
+
+	// freeNodes and freeStacks recycle closed nodes and drained context
+	// stacks so the steady state allocates nothing per record. Nodes are
+	// pooled only on the lean path (keepItems false): the full path hands
+	// every node to the retained trace, so none may be reused.
+	freeNodes  []*Node
+	freeStacks []*stack
+}
+
+// newNode takes a node from the pool (lean path) or allocates one.
+func (r *reconstructor) newNode(name string, start sim.Time) *Node {
+	if n := len(r.freeNodes); n > 0 {
+		nd := r.freeNodes[n-1]
+		r.freeNodes = r.freeNodes[:n-1]
+		*nd = Node{Name: name, Start: start}
+		return nd
+	}
+	return &Node{Name: name, Start: start}
+}
+
+// freeNode recycles a closed node. Callers must only do so on the lean
+// path, after the node's last read — nothing retains it there.
+func (r *reconstructor) freeNode(n *Node) {
+	r.freeNodes = append(r.freeNodes, n)
+}
+
+// newStack takes a context stack from the pool or allocates one.
+func (r *reconstructor) newStack() *stack {
+	if n := len(r.freeStacks); n > 0 {
+		st := r.freeStacks[n-1]
+		r.freeStacks = r.freeStacks[:n-1]
+		return st
+	}
+	return &stack{}
+}
+
+// freeStack recycles a drained context stack (both paths: the stack
+// struct itself is never retained, only the nodes it pointed at).
+func (r *reconstructor) freeStack(st *stack) {
+	if st == nil {
+		return
+	}
+	for i := range st.open {
+		st.open[i] = nil
+	}
+	for i := range st.done {
+		st.done[i] = nil
+	}
+	st.open = st.open[:0]
+	st.done = st.done[:0]
+	st.doneElapsed = 0
+	st.suspendedAt = 0
+	r.freeStacks = append(r.freeStacks, st)
 }
 
 // Reconstruct runs the full analysis over decoded events.
@@ -256,8 +310,15 @@ func (r *reconstructor) switchOut(ev Event) {
 	sw.CtxSwitch = true
 	r.resolvePendingAsNew(ev.Time)
 	if r.current != nil {
-		r.current.suspendedAt = ev.Time
-		r.suspended = append(r.suspended, r.current)
+		if len(r.current.open) > 0 {
+			r.current.suspendedAt = ev.Time
+			r.suspended = append(r.suspended, r.current)
+		} else {
+			// Nothing open: no orphan exit can ever identify this
+			// context again, so parking it would only leak. Its done
+			// roots are already in the stats.
+			r.freeStack(r.current)
+		}
 		r.current = nil
 	}
 	r.idleOpen = true
@@ -282,8 +343,19 @@ func (r *reconstructor) switchIn(ev Event) {
 	// would permanently nest every later idle-window interrupt.
 	r.closeAll(r.idleStack, ev.Time)
 	r.pending = true
-	r.current = nil
-	r.tentative = nil
+	if r.current != nil {
+		// A switch-in with a context still attached means the matching
+		// switch-out was lost (dropped strobe). The stack was never
+		// parked, so no orphan exit can reclaim it and finish never
+		// walks it — recycle it instead of leaking it.
+		if !r.keepItems {
+			for _, n := range r.current.open {
+				r.freeNode(n)
+			}
+		}
+		r.freeStack(r.current)
+		r.current = nil
+	}
 	r.lastSwitchIn = ev.Time
 	r.item(ev, TraceSwitchIn, nil, 0)
 }
@@ -295,13 +367,10 @@ func (r *reconstructor) resolvePendingAsNew(now sim.Time) {
 		return
 	}
 	r.pending = false
-	if len(r.tentative) > 0 {
-		// Completed top-level frames of the anonymous block: they are
-		// already in the stats; nothing further to attach.
-		r.tentative = nil
-	}
+	// Completed top-level frames of the anonymous block are already in
+	// the stats; nothing further to attach.
 	if r.current == nil {
-		r.current = &stack{}
+		r.current = r.newStack()
 	}
 }
 
@@ -311,7 +380,7 @@ func (r *reconstructor) contextStack() *stack {
 		return r.idleStack
 	}
 	if r.current == nil {
-		r.current = &stack{}
+		r.current = r.newStack()
 	}
 	return r.current
 }
@@ -331,29 +400,26 @@ func (r *reconstructor) enter(ev Event) {
 // normally on a tentative current stack; reports whether still pending.
 func (r *reconstructor) pendingEnter(ev Event) bool {
 	if r.current == nil {
-		r.current = &stack{}
+		r.current = r.newStack()
 	}
 	r.push(r.current, ev)
 	return true // stays pending until an orphan exit or next switch
 }
 
 func (r *reconstructor) push(st *stack, ev Event) {
-	n := &Node{Name: ev.Name, Start: ev.Time}
-	if len(st.open) > 0 {
+	n := r.newNode(ev.Name, ev.Time)
+	if r.keepItems && len(st.open) > 0 {
 		parent := st.open[len(st.open)-1]
 		parent.Children = append(parent.Children, n)
 	}
 	depth := len(st.open)
-	if st == r.idleStack {
-		r.intrInIdle = append(r.intrInIdle, n)
-	}
 	st.open = append(st.open, n)
 	r.item(ev, TraceEnter, n, depth)
 }
 
 func (r *reconstructor) inline(ev Event) {
 	st := r.contextStack()
-	if len(st.open) > 0 {
+	if r.keepItems && len(st.open) > 0 {
 		top := st.open[len(st.open)-1]
 		top.Marks = append(top.Marks, Mark{Name: ev.Name, Time: ev.Time})
 	}
@@ -389,7 +455,7 @@ func (r *reconstructor) exit(ev Event) {
 		r.fnStat(ev.Name).Calls++ // count the call even without timing
 		r.pending = false
 		if r.current == nil {
-			r.current = &stack{}
+			r.current = r.newStack()
 		}
 		return
 	}
@@ -405,7 +471,9 @@ func (r *reconstructor) exit(ev Event) {
 // matching frame.
 func (r *reconstructor) adopt(i int, ev Event) {
 	st := r.suspended[i]
-	r.suspended = append(r.suspended[:i:i], r.suspended[i+1:]...)
+	copy(r.suspended[i:], r.suspended[i+1:])
+	r.suspended[len(r.suspended)-1] = nil
+	r.suspended = r.suspended[:len(r.suspended)-1]
 	resumeAt := r.lastSwitchInTime()
 	for _, n := range st.open {
 		n.outOfContext += resumeAt - st.suspendedAt
@@ -416,14 +484,20 @@ func (r *reconstructor) adopt(i int, ev Event) {
 		for _, c := range r.current.doneRoots() {
 			top.Children = append(top.Children, c)
 		}
+		top.childTime += r.current.doneElapsed
 		// Unclosed tentative frames would be a malformed capture;
 		// recover by discarding (counted).
 		if len(r.current.open) > 0 {
 			r.a.Recovered += len(r.current.open)
+			if !r.keepItems {
+				for _, n := range r.current.open {
+					r.freeNode(n)
+				}
+			}
 		}
+		r.freeStack(r.current)
 	}
 	r.current = st
-	r.tentative = nil
 	r.pending = false
 	r.closeOn(st, ev, true)
 }
@@ -464,20 +538,32 @@ func (r *reconstructor) closeOn(st *stack, ev Event, recover bool) bool {
 		top.End = ev.Time
 		top.Complete = false
 		st.open = st.open[:len(st.open)-1]
+		st.open[len(st.open)-1].childTime += top.Elapsed()
 		r.a.Recovered++
 		r.record(top)
+		if !r.keepItems {
+			r.freeNode(top)
+		}
 	}
 	n := st.open[idx]
 	n.End = ev.Time
 	n.Complete = true
 	st.open = st.open[:idx]
-	if len(st.open) == 0 {
-		st.done = append(st.done, n)
+	if len(st.open) > 0 {
+		st.open[len(st.open)-1].childTime += n.Elapsed()
+	} else {
+		st.doneElapsed += n.Elapsed()
+		if r.keepItems {
+			st.done = append(st.done, n)
+		}
 	}
 	r.record(n)
 	r.item(ev, TraceExit, n, len(st.open))
 	if st == r.idleStack && len(st.open) == 0 && r.idleOpen {
 		r.idleIntr += n.Elapsed()
+	}
+	if !r.keepItems {
+		r.freeNode(n)
 	}
 	return true
 }
@@ -491,8 +577,14 @@ func (r *reconstructor) closeAll(st *stack, at sim.Time) {
 		st.open = st.open[:len(st.open)-1]
 		top.End = at
 		top.Complete = false
+		if len(st.open) > 0 {
+			st.open[len(st.open)-1].childTime += top.Elapsed()
+		}
 		r.a.Recovered++
 		r.record(top)
+		if !r.keepItems {
+			r.freeNode(top)
+		}
 	}
 }
 
@@ -515,14 +607,16 @@ func (r *reconstructor) lossBoundary() int {
 	r.closeAll(r.idleStack, at)
 	if r.current != nil {
 		r.closeAll(r.current, at)
+		r.freeStack(r.current)
 		r.current = nil
 	}
-	for _, st := range r.suspended {
+	for i, st := range r.suspended {
 		r.closeAll(st, at)
+		r.freeStack(st)
+		r.suspended[i] = nil
 	}
-	r.suspended = nil
+	r.suspended = r.suspended[:0]
 	r.pending = false
-	r.tentative = nil
 	return r.a.Recovered - before
 }
 
@@ -553,13 +647,20 @@ func (r *reconstructor) finish() {
 			r.a.Idle += idle
 		}
 	}
-	// Open frames at capture end: count calls, no timing.
+	// Open frames at capture end: count calls, no timing. Deepest first,
+	// so each child's End (and therefore Elapsed) is final before it is
+	// folded into its parent's childTime — keeping Net consistent for
+	// the trace rendering of frames left open.
 	countOpen := func(st *stack) {
 		if st == nil {
 			return
 		}
-		for _, n := range st.open {
+		for i := len(st.open) - 1; i >= 0; i-- {
+			n := st.open[i]
 			n.End = r.a.End
+			if i > 0 {
+				st.open[i-1].childTime += n.Elapsed()
+			}
 			r.fnStat(n.Name).Calls++
 		}
 	}

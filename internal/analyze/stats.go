@@ -56,13 +56,15 @@ func (a *Acc) Merge(b Acc) {
 	a.N += b.N
 }
 
-// Std is the population standard deviation (zero for fewer than two
-// observations).
+// Std is the sample standard deviation — divisor N−1, since each
+// observation is one run drawn from the scenario's distribution, not the
+// whole population (zero for fewer than two observations, where spread
+// is undefined).
 func (a Acc) Std() float64 {
 	if a.N < 2 {
 		return 0
 	}
-	return math.Sqrt(a.M2 / float64(a.N))
+	return math.Sqrt(a.M2 / float64(a.N-1))
 }
 
 // Min reports the smallest observation (zero when empty).

@@ -1,0 +1,170 @@
+package analyze
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"kprof/internal/sim"
+)
+
+// approxEq compares floats to a relative tolerance (absolute near zero).
+func approxEq(a, b float64) bool {
+	d := math.Abs(a - b)
+	if d <= 1e-9 {
+		return true
+	}
+	return d <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// accSeries folds xs serially into one accumulator.
+func accSeries(xs []float64) Acc {
+	var a Acc
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return a
+}
+
+// Property: merging the accumulators of ANY split of a series — every
+// split point, including the empty prefix and empty suffix, and a
+// three-way split — must equal the single serial Add pass on every
+// moment (N, Mean, M2) and both extremes.
+func TestAccMergeEqualsSerial(t *testing.T) {
+	rng := sim.NewRand(99)
+	series := [][]float64{
+		{},
+		{3.25},
+		{-7, -7, -7},
+		{1e-9, -1e-9, 2.5e12, 4},
+	}
+	// Random series of several sizes, mixed signs and magnitudes.
+	for _, n := range []int{2, 5, 17, 100} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(7)-3))
+		}
+		series = append(series, xs)
+	}
+	check := func(got, want Acc, what string, xs []float64) {
+		t.Helper()
+		if got.N != want.N {
+			t.Fatalf("%s of %v: N %d != %d", what, xs, got.N, want.N)
+		}
+		if got.N == 0 {
+			return
+		}
+		if !approxEq(got.Mean, want.Mean) || !approxEq(got.M2, want.M2) {
+			t.Fatalf("%s of %v: moments (%v, %v) != (%v, %v)",
+				what, xs, got.Mean, got.M2, want.Mean, want.M2)
+		}
+		if got.Min() != want.Min() || got.Max() != want.Max() {
+			t.Fatalf("%s of %v: extremes [%v, %v] != [%v, %v]",
+				what, xs, got.Min(), got.Max(), want.Min(), want.Max())
+		}
+	}
+	for _, xs := range series {
+		want := accSeries(xs)
+		for cut := 0; cut <= len(xs); cut++ {
+			got := accSeries(xs[:cut])
+			got.Merge(accSeries(xs[cut:]))
+			check(got, want, "two-way split", xs)
+		}
+		for i := 0; i <= len(xs); i++ {
+			for j := i; j <= len(xs); j++ {
+				got := accSeries(xs[:i])
+				got.Merge(accSeries(xs[i:j]))
+				got.Merge(accSeries(xs[j:]))
+				check(got, want, "three-way split", xs)
+			}
+		}
+	}
+}
+
+// Edge cases the property sweep can't express directly: empty⊕empty,
+// empty⊕nonempty, the single element, and negative means through CV.
+func TestAccEdgeCases(t *testing.T) {
+	var a, b Acc
+	a.Merge(b)
+	if a.N != 0 || a.Mean != 0 || a.M2 != 0 || a.Std() != 0 || a.CV() != 0 {
+		t.Fatalf("empty+empty changed state: %+v", a)
+	}
+	b.Add(5)
+	a.Merge(b)
+	if a.N != 1 || a.Mean != 5 || a.Min() != 5 || a.Max() != 5 {
+		t.Fatalf("empty+single: %+v", a)
+	}
+	// A single observation has no defined spread.
+	if a.Std() != 0 || a.CV() != 0 {
+		t.Fatalf("single observation spread: std %v cv %v", a.Std(), a.CV())
+	}
+	// CV uses |mean|: a negative-mean series must report the same
+	// (positive) coefficient as its mirror image.
+	neg := accSeries([]float64{-10, -12, -14})
+	pos := accSeries([]float64{10, 12, 14})
+	if neg.CV() <= 0 || !approxEq(neg.CV(), pos.CV()) {
+		t.Fatalf("negative-mean CV %v, mirrored %v", neg.CV(), pos.CV())
+	}
+	// Sample divisor: two observations {0, 2} have mean 1, M2 = 2,
+	// sample variance 2/(2−1) = 2.
+	two := accSeries([]float64{0, 2})
+	if !approxEq(two.Std(), math.Sqrt2) {
+		t.Fatalf("sample std of {0,2} = %v, want sqrt(2)", two.Std())
+	}
+}
+
+// failAfter errors once n bytes have been written — a stand-in for a
+// full disk or a closed pipe.
+type failAfter struct {
+	n   int
+	err error
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, f.err
+	}
+	if len(p) > f.n {
+		p = p[:f.n]
+	}
+	f.n -= len(p)
+	if f.n == 0 {
+		return len(p), f.err
+	}
+	return len(p), nil
+}
+
+// Every plain-text report writer must surface the first write failure
+// instead of pretending success.
+func TestReportWritersPropagateErrors(t *testing.T) {
+	tags := mustTags(t)
+	c := pseudoCapture(7, 2000)
+	a := ReconstructCapture(c, tags, ReconstructOptions{})
+	groupOf := map[string]string{"a": "net", "b": "fs"}
+	hist := a.HistogramOf("a")
+	if hist.Total == 0 {
+		t.Fatal("capture produced no completed calls of 'a'; histogram writer untested")
+	}
+	writers := map[string]func(w *failAfter) error{
+		"summary":   func(w *failAfter) error { return a.WriteSummary(w, 0) },
+		"segments":  func(w *failAfter) error { return a.WriteSegments(w) },
+		"trace":     func(w *failAfter) error { return a.WriteTrace(w, TraceOptions{}) },
+		"groups":    func(w *failAfter) error { return WriteGroups(w, a.Groups(groupOf)) },
+		"histogram": func(w *failAfter) error { return hist.Write(w) },
+		"callgraph": func(w *failAfter) error { return a.CallGraph().Write(w, 0) },
+		"timeline":  func(w *failAfter) error { return a.Timeline(groupOf, 64).Write(w) },
+	}
+	want := errors.New("pipe closed")
+	for name, fn := range writers {
+		for _, budget := range []int{0, 1, 30} {
+			if err := fn(&failAfter{n: budget, err: want}); !errors.Is(err, want) {
+				t.Errorf("%s writer, budget %d: error %v, want %v", name, budget, err, want)
+			}
+		}
+	}
+	var b strings.Builder
+	if err := a.WriteSummary(&b, 0); err != nil {
+		t.Fatalf("healthy writer errored: %v", err)
+	}
+}

@@ -32,6 +32,9 @@ type Reconstructor struct {
 	rec        *reconstructor
 	keepEvents bool
 	finished   bool
+	// emitFn is the emit callback bound once at construction, so the
+	// per-record Push never materializes a method value.
+	emitFn func(Event)
 	// segStart/segCorrupt are the decoder's record and corrupt counts at
 	// the current segment's first record, so EndSegment can size the
 	// segment and attribute its corruption.
@@ -44,11 +47,13 @@ type Reconstructor struct {
 // card's 1 MHz, 24 bits).
 func NewReconstructor(cfg hw.Config, tags *tagfile.File, opts ReconstructOptions) *Reconstructor {
 	a := &Analysis{fns: make(map[string]*FnStat)}
-	return &Reconstructor{
+	rc := &Reconstructor{
 		dec:        NewRepairingDecoder(cfg, tags, opts.Repair),
 		rec:        &reconstructor{a: a, idleStack: &stack{}, keepItems: !opts.DiscardTrace},
 		keepEvents: !opts.DiscardEvents,
 	}
+	rc.emitFn = rc.emit
+	return rc
 }
 
 // Push decodes one raw record and advances the reconstruction. Under repair
@@ -59,7 +64,7 @@ func (rc *Reconstructor) Push(r hw.Record) {
 	if rc.finished {
 		panic("analyze: Push after Finish")
 	}
-	rc.dec.Push(r, rc.emit)
+	rc.dec.Push(r, rc.emitFn)
 }
 
 func (rc *Reconstructor) emit(ev Event) { rc.rec.feed(ev, rc.keepEvents) }
@@ -101,7 +106,7 @@ func (rc *Reconstructor) Finish(overflowed bool, dropped uint64) *Analysis {
 		panic("analyze: Finish called twice")
 	}
 	rc.finished = true
-	rc.dec.Flush(rc.emit)
+	rc.dec.Flush(rc.emitFn)
 	rc.rec.finish()
 	stats := rc.dec.Stats()
 	stats.Overflowed = overflowed

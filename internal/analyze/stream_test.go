@@ -108,7 +108,8 @@ func TestAccAddAndMerge(t *testing.T) {
 	for _, x := range xs {
 		ss += (x - mean) * (x - mean)
 	}
-	if math.Abs(whole.Mean-mean) > 1e-12 || math.Abs(whole.Std()-math.Sqrt(ss/11)) > 1e-12 {
+	// Sample standard deviation: N−1 divisor (11 observations).
+	if math.Abs(whole.Mean-mean) > 1e-12 || math.Abs(whole.Std()-math.Sqrt(ss/10)) > 1e-12 {
 		t.Fatalf("wrong moments: %v, %v", whole.Mean, whole.Std())
 	}
 	// Merge into empty and merge of empty.

@@ -87,11 +87,12 @@ var intensity = []byte(" .:-=+*#%@")
 // Write renders the timeline as rows of intensity characters, one per
 // group, dark cells meaning the group dominated that interval.
 func (tl *Timeline) Write(w io.Writer) error {
+	ew := &errWriter{w: w}
 	if len(tl.Groups) == 0 {
-		_, err := fmt.Fprintln(w, "(empty capture)")
+		_, err := fmt.Fprintln(ew, "(empty capture)")
 		return err
 	}
-	fmt.Fprintf(w, "timeline: %v per cell, starting at %v\n", tl.BucketWidth, tl.Start)
+	fmt.Fprintf(ew, "timeline: %v per cell, starting at %v\n", tl.BucketWidth, tl.Start)
 	for _, g := range tl.Groups {
 		row := tl.Cells[g]
 		var b strings.Builder
@@ -106,9 +107,9 @@ func (tl *Timeline) Write(w io.Writer) error {
 			}
 			b.WriteByte(intensity[idx])
 		}
-		fmt.Fprintf(w, "%-10s |%s| %6d us\n", g, b.String(), tl.totals[g].Micros())
+		fmt.Fprintf(ew, "%-10s |%s| %6d us\n", g, b.String(), tl.totals[g].Micros())
 	}
-	return nil
+	return ew.err
 }
 
 // String renders the timeline.

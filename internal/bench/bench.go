@@ -1,0 +1,300 @@
+// Package bench is the repository's performance-trajectory harness: a
+// deterministic benchmark runner that measures end-to-end throughput of the
+// three analysis hot paths — streaming decode+repair, drain-and-stitch
+// continuous capture, and the parallel multi-seed sweep — and emits a
+// schema'd JSON artifact (BENCH_N.json) that scripts/bench_check.sh gates
+// regressions against.
+//
+// "Deterministic" means the measured work is fixed bit for bit: every
+// benchmark drives fixed (scenario, seed) pairs through the simulator, so
+// two runs process exactly the same records and allocate exactly the same
+// objects. Wall-clock figures still carry host noise, which the runner
+// damps by taking the best of several interleaved passes; allocation
+// figures are exact.
+//
+// The paper's premise is that measurement overhead must be small enough to
+// trust (~400 ns per trigger, 1-1.2% CPU); this harness holds the analysis
+// layer to the same standard, starting with the claim that the steady-state
+// decode+reconstruct path allocates nothing per record.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"kprof/internal/analyze"
+	"kprof/internal/core"
+	"kprof/internal/hw"
+	"kprof/internal/kernel"
+	"kprof/internal/sim"
+	"kprof/internal/sweep"
+	"kprof/internal/workload"
+)
+
+// Schema identifies the report format; bump it when fields change meaning.
+const Schema = "kprof-bench/1"
+
+// Config tunes a benchmark run.
+type Config struct {
+	// Quick trims iteration counts so the suite finishes faster — the
+	// configuration check-in gating (scripts/bench_check.sh) uses. The work
+	// per iteration is identical to the full configuration (same captures,
+	// same simulated durations, same seed sets), so quick and full reports
+	// compare like for like per record; only the sample counts shrink, which
+	// costs a little wall-clock stability.
+	Quick bool
+	// Seed is the base simulation seed; 0 means 42 (the golden-capture
+	// seed, so the decode benchmarks chew the same records the golden
+	// tests verify).
+	Seed uint64
+}
+
+func (c Config) seed() uint64 {
+	if c.Seed == 0 {
+		return 42
+	}
+	return c.Seed
+}
+
+// Result is one benchmark's measurement.
+type Result struct {
+	// Name identifies the hot path, e.g. "decode/steady".
+	Name string `json:"name"`
+	// Records is the number of records one iteration processes.
+	Records int `json:"records"`
+	// Iters is how many measured iterations ran (after warmup).
+	Iters int `json:"iters"`
+	// NsPerRecord is wall nanoseconds per record (best measured pass).
+	NsPerRecord float64 `json:"ns_per_record"`
+	// RecordsPerSec is the throughput implied by NsPerRecord.
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// AllocsPerRecord is heap allocations per record (exact, not sampled).
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+	// BytesPerRecord is heap bytes per record.
+	BytesPerRecord float64 `json:"bytes_per_record"`
+	// WallNoisy marks end-to-end benchmarks whose wall time includes
+	// goroutine scheduling and GC placement (the parallel sweep, the
+	// pipelined drain) — run-to-run swings of tens of percent on a small
+	// host. Compare widens the wall-clock tolerance for these; the
+	// allocation gate stays tight since those figures are exact.
+	WallNoisy bool `json:"wall_noisy,omitempty"`
+}
+
+// Report is the full benchmark artifact serialized as BENCH_N.json.
+type Report struct {
+	// Schema is the format tag (see Schema).
+	Schema string `json:"schema"`
+	// Quick records which configuration produced the numbers. Quick and
+	// full reports are comparable per benchmark name — the work per
+	// iteration is identical — which is how bench_check gates a quick run
+	// against the committed full artifact.
+	Quick bool `json:"quick"`
+	// Seed is the base simulation seed the workloads ran under.
+	Seed uint64 `json:"seed"`
+	// GoVersion, GOOS, GOARCH and GOMAXPROCS describe the host, for
+	// reading historical artifacts in context.
+	GoVersion  string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Benchmarks holds one Result per hot path, in run order.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Find looks a benchmark up by name.
+func (r *Report) Find(name string) (Result, bool) {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Result{}, false
+}
+
+// measure times iters passes of fn (after warmup warm passes), reporting
+// wall time from the best pass — the one least disturbed by the host — and
+// exact allocation counts averaged over the measured passes.
+func measure(name string, records, warmup, iters int, fn func()) Result {
+	for i := 0; i < warmup; i++ {
+		fn()
+	}
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	allocs := float64(ms1.Mallocs-ms0.Mallocs) / float64(iters)
+	bytes := float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(iters)
+	nsRec := float64(best.Nanoseconds()) / float64(records)
+	res := Result{
+		Name:            name,
+		Records:         records,
+		Iters:           iters,
+		NsPerRecord:     nsRec,
+		AllocsPerRecord: allocs / float64(records),
+		BytesPerRecord:  bytes / float64(records),
+	}
+	if nsRec > 0 {
+		res.RecordsPerSec = 1e9 / nsRec
+	}
+	return res
+}
+
+// fillCapture runs the netrecv scenario until the card RAM fills, returning
+// the raw capture and its tag file — the fixed record stream every decode
+// benchmark chews.
+func fillCapture(seed uint64) (hw.Capture, *core.Session, error) {
+	m := core.NewMachine(kernel.Config{Seed: seed})
+	s, err := core.NewSession(m, core.ProfileConfig{})
+	if err != nil {
+		return hw.Capture{}, nil, err
+	}
+	s.Arm()
+	if _, err := workload.NetReceive(m, 2*sim.Second); err != nil {
+		return hw.Capture{}, nil, err
+	}
+	s.Disarm()
+	c := s.Capture()
+	if c.Len() == 0 {
+		return hw.Capture{}, nil, fmt.Errorf("bench: empty capture")
+	}
+	return c, s, nil
+}
+
+// Run executes the benchmark suite and assembles the report.
+func Run(cfg Config) (*Report, error) {
+	rep := &Report{
+		Schema:     Schema,
+		Quick:      cfg.Quick,
+		Seed:       cfg.seed(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	c, s, err := fillCapture(cfg.seed())
+	if err != nil {
+		return nil, err
+	}
+
+	// decode/steady: the per-record cost of Decoder.Push plus
+	// reconstructor.feed once every pool and table has warmed up — the
+	// number the paper's "analysis must keep up with ingest" argument
+	// cares about, and the allocation-free claim's gate (0 allocs/record).
+	// One lean reconstructor absorbs the capture over and over; state
+	// (function table, node pool, stacks) reaches its limit cycle during
+	// warmup, so the measured passes run on reused memory only.
+	steadyIters := 40
+	if cfg.Quick {
+		steadyIters = 10
+	}
+	rc := analyze.NewReconstructor(c.ClockConfig(), s.Tags, analyze.ReconstructOptions{
+		DiscardEvents: true,
+		DiscardTrace:  true,
+		Repair:        analyze.DefaultRepair(),
+	})
+	pass := func() {
+		for _, r := range c.Records {
+			rc.Push(r)
+		}
+	}
+	rep.Benchmarks = append(rep.Benchmarks,
+		measure("decode/steady", c.Len(), 3, steadyIters, pass))
+
+	// decode/full: a cold streaming reconstruction per iteration —
+	// constructor, every record, Finish — the cost a sweep worker pays to
+	// turn one card RAM into per-function statistics.
+	fullIters := 40
+	if cfg.Quick {
+		fullIters = 10
+	}
+	var sink *analyze.Analysis
+	rep.Benchmarks = append(rep.Benchmarks,
+		measure("decode/full", c.Len(), 2, fullIters, func() {
+			rc := analyze.NewReconstructor(c.ClockConfig(), s.Tags, analyze.ReconstructOptions{
+				DiscardEvents: true,
+				DiscardTrace:  true,
+				Repair:        analyze.DefaultRepair(),
+			})
+			for _, r := range c.Records {
+				rc.Push(r)
+			}
+			sink = rc.Finish(c.Overflowed, c.Dropped)
+		}))
+	if sink == nil || sink.Stats.Records != c.Len() {
+		return nil, fmt.Errorf("bench: decode/full dropped records")
+	}
+
+	// capture/drain: the drain-and-stitch pipeline end to end — simulate,
+	// poll, drain through the EPROM socket, and decode the segments as
+	// they arrive (readout overlapping decode), measured per captured
+	// record. The simulator dominates; the figure tracks the whole
+	// pipeline, not the decoder alone.
+	drainDur := 400 * sim.Millisecond
+	drainIters := 5
+	if cfg.Quick {
+		drainIters = 3
+	}
+	var drainRecords int
+	drainPass := func() {
+		m := core.NewMachine(kernel.Config{Seed: cfg.seed()})
+		ds, err := core.NewSession(m, core.ProfileConfig{
+			Mode:  core.CaptureContinuous,
+			Depth: 4096,
+			Drain: core.DrainConfig{Pipeline: true},
+		})
+		if err != nil {
+			panic(err)
+		}
+		ds.Arm()
+		if _, err := workload.NetReceive(m, drainDur); err != nil {
+			panic(err)
+		}
+		ds.Disarm()
+		a := ds.AnalyzeLean()
+		drainRecords = a.Stats.Records
+	}
+	drainPass() // size the iteration before measuring
+	drainRes := measure("capture/drain", drainRecords, 1, drainIters, drainPass)
+	drainRes.WallNoisy = true
+	rep.Benchmarks = append(rep.Benchmarks, drainRes)
+
+	// sweep/multiseed: the parallel sweep engine end to end, measured per
+	// record decoded across all seeds.
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	sweepDur := 100 * sim.Millisecond
+	sweepIters := 3
+	if cfg.Quick {
+		sweepIters = 2
+	}
+	var sweepRecords int
+	sweepPass := func() {
+		res, err := sweep.Run(sweep.Config{
+			Scenario: "netrecv",
+			Seeds:    seeds,
+			Params:   workload.Params{Duration: sweepDur},
+		})
+		if err != nil {
+			panic(err)
+		}
+		sweepRecords = 0
+		for _, r := range res.PerSeed {
+			sweepRecords += r.Records
+		}
+	}
+	sweepPass()
+	sweepRes := measure("sweep/multiseed", sweepRecords, 1, sweepIters, sweepPass)
+	sweepRes.WallNoisy = true
+	rep.Benchmarks = append(rep.Benchmarks, sweepRes)
+
+	return rep, nil
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// DefaultTolerancePct is the regression gate: a hot path may not get
+// slower than the previous artifact by more than this percentage.
+const DefaultTolerancePct = 15
+
+// wallNoisyFactor widens the wall-clock tolerance for benchmarks marked
+// WallNoisy: their timings carry scheduler and GC noise a best-of pass
+// cannot clip on a one-core host, so only gross slowdowns are actionable.
+const wallNoisyFactor = 3
+
+// allocEpsilon absorbs sub-allocation jitter (a one-off pool growth, a map
+// rehash landing inside the measured window) when comparing allocs/record:
+// regressions smaller than this absolute delta are noise, not churn.
+const allocEpsilon = 0.05
+
+// WriteJSON serializes the report, indented and newline-terminated, so the
+// committed BENCH_N.json artifacts diff cleanly.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadFile loads a BENCH_N.json artifact.
+func ReadFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r Report
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("bench: %s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// Regression is one benchmark that got worse between two artifacts.
+type Regression struct {
+	// Name is the benchmark; Metric is which figure regressed
+	// ("ns_per_record" or "allocs_per_record").
+	Name   string
+	Metric string
+	// Old and New are the compared values; Pct is the relative growth.
+	Old float64
+	New float64
+	Pct float64
+}
+
+func (g Regression) String() string {
+	return fmt.Sprintf("%s: %s %.3f -> %.3f (+%.1f%%)", g.Name, g.Metric, g.Old, g.New, g.Pct)
+}
+
+// Compare gates new against old: every benchmark present in both reports
+// must not regress ns_per_record or allocs_per_record by more than
+// tolerancePct (DefaultTolerancePct when 0). Benchmarks only in one report
+// are ignored — adding a hot path is not a regression. The returned slice
+// is sorted worst first.
+func Compare(old, new *Report, tolerancePct float64) []Regression {
+	if tolerancePct <= 0 {
+		tolerancePct = DefaultTolerancePct
+	}
+	var out []Regression
+	for _, ob := range old.Benchmarks {
+		nb, ok := new.Find(ob.Name)
+		if !ok {
+			continue
+		}
+		nsTol := tolerancePct
+		if ob.WallNoisy || nb.WallNoisy {
+			nsTol *= wallNoisyFactor
+		}
+		if ob.NsPerRecord > 0 && nb.NsPerRecord > ob.NsPerRecord*(1+nsTol/100) {
+			out = append(out, Regression{
+				Name: ob.Name, Metric: "ns_per_record",
+				Old: ob.NsPerRecord, New: nb.NsPerRecord,
+				Pct: 100 * (nb.NsPerRecord/ob.NsPerRecord - 1),
+			})
+		}
+		// Allocation counts are exact, so the gate is tight: the relative
+		// tolerance plus a small absolute epsilon. A path at 0
+		// allocs/record must stay at (essentially) 0.
+		if nb.AllocsPerRecord > ob.AllocsPerRecord*(1+tolerancePct/100)+allocEpsilon {
+			pct := 0.0
+			if ob.AllocsPerRecord > 0 {
+				pct = 100 * (nb.AllocsPerRecord/ob.AllocsPerRecord - 1)
+			}
+			out = append(out, Regression{
+				Name: ob.Name, Metric: "allocs_per_record",
+				Old: ob.AllocsPerRecord, New: nb.AllocsPerRecord, Pct: pct,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pct != out[j].Pct {
+			return out[i].Pct > out[j].Pct
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

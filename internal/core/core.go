@@ -98,6 +98,12 @@ const (
 // card's fill level when DrainConfig.Interval is zero.
 const DefaultDrainInterval = sim.Millisecond
 
+// DefaultPipelineDepth is the bounded-channel capacity between the drain
+// loop and the background reconstructor when DrainConfig.Pipeline is on: up
+// to this many drained-but-undecoded segments may be in flight before a
+// drain blocks on the decoder.
+const DefaultPipelineDepth = 4
+
 // DrainConfig tunes continuous capture.
 type DrainConfig struct {
 	// HighWater is the stored-record count that triggers a drain; 0
@@ -108,6 +114,17 @@ type DrainConfig struct {
 	// DefaultDrainInterval. The card has no interrupt line to the host —
 	// the front panel has only LEDs — so the host polls.
 	Interval sim.Time
+	// Pipeline overlaps drain readout with decoding: each drained segment
+	// is handed through a bounded channel to a background goroutine that
+	// streams it into a lean Reconstructor while the simulation (and the
+	// next drains) continue. When the session disarms, the already-decoded
+	// analysis is ready — AnalyzeLean returns it instead of re-decoding
+	// the segment store — and it is byte-identical to the serial path: the
+	// same records flow into the same reconstructor in the same order.
+	Pipeline bool
+	// PipelineDepth bounds the in-flight segment batches; 0 means
+	// DefaultPipelineDepth.
+	PipelineDepth int
 }
 
 // ProfileConfig selects what to instrument and where the card sits.
@@ -171,6 +188,13 @@ type Session struct {
 	segments []Segment
 	drainEv  *sim.Event
 	drainErr error
+
+	// Pipelined-decode state (DrainConfig.Pipeline): the in-flight pipe
+	// while armed, then the finished analysis and the number of segments
+	// it consumed once the session disarms.
+	pipe      *decodePipe
+	pipedA    *analyze.Analysis
+	pipedSegs int
 
 	// injector is the fault injector attached via ProfileConfig.Faults,
 	// nil when the session runs on pristine hardware.
@@ -324,6 +348,12 @@ func (s *Session) Arm() {
 	if s.mode == CaptureContinuous && s.drainEv == nil {
 		s.scheduleDrainPoll()
 	}
+	// The pipelined decoder starts on the first arm of a fresh capture; a
+	// re-arm after Disarm already consumed its stream, so later segments
+	// fall back to the serial path (AnalyzeLean checks the coverage).
+	if s.mode == CaptureContinuous && s.drain.Pipeline && s.pipe == nil && s.pipedA == nil {
+		s.startPipe()
+	}
 	s.notifyProgress()
 }
 
@@ -339,15 +369,19 @@ func (s *Session) Disarm() {
 		s.drainNow(false)
 	}
 	s.Card.Disarm()
+	s.finishPipe()
 	s.notifyProgress()
 }
 
 // Reset clears the card — and, in continuous mode, the host-side segment
 // store — for a fresh run.
 func (s *Session) Reset() {
+	s.finishPipe()
 	s.Card.Reset()
 	s.segments = nil
 	s.drainErr = nil
+	s.pipedA = nil
+	s.pipedSegs = 0
 }
 
 // Mode reports the session's capture mode.
@@ -370,6 +404,68 @@ func (s *Session) Segments() []Segment { return s.segments }
 // cards whose RAM fits the readout window (NewSession enforces that), so a
 // non-nil value indicates a bug, not a runtime condition.
 func (s *Session) DrainErr() error { return s.drainErr }
+
+// decodePipe couples the drain loop to a background reconstructor: drained
+// segments travel through a bounded channel of record batches and are
+// decoded while the simulation runs on. The worker owns the reconstructor
+// exclusively; the main goroutine only sends batches and, after close,
+// reads the finished analysis — so the two sides never share mutable state.
+type decodePipe struct {
+	ch   chan pipeBatch
+	done chan struct{}
+	a    *analyze.Analysis
+}
+
+// pipeBatch is one drained segment in flight: the records (read-only — the
+// segment store holds the same slice) and the loss at its end boundary.
+type pipeBatch struct {
+	records    []hw.Record
+	dropped    uint64
+	overflowed bool
+}
+
+// startPipe launches the background decoder for a pipelined continuous
+// capture.
+func (s *Session) startPipe() {
+	depth := s.drain.PipelineDepth
+	if depth <= 0 {
+		depth = DefaultPipelineDepth
+	}
+	p := &decodePipe{
+		ch:   make(chan pipeBatch, depth),
+		done: make(chan struct{}),
+	}
+	rc := analyze.NewReconstructor(s.Card.Config(), s.Tags, analyze.ReconstructOptions{
+		DiscardEvents: true,
+		DiscardTrace:  true,
+		Repair:        analyze.DefaultRepair(),
+	})
+	go func() {
+		defer close(p.done)
+		for b := range p.ch {
+			for _, r := range b.records {
+				rc.Push(r)
+			}
+			rc.EndSegment(b.dropped, b.overflowed)
+		}
+		p.a = rc.Finish(false, 0)
+	}()
+	s.pipe = p
+}
+
+// finishPipe closes the batch channel, waits for the background decoder to
+// finish the books, and parks the result for AnalyzeLean.
+func (s *Session) finishPipe() {
+	p := s.pipe
+	if p == nil {
+		return
+	}
+	s.pipe = nil
+	close(p.ch)
+	<-p.done
+	s.pipedA = p.a
+	s.pipedSegs = len(s.segments)
+}
 
 // highWater reports the effective drain threshold.
 func (s *Session) highWater() int {
@@ -418,6 +514,12 @@ func (s *Session) drainNow(rearm bool) {
 		return
 	}
 	s.segments = append(s.segments, Segment{Capture: c, DrainedAt: s.M.K.Now()})
+	if s.pipe != nil {
+		// Hand the segment to the background decoder. The send blocks only
+		// when PipelineDepth segments are already in flight — the bounded
+		// channel is the pipeline's backpressure.
+		s.pipe.ch <- pipeBatch{records: c.Records, dropped: c.Dropped, overflowed: c.Overflowed}
+	}
 	s.Card.Reset()
 	if rearm {
 		s.Card.Arm()
@@ -465,6 +567,13 @@ func (s *Session) Analyze() *analyze.Analysis {
 // bank list alongside its report. Drained segments stream the same way:
 // the worker holds the segment store it already paid for, nothing more.
 func (s *Session) AnalyzeLean() *analyze.Analysis {
+	// A finished pipelined capture already decoded every segment in the
+	// background; reuse it when it covers the whole capture (nothing
+	// drained after the pipe closed, nothing left on the card).
+	if s.pipedA != nil && s.pipedSegs == len(s.segments) &&
+		s.Card.Stored() == 0 && s.Card.Dropped == 0 {
+		return s.pipedA
+	}
 	rc := analyze.NewReconstructor(s.Card.Config(), s.Tags, analyze.ReconstructOptions{
 		DiscardEvents: true,
 		DiscardTrace:  true,

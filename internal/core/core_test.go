@@ -429,3 +429,63 @@ func TestReadoutViaSocketMatchesDirectDump(t *testing.T) {
 		t.Fatal("card dead after readout")
 	}
 }
+
+// The pipelined decoder (readout overlapping decode on a background
+// goroutine) must be invisible in the output: a pipelined continuous run
+// yields a summary and segment accounting byte-identical to the serial
+// lean path over the same seeded workload.
+func TestPipelinedDecodeMatchesSerial(t *testing.T) {
+	run := func(pipeline bool) (*Session, *analyze.Analysis) {
+		m := NewMachine(kernel.Config{Seed: 11})
+		s, err := NewSession(m, ProfileConfig{
+			Mode:  CaptureContinuous,
+			Depth: 256,
+			Drain: DrainConfig{
+				HighWater: 64,
+				Interval:  20 * sim.Microsecond,
+				Pipeline:  pipeline,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Arm()
+		mallocStorm(m, 300)
+		m.K.Run(2 * sim.Second)
+		s.Disarm()
+		if err := s.DrainErr(); err != nil {
+			t.Fatal(err)
+		}
+		return s, s.AnalyzeLean()
+	}
+	sSer, serial := run(false)
+	sPipe, piped := run(true)
+	if len(sPipe.Segments()) < 2 {
+		t.Fatalf("pipelined run drained only %d segments", len(sPipe.Segments()))
+	}
+	if len(sSer.Segments()) != len(sPipe.Segments()) {
+		t.Fatalf("segment counts differ: serial %d, pipelined %d",
+			len(sSer.Segments()), len(sPipe.Segments()))
+	}
+	if got, want := piped.SummaryString(0), serial.SummaryString(0); got != want {
+		t.Fatalf("pipelined summary differs from serial:\n--- serial\n%s--- pipelined\n%s", want, got)
+	}
+	if len(piped.Segments) != len(serial.Segments) {
+		t.Fatalf("analysis segments differ: serial %d, pipelined %d",
+			len(serial.Segments), len(piped.Segments))
+	}
+	for i := range piped.Segments {
+		if piped.Segments[i] != serial.Segments[i] {
+			t.Fatalf("segment %d differs: serial %+v, pipelined %+v",
+				i, serial.Segments[i], piped.Segments[i])
+		}
+	}
+	if piped.Stats != serial.Stats {
+		t.Fatalf("stats differ: serial %+v, pipelined %+v", serial.Stats, piped.Stats)
+	}
+	// The pipelined result really is the background decoder's work, not a
+	// serial re-decode: a second AnalyzeLean returns the identical object.
+	if sPipe.AnalyzeLean() != piped {
+		t.Fatal("pipelined analysis not cached")
+	}
+}

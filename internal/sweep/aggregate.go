@@ -31,8 +31,14 @@ type FnAggregate struct {
 
 // Stable reports whether the function's run-time share reproduces across
 // seeds: it appeared in every seed and the spread of its % net share is
-// within maxCV of its mean (DefaultStableCV when maxCV is 0).
+// within maxCV of its mean (DefaultStableCV when maxCV is 0). A sweep of
+// fewer than two seeds has no cross-seed spread to judge, so nothing is
+// stable — a single observation always has CV 0, which says nothing
+// about reproducibility.
 func (f *FnAggregate) Stable(totalSeeds int, maxCV float64) bool {
+	if totalSeeds < 2 {
+		return false
+	}
 	if maxCV <= 0 {
 		maxCV = DefaultStableCV
 	}
@@ -115,15 +121,16 @@ func (g *Aggregate) Fn(name string) (*FnAggregate, bool) {
 // a stability marker ('*' = appeared in every seed with CV within
 // DefaultStableCV).
 func (g *Aggregate) Write(w io.Writer, top int) error {
-	fmt.Fprintf(w, "Sweep of %s across %d seeds\n", g.Scenario, g.Seeds)
-	fmt.Fprintf(w, "Elapsed us = %.0f ± %.0f  [%.0f, %.0f]\n",
+	ew := &errWriter{w: w}
+	fmt.Fprintf(ew, "Sweep of %s across %d seeds\n", g.Scenario, g.Seeds)
+	fmt.Fprintf(ew, "Elapsed us = %.0f ± %.0f  [%.0f, %.0f]\n",
 		g.ElapsedUS.Mean, g.ElapsedUS.Std(), g.ElapsedUS.Min(), g.ElapsedUS.Max())
-	fmt.Fprintf(w, "Run us     = %.0f ± %.0f\n", g.RunUS.Mean, g.RunUS.Std())
-	fmt.Fprintf(w, "Idle %%     = %.2f ± %.2f\n", g.IdlePct.Mean, g.IdlePct.Std())
-	fmt.Fprintf(w, "Tags       = %.0f ± %.0f   context switches = %.0f ± %.0f\n",
+	fmt.Fprintf(ew, "Run us     = %.0f ± %.0f\n", g.RunUS.Mean, g.RunUS.Std())
+	fmt.Fprintf(ew, "Idle %%     = %.2f ± %.2f\n", g.IdlePct.Mean, g.IdlePct.Std())
+	fmt.Fprintf(ew, "Tags       = %.0f ± %.0f   context switches = %.0f ± %.0f\n",
 		g.Records.Mean, g.Records.Std(), g.Switches.Mean, g.Switches.Std())
-	fmt.Fprintln(w, strings.Repeat("-", 78))
-	fmt.Fprintf(w, "%18s %16s %14s %7s %5s   %s\n",
+	fmt.Fprintln(ew, strings.Repeat("-", 78))
+	fmt.Fprintf(ew, "%18s %16s %14s %7s %5s   %s\n",
 		"net us (mean±sd)", "% net (mean±sd)", "calls (mean)", "CV", "seeds", "")
 	fns := g.Fns
 	if top > 0 && len(fns) > top {
@@ -134,11 +141,11 @@ func (g *Aggregate) Write(w io.Writer, top int) error {
 		if f.Stable(g.Seeds, 0) {
 			marker = "*"
 		}
-		fmt.Fprintf(w, "%11.0f ±%5.0f %10.2f ±%5.2f %14.1f %7.3f %4d %s %s\n",
+		fmt.Fprintf(ew, "%11.0f ±%5.0f %10.2f ±%5.2f %14.1f %7.3f %4d %s %s\n",
 			f.NetUS.Mean, f.NetUS.Std(), f.PctNet.Mean, f.PctNet.Std(),
 			f.Calls.Mean, f.PctNet.CV(), f.Seeds, marker, f.Name)
 	}
-	return nil
+	return ew.err
 }
 
 // String renders the top 20 functions.
@@ -146,4 +153,23 @@ func (g *Aggregate) String() string {
 	var b strings.Builder
 	_ = g.Write(&b, 20)
 	return b.String()
+}
+
+// errWriter passes writes through until one fails, then remembers the
+// first error — so Write stays a straight-line sequence of Fprintfs and
+// still reports a full disk or closed pipe instead of pretending success.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	if err != nil {
+		ew.err = err
+	}
+	return n, err
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -279,5 +280,68 @@ func TestSweepPerSeedFaultStreams(t *testing.T) {
 	// clone it per seed rather than rewriting the shared pointer.
 	if cfg.Profile.Faults.Seed != 7 {
 		t.Fatalf("sweep mutated the caller's fault config: %+v", cfg.Profile.Faults)
+	}
+}
+
+// A single-seed sweep has no cross-seed spread to judge: nothing may be
+// flagged stable (one observation always has CV 0), and the rendered
+// marker column stays blank.
+func TestSingleSeedNothingStable(t *testing.T) {
+	res, err := Run(shortNet([]uint64{1}, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Agg
+	if g.Seeds != 1 {
+		t.Fatalf("aggregate seeds = %d", g.Seeds)
+	}
+	for _, f := range g.Fns {
+		if f.Stable(g.Seeds, 0) {
+			t.Fatalf("%s flagged stable on a 1-seed sweep (CV %.3f)", f.Name, f.PctNet.CV())
+		}
+	}
+	for i, line := range strings.Split(g.String(), "\n") {
+		if strings.Contains(line, " * ") {
+			t.Fatalf("line %d carries a stability marker on a 1-seed sweep: %q", i, line)
+		}
+	}
+}
+
+// failAfter errors once n bytes have been written — a stand-in for a
+// full disk or a closed pipe.
+type failAfter struct {
+	n   int
+	err error
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, f.err
+	}
+	if len(p) > f.n {
+		p = p[:f.n]
+	}
+	f.n -= len(p)
+	if f.n == 0 {
+		return len(p), f.err
+	}
+	return len(p), nil
+}
+
+// Write must report the first failure instead of pretending success.
+func TestAggregateWriteErrorPropagated(t *testing.T) {
+	res, err := Run(shortNet([]uint64{1, 2}, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := errors.New("disk full")
+	for _, budget := range []int{0, 1, 40, 200} {
+		if err := res.Agg.Write(&failAfter{n: budget, err: want}, 10); !errors.Is(err, want) {
+			t.Fatalf("budget %d: error %v, want %v", budget, err, want)
+		}
+	}
+	var b strings.Builder
+	if err := res.Agg.Write(&b, 10); err != nil {
+		t.Fatalf("healthy writer errored: %v", err)
 	}
 }

@@ -1,0 +1,28 @@
+#!/bin/sh
+# bench_check.sh — the performance-regression gate: run the benchmark suite
+# in its quick configuration and compare against the newest committed
+# BENCH_*.json artifact. Any hot path more than the tolerance slower per
+# record (or allocating more per record) than the artifact fails the check.
+#
+#   BENCH_TOLERANCE_PCT  regression tolerance (default 15)
+#   SKIP_BENCH=1         skip the gate entirely (callers, e.g. check.sh)
+#
+# The measured work is deterministic (fixed scenario/seed pairs), so the
+# comparison is per-record figures against per-record figures; quick mode
+# only trims sample counts, not the work per iteration.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+base=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+if [ -z "$base" ]; then
+	echo "bench_check: no committed BENCH_*.json yet; run 'make bench' to create the baseline"
+	exit 1
+fi
+
+tmp=$(mktemp /tmp/bench_check.XXXXXX.json)
+trap 'rm -f "$tmp"' EXIT INT TERM
+
+echo "bench_check: quick suite vs $base (tolerance ${BENCH_TOLERANCE_PCT:-15}%)"
+go run ./cmd/kprof -bench "$tmp" -benchquick
+go run ./cmd/kprof -benchcmp "$base,$tmp" -benchtol "${BENCH_TOLERANCE_PCT:-0}"

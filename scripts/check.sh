@@ -40,6 +40,11 @@ fi
 echo "== coverage floors =="
 ./scripts/cover_check.sh
 
+if [ "${SKIP_BENCH:-0}" != "1" ]; then
+	echo "== benchmark regression gate =="
+	./scripts/bench_check.sh
+fi
+
 if [ "${SKIP_RACE:-0}" != "1" ]; then
 	echo "== go test -race =="
 	go test -race ./...
