@@ -46,6 +46,7 @@ import (
 	"kprof/internal/faults"
 	"kprof/internal/hw"
 	"kprof/internal/kernel"
+	"kprof/internal/loadgen"
 	"kprof/internal/netstack"
 	"kprof/internal/sim"
 	"kprof/internal/sweep"
@@ -55,9 +56,13 @@ import (
 
 func main() {
 	var (
-		scenario   = flag.String("scenario", "netrecv", "workload: netrecv, netrecv-long, forkexec, ffswrite, ffsread, nfsftp, mixed, embedded, embedded-old")
+		scenario   = flag.String("scenario", "netrecv", "workload: netrecv, netrecv-long, forkexec, ffswrite, ffsread, nfsftp, mixed, proday, embedded, embedded-old")
 		duration   = flag.Duration("duration", 400*time.Millisecond, "virtual duration for time-based scenarios")
 		count      = flag.Int("count", 3, "iterations for count-based scenarios (forkexec)")
+		arrivals   = flag.String("arrivals", "poisson", "arrival process for loadgen-driven scenarios (proday): poisson, burst, const")
+		rate       = flag.Float64("rate", 0, "total arrival rate in events per simulated second for loadgen-driven scenarios (0 = scenario default)")
+		conns      = flag.Int("conns", 0, "concurrent connection count for proday (0 = 2000)")
+		mix        = flag.String("mix", "", "proday class weights, e.g. net=70,disk=12,vm=8,nfs=5,snmp=5 (empty = defaults)")
 		report     = flag.String("report", "summary", "report: summary, trace, groups, hist, timeline, callgraph, json")
 		top        = flag.Int("top", 20, "rows in the summary report (0 = all)")
 		maxlines   = flag.Int("maxlines", 80, "lines in the trace report (0 = all)")
@@ -150,6 +155,24 @@ func main() {
 	if *modules != "" {
 		mods = strings.Split(*modules, ",")
 	}
+	arrivalKind, err := loadgen.ParseKind(*arrivals)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kprof:", err)
+		os.Exit(1)
+	}
+	prodayMix, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kprof:", err)
+		os.Exit(1)
+	}
+	params := workload.Params{
+		Duration: sim.Time(duration.Nanoseconds()),
+		Count:    *count,
+		Arrivals: arrivalKind,
+		Rate:     *rate,
+		Conns:    *conns,
+		Mix:      prodayMix,
+	}
 	mode := core.CaptureOneShot
 	if *drain {
 		mode = core.CaptureContinuous
@@ -175,7 +198,7 @@ func main() {
 			onProgress = status.OnSweepProgress
 		}
 		if err := runSweep(*scenario, *seeds, *parallel, *seed,
-			sim.Time(duration.Nanoseconds()), *count, mods, *depth, *top, mode, drainCfg, faultCfg, onProgress); err != nil {
+			params, mods, *depth, *top, mode, drainCfg, faultCfg, onProgress); err != nil {
 			fmt.Fprintln(os.Stderr, "kprof:", err)
 			os.Exit(1)
 		}
@@ -193,6 +216,14 @@ func main() {
 	}
 	serveStatus(*scenario)
 	m := core.NewMachine(kernel.Config{Seed: *seed})
+	if sc, ok := workload.FindScenario(*scenario); ok && sc.Setup != nil {
+		// Scenario setup registers kernel functions; it must precede
+		// instrumentation to be visible to the profile.
+		if err := sc.Setup(m, params); err != nil {
+			fmt.Fprintln(os.Stderr, "kprof:", err)
+			os.Exit(1)
+		}
+	}
 	s, err := core.NewSession(m, core.ProfileConfig{
 		Mode: mode, Drain: drainCfg, Modules: mods, Depth: *depth, Faults: faultCfg,
 	})
@@ -205,7 +236,7 @@ func main() {
 	}
 
 	s.Arm()
-	if err := runScenario(m, *scenario, sim.Time(duration.Nanoseconds()), *count); err != nil {
+	if err := runScenario(m, *scenario, params); err != nil {
 		fmt.Fprintln(os.Stderr, "kprof:", err)
 		os.Exit(1)
 	}
@@ -320,6 +351,40 @@ func runBenchCmp(spec string, tolerancePct float64) error {
 	return nil
 }
 
+// parseMix parses the -mix spec ("net=70,disk=12,vm=8,nfs=5,snmp=5"); an
+// empty spec keeps the scenario defaults, and omitted classes get weight 0.
+func parseMix(spec string) (workload.ProdayMix, error) {
+	var m workload.ProdayMix
+	if spec == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("-mix entry %q wants class=weight", part)
+		}
+		var w int
+		if _, err := fmt.Sscanf(val, "%d", &w); err != nil || w < 0 {
+			return m, fmt.Errorf("-mix entry %q: bad weight %q", part, val)
+		}
+		switch name {
+		case "net":
+			m.Net = w
+		case "disk":
+			m.Disk = w
+		case "vm":
+			m.VM = w
+		case "nfs":
+			m.NFS = w
+		case "snmp":
+			m.SNMP = w
+		default:
+			return m, fmt.Errorf("-mix entry %q: unknown class (want net, disk, vm, nfs, snmp)", part)
+		}
+	}
+	return m, nil
+}
+
 // writeExports runs the file exporters requested on the command line.
 func writeExports(a *analyze.Analysis, pprofPath, tracePath string) error {
 	if pprofPath != "" {
@@ -351,9 +416,9 @@ func writeExports(a *analyze.Analysis, pprofPath, tracePath string) error {
 	return nil
 }
 
-func runScenario(m *core.Machine, scenario string, d sim.Time, count int) error {
+func runScenario(m *core.Machine, scenario string, params workload.Params) error {
 	if sc, ok := workload.FindScenario(scenario); ok {
-		line, err := sc.Run(m, workload.Params{Duration: d, Count: count})
+		line, err := sc.Run(m, params)
 		if err != nil {
 			return err
 		}
@@ -420,7 +485,7 @@ func printReport(a *analyze.Analysis, m *core.Machine, report string, top, maxli
 // runSweep fans the scenario across a seed set on a worker pool and prints
 // the cross-seed aggregate. With -report sweep but no -seeds, the single
 // -seed value runs (a one-seed sweep).
-func runSweep(scenario, spec string, parallel int, seed uint64, d sim.Time, count int, mods []string, depth, top int, mode core.CaptureMode, drain core.DrainConfig, faultCfg *faults.Config, onProgress func(sweep.Progress)) error {
+func runSweep(scenario, spec string, parallel int, seed uint64, params workload.Params, mods []string, depth, top int, mode core.CaptureMode, drain core.DrainConfig, faultCfg *faults.Config, onProgress func(sweep.Progress)) error {
 	var seedSet []uint64
 	if spec == "" {
 		seedSet = []uint64{seed}
@@ -434,7 +499,7 @@ func runSweep(scenario, spec string, parallel int, seed uint64, d sim.Time, coun
 		Scenario:   scenario,
 		Seeds:      seedSet,
 		Parallel:   parallel,
-		Params:     workload.Params{Duration: d, Count: count},
+		Params:     params,
 		Profile:    core.ProfileConfig{Mode: mode, Drain: drain, Modules: mods, Depth: depth, Faults: faultCfg},
 		OnProgress: onProgress,
 	})

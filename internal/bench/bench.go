@@ -296,5 +296,50 @@ func Run(cfg Config) (*Report, error) {
 	sweepRes.WallNoisy = true
 	rep.Benchmarks = append(rep.Benchmarks, sweepRes)
 
+	// scenario/proday: the production-day scenario end to end — open-loop
+	// load generation, thousands of events across six kernel subsystems,
+	// continuous drain capture, lean analysis — measured per captured
+	// record. This is the heaviest simulate+capture path in the repo; the
+	// figure tracks whether the whole stack (loadgen, workload drivers,
+	// drain pipeline, decoder) keeps up with a saturated machine.
+	prodayParams := workload.Params{
+		Duration: 400 * sim.Millisecond,
+		Conns:    100,
+		Rate:     300,
+	}
+	prodayIters := 4
+	if cfg.Quick {
+		prodayIters = 2
+	}
+	var prodayRecords int
+	prodayPass := func() {
+		m := core.NewMachine(kernel.Config{Seed: cfg.seed()})
+		if err := workload.ProdaySetup(m, prodayParams); err != nil {
+			panic(err)
+		}
+		ps, err := core.NewSession(m, core.ProfileConfig{
+			Mode:  core.CaptureContinuous,
+			Depth: 4096,
+			Drain: core.DrainConfig{Pipeline: true},
+		})
+		if err != nil {
+			panic(err)
+		}
+		ps.Arm()
+		if _, err := workload.Proday(m, prodayParams); err != nil {
+			panic(err)
+		}
+		ps.Disarm()
+		a := ps.AnalyzeLean()
+		if a.Stats.Dropped != 0 {
+			panic(fmt.Sprintf("bench: proday drain lost %d strobes", a.Stats.Dropped))
+		}
+		prodayRecords = a.Stats.Records
+	}
+	prodayPass()
+	prodayRes := measure("scenario/proday", prodayRecords, 1, prodayIters, prodayPass)
+	prodayRes.WallNoisy = true
+	rep.Benchmarks = append(rep.Benchmarks, prodayRes)
+
 	return rep, nil
 }

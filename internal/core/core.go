@@ -34,6 +34,11 @@ type Machine struct {
 	FS    *fs.FS
 	FD    *fdesc.FD
 
+	// Aux carries scenario state that must be built before the kernel is
+	// instrumented (a Scenario.Setup registering kernel functions stashes
+	// what its Run needs here; see workload.Scenario).
+	Aux map[string]any
+
 	nfsClient *nfs.Client
 }
 
@@ -48,6 +53,7 @@ func NewMachine(cfg kernel.Config) *Machine {
 		Net:   netstack.Attach(k, alloc),
 		FS:    fs.Attach(k, alloc),
 		FD:    fdesc.Attach(k, alloc),
+		Aux:   make(map[string]any),
 	}
 	k.StartClock()
 	return m
@@ -652,6 +658,7 @@ func NewEmbeddedMachine(cfg kernel.Config, style netstack.DriverStyle) (*Machine
 		K:     k,
 		Alloc: alloc,
 		Net:   netstack.Attach(k, alloc),
+		Aux:   make(map[string]any),
 	}
 	le := netstack.NewLE(m.Net, style)
 	m.Net.SetOutputDevice(le)

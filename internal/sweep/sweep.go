@@ -224,6 +224,14 @@ func (t *progressTracker) finished(seed uint64, r SeedResult, err error) {
 // runSeed is one worker unit: boot, instrument, run, analyze, sample.
 func runSeed(cfg Config, sc workload.Scenario, seed uint64, observeMu *sync.Mutex) (SeedResult, error) {
 	m := core.NewMachine(kernel.Config{Seed: seed})
+	if sc.Setup != nil {
+		// Scenario setup registers kernel functions (SNMP agent, NFS
+		// client); it must precede instrumentation or those functions
+		// stay invisible to the profile.
+		if err := sc.Setup(m, cfg.Params); err != nil {
+			return SeedResult{}, fmt.Errorf("sweep: seed %d: setup: %w", seed, err)
+		}
+	}
 	prof := cfg.Profile
 	if prof.Faults != nil {
 		// Per-seed fault profile: every seed gets a distinct but

@@ -1,0 +1,394 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"kprof/internal/core"
+	"kprof/internal/fs"
+	"kprof/internal/kernel"
+	"kprof/internal/loadgen"
+	"kprof/internal/netstack"
+	"kprof/internal/sim"
+	"kprof/internal/snmp"
+	"kprof/internal/vm"
+)
+
+// Proday — "production day" — is the scenario the ROADMAP asks for: the
+// whole machine doing everything at once, driven open-loop. Thousands of
+// TCP/UDP connections receive traffic, fork storms arrive periodically,
+// FFS read/write traffic keeps the disk seeking, VM paging pressure churns
+// address spaces, an NFS client issues RPCs, and an SNMP manager polls the
+// in-kernel agent — all arrival times drawn from seeded loadgen streams so
+// the run is bit-reproducible. Under continuous drain capture this is the
+// deepest-nesting, heaviest-context-switch stress the Reconstructor faces.
+
+// Proday defaults: multiple simulated seconds, thousands of connections,
+// thousands of arrivals per second.
+const (
+	defaultProdayDuration = 3 * sim.Second
+	defaultProdayConns    = 2000
+	defaultProdayRate     = 400 // arrivals/sec across all classes
+
+	prodayBasePort = 10000 // conn i listens on prodayBasePort+i
+	prodayMIBSize  = 512
+)
+
+// auxProdayAgent is the Machine.Aux key under which ProdaySetup stashes the
+// pre-registered SNMP agent for Proday to find.
+const auxProdayAgent = "proday.snmpAgent"
+
+// ProdayMix sets the relative arrival weights of the five load classes.
+// Zero values take the defaults (70/12/8/5/5: net-dominated, like the
+// paper's saturation studies, with everything else nibbling at the CPU).
+type ProdayMix struct {
+	Net, Disk, VM, NFS, SNMP int
+}
+
+func (x ProdayMix) withDefaults() ProdayMix {
+	if x == (ProdayMix{}) {
+		return ProdayMix{Net: 70, Disk: 12, VM: 8, NFS: 5, SNMP: 5}
+	}
+	return x
+}
+
+func (x ProdayMix) total() int { return x.Net + x.Disk + x.VM + x.NFS + x.SNMP }
+
+// ProdayResult summarises the run.
+type ProdayResult struct {
+	Arrivals  int // total load-generator arrivals fired
+	NetBytes  int // TCP+UDP payload bytes injected
+	DiskOps   int // FFS reads+writes completed
+	VMCycles  int // fork/fault/teardown cycles completed
+	NFSCalls  uint64
+	SNMPPolls int // GETNEXT requests served
+	Storms    int // fork storms launched
+	Forks     int // vfork/exec cycles across all storms
+	RingDrops uint64
+}
+
+// ProdaySetup builds the machine state that must exist before the kernel is
+// instrumented: the SNMP agent and the NFS client both register kernel
+// functions, and functions registered after core.NewSession are invisible
+// to the profile. cmd/kprof and the sweep engine call Setup before
+// constructing the session.
+func ProdaySetup(m *core.Machine, p Params) error {
+	store := snmp.NewBTreeStore()
+	snmp.StandardMIB(store, prodayMIBSize)
+	m.Aux[auxProdayAgent] = snmp.NewAgent(m.K, store, "pd")
+	_, err := m.NFS()
+	return err
+}
+
+// prodayConn is one simulated connection: a bound socket plus the injection
+// state for open-loop traffic aimed at it.
+type prodayConn struct {
+	so  *netstack.Socket
+	udp *netstack.UDPSource // nil for TCP conns
+	seq uint32              // next TCP sequence number
+}
+
+// injectTCP delivers one 512-byte TCP data segment to c as if from the
+// remote peer. tcpInput tolerates gaps and establishes the connection on
+// the first segment, so no handshake is simulated.
+func (c *prodayConn) injectTCP(m *core.Machine, nBytes int) {
+	payload := make([]byte, nBytes)
+	binary.BigEndian.PutUint32(payload, c.seq)
+	for i := 4; i < nBytes; i++ {
+		payload[i] = byte(c.seq>>8) + byte(i)
+	}
+	th := netstack.TCPHeader{
+		SrcPort: 1023,
+		DstPort: c.so.Port,
+		Seq:     c.seq,
+		Flags:   netstack.FlagACK,
+		Window:  4096,
+	}
+	seg := th.Marshal(netstack.SparcAddr, netstack.PCAddr, payload)
+	ih := netstack.IPv4Header{
+		TotalLen: uint16(netstack.IPHdrLen + len(seg)),
+		ID:       uint16(c.seq),
+		TTL:      255,
+		Proto:    netstack.ProtoTCP,
+		Src:      netstack.SparcAddr,
+		Dst:      netstack.PCAddr,
+	}
+	c.seq += uint32(nBytes)
+	m.Net.Device().HostDeliver(append(ih.Marshal(), seg...))
+}
+
+// Proday runs the production-day workload for p.Duration (default 3s) with
+// p.Conns connections (default 2000) at p.Rate total arrivals/sec (default
+// 3000), arrival process p.Arrivals (default Poisson). ProdaySetup must
+// have run on m first.
+func Proday(m *core.Machine, p Params) (*ProdayResult, error) {
+	agent, _ := m.Aux[auxProdayAgent].(*snmp.Agent)
+	if agent == nil {
+		return nil, fmt.Errorf("workload: proday: ProdaySetup did not run on this machine")
+	}
+	nfsc, err := m.NFS()
+	if err != nil {
+		return nil, err
+	}
+
+	d := p.duration(defaultProdayDuration)
+	conns := p.Conns
+	if conns <= 0 {
+		conns = defaultProdayConns
+	}
+	rate := p.Rate
+	if rate <= 0 {
+		rate = defaultProdayRate
+	}
+	mix := p.Mix.withDefaults()
+	if mix.total() <= 0 {
+		return nil, fmt.Errorf("workload: proday: mix has no positive weights")
+	}
+
+	res := &ProdayResult{}
+	start := m.K.Now()
+	deadline := start + d
+
+	// Seed streams: one parent draw from the machine's PRNG, then
+	// independent derived streams — one per arrival class, one for target
+	// selection — so arrival schedules never depend on what the workload
+	// consumes.
+	parent := sim.NewRand(m.K.Rand().Uint64())
+	classSeed := make([]uint64, 5)
+	for i := range classSeed {
+		classSeed[i] = parent.Uint64()
+	}
+	pick := sim.NewRand(parent.Uint64())
+
+	// The connection population: half TCP, half UDP, each with a sink
+	// process looping in soreceive — the context-switch churn comes from
+	// these being woken one datagram at a time.
+	cs := make([]*prodayConn, 0, conns)
+	for i := 0; i < conns; i++ {
+		port := uint16(prodayBasePort + i)
+		udp := i%2 == 1
+		proto := uint8(netstack.ProtoTCP)
+		if udp {
+			proto = netstack.ProtoUDP
+		}
+		so, err := m.Net.SoCreate(proto, port)
+		if err != nil {
+			return nil, err
+		}
+		c := &prodayConn{so: so, seq: 1}
+		if udp {
+			c.udp = netstack.NewUDPSource(m.Net, port)
+		}
+		cs = append(cs, c)
+		m.K.Spawn(fmt.Sprintf("pd-sink%d", i), func(p *kernel.Proc) {
+			for m.K.Now() < deadline {
+				m.K.Syscall(p, func() { m.Net.SoReceive(p, so, 4096) })
+			}
+		})
+	}
+
+	// Pending-work counters bumped by arrival events and drained by
+	// tick-paced worker processes: arrivals are instantaneous scheduler
+	// events (they may only inject frames or bump counters — the modeled
+	// path), while the work itself runs in process context.
+	var diskPending, vmPending, nfsPending, stormPending int
+
+	// Disk class: alternate scattered reads on a big file with sequential
+	// log writes, FFSRead/FFSWrite style.
+	const dataBlocks = 256
+	rdIno := m.FS.Create("pdbig", dataBlocks*fs.BlockSize)
+	wrIno := m.FS.Create("pdlog", 0)
+	m.K.Spawn("pd-disk", func(p *kernel.Proc) {
+		op, woff := 0, 0
+		for m.K.Now() < deadline {
+			for diskPending > 0 {
+				diskPending--
+				if op%3 == 2 {
+					m.K.Syscall(p, func() { m.FS.Write(p, wrIno, woff, fs.BlockSize) })
+					woff += fs.BlockSize
+				} else {
+					off := ((op * 7) % dataBlocks) * fs.BlockSize
+					m.K.Syscall(p, func() { m.FS.Read(p, rdIno, off, fs.BlockSize) })
+				}
+				op++
+				res.DiskOps++
+			}
+			m.K.Tsleep(p, "pddisk", 1)
+		}
+	})
+
+	// VM class: paging pressure — fork a half-resident space, COW-fault a
+	// few pages back in, tear it down.
+	space := m.VM.NewVMSpace(vm.DefaultImage)
+	for _, e := range space.Entries {
+		e.Resident = e.Pages / 2
+	}
+	m.K.Spawn("pd-vm", func(p *kernel.Proc) {
+		for m.K.Now() < deadline {
+			for vmPending > 0 {
+				vmPending--
+				m.K.Syscall(p, func() {
+					child := m.VM.Fork(space)
+					for _, e := range child.Entries {
+						if e.CopyOnWrite {
+							e.Resident -= 2
+							m.VM.FaultIn(e, 2)
+						}
+					}
+					m.VM.Teardown(child)
+				})
+				res.VMCycles++
+			}
+			m.K.Tsleep(p, "pdvm", 1)
+		}
+	})
+
+	// NFS class: small-file reads through the NFS-lite client.
+	m.K.Spawn("pd-nfs", func(p *kernel.Proc) {
+		for m.K.Now() < deadline {
+			for nfsPending > 0 {
+				nfsPending--
+				nfsc.ReadFile(p, 4096)
+			}
+			m.K.Tsleep(p, "pdnfs", 1)
+		}
+	})
+
+	// Fork storms: every storm is a burst of shell-style vfork/exec
+	// cycles, arriving on their own constant-interval stream (cron-like).
+	parentSpace := m.VM.NewVMSpace(vm.DefaultImage)
+	for _, e := range parentSpace.Entries {
+		e.Resident = e.Pages
+	}
+	parentFDs := m.FD.NewTable()
+	for i := 0; i < 3; i++ {
+		m.FD.Falloc(parentFDs, i)
+	}
+	m.K.Spawn("pd-storm", func(p *kernel.Proc) {
+		for m.K.Now() < deadline {
+			for stormPending > 0 {
+				stormPending--
+				// Count the storm when it launches: the final Yield may
+				// never return if the deadline lands mid-storm.
+				res.Storms++
+				for i := 0; i < 2; i++ {
+					var child *vm.VMSpace
+					m.K.Syscall(p, func() {
+						m.FD.Copy(parentFDs)
+						child = m.VM.Fork(parentSpace)
+					})
+					m.K.Syscall(p, func() {
+						child = m.VM.Exec(child, vm.DefaultImage, 0)
+					})
+					m.VM.Teardown(child)
+					res.Forks++
+					p.Yield()
+				}
+			}
+			m.K.Tsleep(p, "pdstorm", 1)
+		}
+	})
+
+	// SNMP class: the manager polls anchor OIDs round-robin over UDP; an
+	// in-kernel snmpd services GETNEXT through the pre-registered agent.
+	snmpSo, err := m.Net.SoCreate(netstack.ProtoUDP, snmpPort)
+	if err != nil {
+		return nil, err
+	}
+	anchors := mibAnchors(agent.Store())
+	snmpReq := 0
+	m.K.Spawn("pd-snmpd", func(p *kernel.Proc) {
+		for m.K.Now() < deadline {
+			var req []byte
+			m.K.Syscall(p, func() { req = m.Net.SoReceive(p, snmpSo, 512) })
+			if m.K.Now() >= deadline {
+				return
+			}
+			oid, ok := unmarshalOID(req)
+			if !ok {
+				continue
+			}
+			m.K.Syscall(p, func() {
+				var reply []byte
+				if e, ok := agent.GetNext(oid); ok {
+					reply = marshalOID(e.OID)
+				} else {
+					reply = marshalOID(nil)
+				}
+				m.Net.SendUDPDatagram(snmpSo, reply)
+			})
+			res.SNMPPolls++
+		}
+	})
+
+	// The arrival schedules. Each class gets its own generator (same
+	// process kind, its own seed) with its share of the total rate, so
+	// per-class determinism survives mix changes to other classes.
+	classes := []struct {
+		weight int
+		fire   func()
+	}{
+		{mix.Net, func() {
+			c := cs[pick.Intn(len(cs))]
+			const nBytes = 512
+			if c.udp != nil {
+				c.udp.Send(nBytes)
+			} else {
+				c.injectTCP(m, nBytes)
+			}
+			res.NetBytes += nBytes
+		}},
+		{mix.Disk, func() { diskPending++ }},
+		{mix.VM, func() { vmPending++ }},
+		{mix.NFS, func() { nfsPending++ }},
+		{mix.SNMP, func() {
+			var oid snmp.OID
+			if len(anchors) > 0 {
+				oid = anchors[snmpReq%len(anchors)]
+			}
+			snmpReq++
+			payload := marshalOID(oid)
+			uh := netstack.UDPHeader{SrcPort: 2001, DstPort: snmpPort}
+			dgram := uh.Marshal(netstack.SparcAddr, netstack.PCAddr, payload, false)
+			ih := netstack.IPv4Header{
+				TotalLen: uint16(netstack.IPHdrLen + len(dgram)),
+				TTL:      255,
+				Proto:    netstack.ProtoUDP,
+				Src:      netstack.SparcAddr,
+				Dst:      netstack.PCAddr,
+			}
+			m.Net.Device().HostDeliver(append(ih.Marshal(), dgram...))
+		}},
+	}
+	total := float64(mix.total())
+	for i, cl := range classes {
+		if cl.weight <= 0 {
+			continue
+		}
+		g, err := loadgen.New(loadgen.Config{
+			Kind: p.Arrivals,
+			Rate: rate * float64(cl.weight) / total,
+			Seed: classSeed[i],
+		})
+		if err != nil {
+			return nil, err
+		}
+		fire := cl.fire
+		g.Schedule(m.K.Scheduler(), deadline, func(int) {
+			res.Arrivals++
+			fire()
+		})
+	}
+
+	// Fork storms ride a fixed cron-like interval, not the random mix.
+	storms, err := loadgen.New(loadgen.Config{Kind: loadgen.Const, Rate: 4}) // every 250ms
+	if err != nil {
+		return nil, err
+	}
+	storms.Schedule(m.K.Scheduler(), deadline, func(int) { stormPending++ })
+
+	m.K.Run(deadline)
+	res.NFSCalls = nfsc.Calls
+	res.RingDrops = m.Net.Device().RxDrops
+	return res, nil
+}

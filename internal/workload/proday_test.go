@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"testing"
+
+	"kprof/internal/core"
+	"kprof/internal/kernel"
+	"kprof/internal/loadgen"
+	"kprof/internal/sim"
+)
+
+// shortProday is sized so every load class makes progress in a sub-second
+// run without saturating the test suite's wall clock.
+var shortProday = Params{
+	Duration: 600 * sim.Millisecond,
+	Conns:    100,
+	Rate:     300,
+}
+
+func prodayRun(t *testing.T, seed uint64, p Params) (*core.Machine, *ProdayResult) {
+	t.Helper()
+	m := core.NewMachine(kernel.Config{Seed: seed})
+	if err := ProdaySetup(m, p); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Proday(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+// Every load class must make progress: a mixed workload where a class
+// silently starves is not the production day the scenario promises.
+func TestProdayAllClassesProgress(t *testing.T) {
+	m, res := prodayRun(t, 42, shortProday)
+	if res.Arrivals == 0 || res.NetBytes == 0 {
+		t.Fatalf("no load offered: %+v", *res)
+	}
+	if res.DiskOps == 0 || res.VMCycles == 0 || res.NFSCalls == 0 || res.SNMPPolls == 0 {
+		t.Fatalf("a load class starved: %+v", *res)
+	}
+	if res.Storms == 0 || res.Forks == 0 {
+		t.Fatalf("no fork storm completed: %+v", *res)
+	}
+	if m.K.Stats.ContextSw < 100 {
+		t.Fatalf("only %d context switches; proday should churn", m.K.Stats.ContextSw)
+	}
+}
+
+// Same machine seed, same params => identical results and identical final
+// virtual time, for every arrival process.
+func TestProdayDeterminism(t *testing.T) {
+	for _, kind := range []loadgen.Kind{loadgen.Poisson, loadgen.Burst, loadgen.Const} {
+		p := shortProday
+		p.Arrivals = kind
+		m1, r1 := prodayRun(t, 7, p)
+		m2, r2 := prodayRun(t, 7, p)
+		if *r1 != *r2 {
+			t.Fatalf("%v: results diverged:\n%+v\n%+v", kind, *r1, *r2)
+		}
+		if m1.K.Now() != m2.K.Now() || m1.K.Stats.ContextSw != m2.K.Stats.ContextSw {
+			t.Fatalf("%v: machine state diverged: now %v vs %v, ctxsw %d vs %d",
+				kind, m1.K.Now(), m2.K.Now(), m1.K.Stats.ContextSw, m2.K.Stats.ContextSw)
+		}
+		// A different seed must perturb the run.
+		_, r3 := prodayRun(t, 8, p)
+		if *r1 == *r3 {
+			t.Fatalf("%v: seeds 7 and 8 produced identical results", kind)
+		}
+	}
+}
+
+// The Mix knob reshapes the load: an all-net mix must offer no disk/vm/nfs
+// arrivals, and a custom mix shifts bytes accordingly.
+func TestProdayMixOverride(t *testing.T) {
+	p := shortProday
+	p.Mix = ProdayMix{Net: 1}
+	_, res := prodayRun(t, 42, p)
+	if res.NetBytes == 0 {
+		t.Fatal("net-only mix offered no net load")
+	}
+	if res.DiskOps != 0 || res.VMCycles != 0 || res.NFSCalls != 0 || res.SNMPPolls != 0 {
+		t.Fatalf("net-only mix ran other classes: %+v", *res)
+	}
+}
+
+func TestProdayRequiresSetup(t *testing.T) {
+	m := core.NewMachine(kernel.Config{Seed: 1})
+	if _, err := Proday(m, shortProday); err == nil {
+		t.Fatal("Proday without ProdaySetup should fail")
+	}
+}
+
+func TestProdayRejectsBadParams(t *testing.T) {
+	m := core.NewMachine(kernel.Config{Seed: 1})
+	if err := ProdaySetup(m, Params{}); err != nil {
+		t.Fatal(err)
+	}
+	p := shortProday
+	p.Mix = ProdayMix{Net: -1, Disk: 1}
+	if _, err := Proday(m, p); err == nil {
+		t.Fatal("non-positive mix total should fail")
+	}
+}
+
+// The registry entry wires Setup and Run together.
+func TestProdayScenarioEntry(t *testing.T) {
+	sc, ok := FindScenario("proday")
+	if !ok {
+		t.Fatal("proday not registered")
+	}
+	if !sc.TimeBased || sc.Setup == nil {
+		t.Fatalf("proday registration wrong: TimeBased=%v Setup=%p", sc.TimeBased, sc.Setup)
+	}
+	m := core.NewMachine(kernel.Config{Seed: 42})
+	if err := sc.Setup(m, shortProday); err != nil {
+		t.Fatal(err)
+	}
+	line, err := sc.Run(m, shortProday)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line == "" {
+		t.Fatal("empty result line")
+	}
+	t.Log(line)
+}

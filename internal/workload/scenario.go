@@ -4,17 +4,30 @@ import (
 	"fmt"
 
 	"kprof/internal/core"
+	"kprof/internal/loadgen"
 	"kprof/internal/sim"
 )
 
 // Params parameterizes a registered scenario run. Zero values select each
 // scenario's paper defaults, so Params{} reproduces the figures.
 type Params struct {
-	// Duration bounds time-based scenarios (netrecv, ffswrite, mixed).
+	// Duration bounds time-based scenarios (netrecv, netrecv-long,
+	// ffswrite, mixed, proday).
 	Duration sim.Time
 	// Count sets the iteration count of count-based scenarios (forkexec
 	// cycles, ffsread batches).
 	Count int
+
+	// Arrivals selects the open-loop arrival process for loadgen-driven
+	// scenarios (proday). The zero value is loadgen.Poisson.
+	Arrivals loadgen.Kind
+	// Rate overrides the total arrival rate in events per simulated
+	// second (0: the scenario default).
+	Rate float64
+	// Conns overrides proday's connection count (0: the default).
+	Conns int
+	// Mix overrides proday's per-class arrival weights (zero: defaults).
+	Mix ProdayMix
 }
 
 func (p Params) duration(def sim.Time) sim.Time {
@@ -40,6 +53,12 @@ type Scenario struct {
 	// TimeBased reports whether Duration (true) or Count (false)
 	// parameterizes the run.
 	TimeBased bool
+	// Setup, when non-nil, builds machine state that must exist before
+	// the kernel is instrumented — registered kernel functions, MIB
+	// stores, the NFS client. cmd/kprof and the sweep engine call it
+	// after core.NewMachine and before core.NewSession; Setup stashes
+	// whatever Run needs in Machine.Aux.
+	Setup func(m *core.Machine, p Params) error
 	// Run drives the workload on m and returns a one-line result
 	// description.
 	Run func(m *core.Machine, p Params) (string, error)
@@ -102,6 +121,21 @@ var scenarios = []Scenario{
 			d := p.duration(sim.Second)
 			Mixed(m, d)
 			return fmt.Sprintf("mixed: ran for %v", d), nil
+		},
+	},
+	{
+		// The production-day stress: everything at once under open-loop
+		// load. Run it under continuous capture (kprof -drain); at its
+		// default rate a one-shot capture keeps only the head.
+		Name: "proday", TimeBased: true,
+		Setup: ProdaySetup,
+		Run: func(m *core.Machine, p Params) (string, error) {
+			res, err := Proday(m, p)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("proday: %d arrivals (%d net bytes, %d disk ops, %d vm cycles, %d nfs calls, %d snmp polls), %d storms/%d forks, %d ring drops",
+				res.Arrivals, res.NetBytes, res.DiskOps, res.VMCycles, res.NFSCalls, res.SNMPPolls, res.Storms, res.Forks, res.RingDrops), nil
 		},
 	},
 }

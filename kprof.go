@@ -39,6 +39,7 @@ import (
 	"kprof/internal/faults"
 	"kprof/internal/hw"
 	"kprof/internal/kernel"
+	"kprof/internal/loadgen"
 	"kprof/internal/netstack"
 	"kprof/internal/sampling"
 	"kprof/internal/sim"
@@ -217,6 +218,52 @@ var (
 	Mixed = workload.Mixed
 	// RunFor advances the machine in virtual time.
 	RunFor = workload.RunFor
+	// ProdaySetup pre-registers the kernel state the proday scenario
+	// needs; call it before NewSession.
+	ProdaySetup = workload.ProdaySetup
+	// Proday runs the open-loop "production day" stress: thousands of
+	// TCP/UDP connections, fork storms, disk and VM pressure, NFS and
+	// SNMP traffic, all driven by seeded arrival processes.
+	Proday = workload.Proday
+)
+
+// Production-day scenario types.
+type (
+	// ProdayMix sets the per-class arrival weights for Proday.
+	ProdayMix = workload.ProdayMix
+	// ProdayResult summarises a Proday run.
+	ProdayResult = workload.ProdayResult
+)
+
+// Open-loop load generation (see internal/loadgen): seeded arrival
+// processes driven off the sim scheduler, so the same seed reproduces the
+// same schedule bit for bit regardless of what the system under test does.
+type (
+	// ArrivalKind selects an arrival process for LoadGenConfig or
+	// WorkloadParams.Arrivals.
+	ArrivalKind = loadgen.Kind
+	// LoadGenConfig parameterizes a load generator.
+	LoadGenConfig = loadgen.Config
+	// LoadGen generates one seeded arrival schedule.
+	LoadGen = loadgen.Gen
+)
+
+// Arrival processes.
+const (
+	// ArrivalPoisson draws exponential inter-arrival gaps.
+	ArrivalPoisson = loadgen.Poisson
+	// ArrivalBurst is an ON/OFF modulated Poisson process.
+	ArrivalBurst = loadgen.Burst
+	// ArrivalConst emits arrivals at a fixed interval.
+	ArrivalConst = loadgen.Const
+)
+
+var (
+	// NewLoadGen builds a load generator.
+	NewLoadGen = loadgen.New
+	// ParseArrivalKind parses the -arrivals flag spelling ("poisson",
+	// "burst", "const").
+	ParseArrivalKind = loadgen.ParseKind
 )
 
 // The SNMP MIB case study (linear list versus B-tree; see the paper's
@@ -300,7 +347,8 @@ type (
 	SweepAggregate = sweep.Aggregate
 	// SweepFnAggregate is one function's cross-seed statistics.
 	SweepFnAggregate = sweep.FnAggregate
-	// WorkloadParams tunes a registered scenario (duration / count).
+	// WorkloadParams tunes a registered scenario (duration, count, and
+	// the proday load knobs: arrival process, rate, connections, mix).
 	WorkloadParams = workload.Params
 )
 

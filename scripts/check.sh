@@ -29,10 +29,10 @@ echo "== go test =="
 go test ./...
 
 echo "== long-scenario drain golden =="
-go test -run TestGoldenNetReceiveLongDrain .
+go test -run 'TestGoldenNetReceiveLongDrain|TestGoldenProdayDrain' .
 
 echo "== fuzz smoke =="
-go test -run 'FuzzDecodeUnwrap|FuzzSegmentBoundary|FuzzFaultedDecode' ./internal/analyze/
+go test -run 'FuzzDecodeUnwrap|FuzzSegmentBoundary|FuzzFaultedDecode|FuzzProdayDecode' ./internal/analyze/
 if [ "${SKIP_FUZZ:-0}" != "1" ]; then
 	go test -run FuzzSegmentBoundary -fuzz FuzzSegmentBoundary -fuzztime 10s ./internal/analyze/
 fi
