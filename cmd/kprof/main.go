@@ -243,8 +243,11 @@ func main() {
 	s.Disarm()
 
 	if err := s.DrainErr(); err != nil {
-		fmt.Fprintln(os.Stderr, "kprof: drain failed:", err)
-		os.Exit(1)
+		// A failed drain strands its bank — accounted as dropped strobes on
+		// an empty segment, visible in -segments and the summary header —
+		// but capture continued, so the profile is still valid.
+		fmt.Fprintf(os.Stderr, "kprof: %d drain(s) failed readout; stranded banks are accounted as dropped strobes (first error: %v)\n",
+			s.DrainErrs(), err)
 	}
 	if mode == core.CaptureOneShot && s.Card.Overflowed() {
 		fmt.Fprintf(os.Stderr, "kprof: note: profiler RAM overflowed after %d events; the capture is the head of the run (rerun with -drain to keep everything)\n", s.Card.Stored())
@@ -295,6 +298,10 @@ func main() {
 	}
 	if *segments {
 		a.WriteSegments(os.Stdout)
+		if n := s.DrainErrs(); n > 0 {
+			fmt.Printf("%d drain(s) failed readout verification (first: %v; %d suppressed); their banks appear above as zero-record lossy segments\n",
+				n, s.DrainErr(), n-1)
+		}
 		fmt.Println()
 	}
 	printReport(a, m, *report, *top, *maxlines, *fn)

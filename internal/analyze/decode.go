@@ -47,6 +47,11 @@ type Event struct {
 	Tag  uint16
 	// CtxSwitch marks events of the '!' function (swtch).
 	CtxSwitch bool
+	// fnIdx is the name/tag-file entry index plus one, or zero when the
+	// event was not decoded against a tag file (unknown tags, hand-built
+	// events). The reconstructor uses it to reach per-function state by
+	// dense index instead of hashing the name on every record.
+	fnIdx int32
 }
 
 // DecodeStats reports capture-quality information alongside the events.
@@ -214,15 +219,15 @@ func (d *Decoder) Next(r hw.Record) Event {
 // time was synthesized by the repair heuristics.
 func (d *Decoder) event(r hw.Record, at sim.Time, repairedStamp bool) Event {
 	e := Event{Time: at, Tag: r.Tag}
-	entry, kind := d.tags.Resolve(r.Tag)
+	i, kind, name, ctx := d.tags.ResolveRecord(r.Tag)
 	isCorrupt := repairedStamp
 	switch kind {
 	case tagfile.FunctionEntry:
-		e.Kind, e.Name, e.CtxSwitch = Entry, entry.Name, entry.ContextSwitch
+		e.Kind, e.Name, e.CtxSwitch, e.fnIdx = Entry, name, ctx, i+1
 	case tagfile.FunctionExit:
-		e.Kind, e.Name, e.CtxSwitch = Exit, entry.Name, entry.ContextSwitch
+		e.Kind, e.Name, e.CtxSwitch, e.fnIdx = Exit, name, ctx, i+1
 	case tagfile.InlineTag:
-		e.Kind, e.Name = Inline, entry.Name
+		e.Kind, e.Name, e.fnIdx = Inline, name, i+1
 	default:
 		e.Kind = Unknown
 		d.unknownTags++
@@ -314,6 +319,44 @@ func (d *Decoder) Push(r hw.Record, emit func(Event)) {
 			return
 		}
 		d.pending = r
+	}
+}
+
+// PushBatch decodes a whole drained bank through the repair pipeline,
+// emitting exactly the events the same records would produce through
+// record-at-a-time Push calls. The common case — no suspect pending and
+// every interval in the bank below the suspect threshold — runs as a tight
+// batch unwrap with no per-record arbitration; an implausible stamp drops
+// to Push for as long as repair state is in play, then the batch scan
+// resumes.
+func (d *Decoder) PushBatch(rs []hw.Record, emit func(Event)) {
+	i := 0
+	if d.first && len(rs) > 0 {
+		d.records++
+		d.first = false
+		d.last = rs[0].Stamp
+		emit(d.event(rs[0], d.now, false))
+		i = 1
+	}
+	for i < len(rs) {
+		if !d.hasPending {
+			for ; i < len(rs); i++ {
+				r := rs[i]
+				delta := (r.Stamp - d.last) & d.mask
+				if d.repair.Enabled && delta >= d.suspect {
+					break
+				}
+				d.records++
+				d.now += sim.Time(delta) * d.tick
+				d.last = r.Stamp
+				emit(d.event(r, d.now, false))
+			}
+			if i >= len(rs) {
+				return
+			}
+		}
+		d.Push(rs[i], emit)
+		i++
 	}
 }
 

@@ -24,6 +24,10 @@ type Node struct {
 	// they close, so Net never walks Children — which the lean streaming
 	// path does not even build.
 	childTime sim.Time
+	// fn carries the decoder's dense name/tag-file index (plus one, zero
+	// when unknown) so folding the node into the stats avoids hashing the
+	// name.
+	fn int32
 
 	Children []*Node
 	Marks    []Mark
@@ -182,22 +186,52 @@ type reconstructor struct {
 	// every node to the retained trace, so none may be reused.
 	freeNodes  []*Node
 	freeStacks []*stack
+
+	// statArena block-allocates FnStat entries: a boot's symbol table is
+	// ~100 functions, so carving them from one slab costs one allocation
+	// per analysis instead of one per function. Append-only at fixed
+	// capacity — a.fns holds the stable per-entry pointers — with an
+	// individual-allocation fallback past the cap. nodeArena does the
+	// same for the first Nodes before freeNodes warms up.
+	statArena []FnStat
+	nodeArena []Node
+
+	// byIdx caches FnStat pointers by the decoder's dense name/tag-file
+	// index, so the per-record stats fold is a slice load; the name-keyed
+	// map is only consulted the first time each function appears (and for
+	// events with no index — hand-built or unknown-tag).
+	byIdx []*FnStat
 }
 
-// newNode takes a node from the pool (lean path) or allocates one.
-func (r *reconstructor) newNode(name string, start sim.Time) *Node {
+// nodeArenaCap covers the call-nesting working set of the lean path before
+// the recycle pool warms up.
+const nodeArenaCap = 96
+
+// newNode takes a node from the pool (lean path) or allocates one; fresh
+// nodes before the pool warms up are carved from a slab.
+func (r *reconstructor) newNode(name string, start sim.Time, fn int32) *Node {
 	if n := len(r.freeNodes); n > 0 {
 		nd := r.freeNodes[n-1]
 		r.freeNodes = r.freeNodes[:n-1]
-		*nd = Node{Name: name, Start: start}
+		*nd = Node{Name: name, Start: start, fn: fn}
 		return nd
 	}
-	return &Node{Name: name, Start: start}
+	if r.nodeArena == nil {
+		r.nodeArena = make([]Node, 0, nodeArenaCap)
+	}
+	if len(r.nodeArena) < cap(r.nodeArena) {
+		r.nodeArena = append(r.nodeArena, Node{Name: name, Start: start, fn: fn})
+		return &r.nodeArena[len(r.nodeArena)-1]
+	}
+	return &Node{Name: name, Start: start, fn: fn}
 }
 
 // freeNode recycles a closed node. Callers must only do so on the lean
 // path, after the node's last read — nothing retains it there.
 func (r *reconstructor) freeNode(n *Node) {
+	if r.freeNodes == nil {
+		r.freeNodes = make([]*Node, 0, nodeArenaCap)
+	}
 	r.freeNodes = append(r.freeNodes, n)
 }
 
@@ -232,7 +266,7 @@ func (r *reconstructor) freeStack(st *stack) {
 
 // Reconstruct runs the full analysis over decoded events.
 func Reconstruct(events []Event, stats DecodeStats) *Analysis {
-	a := &Analysis{Events: events, Stats: stats, fns: make(map[string]*FnStat)}
+	a := &Analysis{Events: events, Stats: stats, fns: make(map[string]*FnStat, fnStatArenaCap)}
 	r := &reconstructor{a: a, idleStack: &stack{}, keepItems: true}
 	if len(events) > 0 {
 		a.Start = events[0].Time
@@ -260,12 +294,49 @@ func (r *reconstructor) feed(ev Event, keepEvent bool) {
 	r.step(ev)
 }
 
+// fnStatArenaCap covers a fully-attached machine's symbol table with room
+// to spare; see statArena.
+const fnStatArenaCap = 160
+
 func (r *reconstructor) fnStat(name string) *FnStat {
 	s, ok := r.a.fns[name]
 	if !ok {
-		s = &FnStat{Name: name, Min: 1 << 62}
+		if r.statArena == nil {
+			r.statArena = make([]FnStat, 0, fnStatArenaCap)
+		}
+		if len(r.statArena) < cap(r.statArena) {
+			r.statArena = append(r.statArena, FnStat{Name: name, Min: 1 << 62})
+			s = &r.statArena[len(r.statArena)-1]
+		} else {
+			s = &FnStat{Name: name, Min: 1 << 62}
+		}
 		r.a.fns[name] = s
 	}
+	return s
+}
+
+// fnStatOf resolves a function's stat through the dense index when the
+// decoder stamped one, falling back to the name map otherwise. Both routes
+// land on the same FnStat objects in a.fns, so reports and merges see one
+// view whichever path filled it.
+func (r *reconstructor) fnStatOf(name string, idx int32) *FnStat {
+	if idx <= 0 {
+		return r.fnStat(name)
+	}
+	if int(idx) > len(r.byIdx) {
+		size := int(idx) + 16
+		if size < fnStatArenaCap {
+			size = fnStatArenaCap // one growth covers the whole table
+		}
+		grown := make([]*FnStat, size)
+		copy(grown, r.byIdx)
+		r.byIdx = grown
+	}
+	if s := r.byIdx[idx-1]; s != nil {
+		return s
+	}
+	s := r.fnStat(name)
+	r.byIdx[idx-1] = s
 	return s
 }
 
@@ -305,7 +376,7 @@ func (r *reconstructor) switchOut(ev Event) {
 	// The switcher is whatever the name/tag file marked '!' — not
 	// necessarily named "swtch"; flag its stat so reports and the sweep
 	// merge can skip the row without knowing the name.
-	sw := r.fnStat(ev.Name)
+	sw := r.fnStatOf(ev.Name, ev.fnIdx)
 	sw.Calls++
 	sw.CtxSwitch = true
 	r.resolvePendingAsNew(ev.Time)
@@ -407,7 +478,7 @@ func (r *reconstructor) pendingEnter(ev Event) bool {
 }
 
 func (r *reconstructor) push(st *stack, ev Event) {
-	n := r.newNode(ev.Name, ev.Time)
+	n := r.newNode(ev.Name, ev.Time, ev.fnIdx)
 	if r.keepItems && len(st.open) > 0 {
 		parent := st.open[len(st.open)-1]
 		parent.Children = append(parent.Children, n)
@@ -423,7 +494,7 @@ func (r *reconstructor) inline(ev Event) {
 		top := st.open[len(st.open)-1]
 		top.Marks = append(top.Marks, Mark{Name: ev.Name, Time: ev.Time})
 	}
-	r.fnStat(ev.Name).Inlines++
+	r.fnStatOf(ev.Name, ev.fnIdx).Inlines++
 	r.item(ev, TraceInline, nil, len(st.open))
 }
 
@@ -452,7 +523,7 @@ func (r *reconstructor) exit(ev Event) {
 		}
 		// No match anywhere: truly orphan (entered before capture).
 		r.a.OrphanExits++
-		r.fnStat(ev.Name).Calls++ // count the call even without timing
+		r.fnStatOf(ev.Name, ev.fnIdx).Calls++ // count the call even without timing
 		r.pending = false
 		if r.current == nil {
 			r.current = r.newStack()
@@ -622,7 +693,7 @@ func (r *reconstructor) lossBoundary() int {
 
 // record folds a closed node into the per-function statistics.
 func (r *reconstructor) record(n *Node) {
-	s := r.fnStat(n.Name)
+	s := r.fnStatOf(n.Name, n.fn)
 	s.Calls++
 	if !n.Complete {
 		return
@@ -661,7 +732,7 @@ func (r *reconstructor) finish() {
 			if i > 0 {
 				st.open[i-1].childTime += n.Elapsed()
 			}
-			r.fnStat(n.Name).Calls++
+			r.fnStatOf(n.Name, n.fn).Calls++
 		}
 	}
 	countOpen(r.current)

@@ -1,0 +1,779 @@
+package analyze
+
+import (
+	"runtime"
+	"sync"
+
+	"kprof/internal/hw"
+	"kprof/internal/sim"
+	"kprof/internal/tagfile"
+)
+
+// Sharded reconstruction: the streaming reconstructor split per process
+// context so GOMAXPROCS>1 speeds up a single capture.
+//
+// The serial reconstructor is a state machine whose expensive half is the
+// per-invocation bookkeeping — node lifetimes, child-time chains, the
+// per-function statistics folds. Its cheap half is the context tracking:
+// which process's call stack an event applies to, decided by the '!'
+// context-switch markers and orphan-exit adoption. The two halves split
+// cleanly:
+//
+//   - A serial ROUTER runs the context-tracking half exactly as the serial
+//     reconstructor does, but over name stacks only (no nodes, no stats).
+//     Every decision that needs cross-context knowledge — adoption,
+//     pending resolution, idle windows, loss boundaries — is made here, in
+//     capture order, so it is identical to serial by construction. The
+//     router labels each event with its context and appends it, plus any
+//     control directives (resume credit, tentative splice, force-close),
+//     to that context's LANE.
+//   - Each lane then replays its op stream through the per-invocation
+//     bookkeeping independently — a context's frames never interact with
+//     another context's — on a pool of workers. Lanes produce private
+//     per-function statistics.
+//   - The MERGE folds lane statistics together. Every fold is commutative
+//     and associative over integers (sums, min, max, boolean or), so the
+//     merged figures are bit-identical to the serial reconstructor's no
+//     matter how lanes were scheduled — the determinism the goldens
+//     require.
+//
+// The router also computes the analysis-level accounting itself (Start,
+// End, Idle, Switches, OrphanExits, Recovered, segment records), again in
+// capture order. What the workers compute in parallel is exactly the part
+// whose merge cannot depend on order.
+//
+// The sharded path is lean-only: it discards the event list and the trace
+// timeline (the trace is one global interleaved sequence — sharding it
+// would serialize on reassembly). Callers who need those use the serial
+// Reconstructor.
+
+// laneOp kinds. Enter/exit ops carry the decoded event; directives carry a
+// time or duration in d.
+const (
+	opEnter = iota
+	// opExit closes the named frame with mismatch recovery (force-closing
+	// frames above the match); opExitStrict only closes an exact top-of-
+	// stack match (the tentative-stack probe during pending resume). The
+	// router guarantees the op matches, in either mode.
+	opExit
+	opExitStrict
+	// opResume credits d of out-of-context time to every open frame (the
+	// context was adopted after suspension).
+	opResume
+	// opSplice adds d to the top frame's childTime (completed tentative
+	// roots folded in at adoption).
+	opSplice
+	// opDiscard drops every open frame with no statistics effect (a lost
+	// switch-out, or unclosed tentative frames at adoption).
+	opDiscard
+	// opForceClose force-closes every open frame at time d (lossy drain
+	// boundary, or idle-stack cleanup at switch-in).
+	opForceClose
+	// opCountOpen counts frames still open at capture end: one call each,
+	// no timing.
+	opCountOpen
+)
+
+// laneOp is one instruction in a lane's replay stream: an event op (enter,
+// exit) references the routed event by index into the reconstructor's
+// shared event store, so the op itself stays two words; a directive
+// carries its time or duration in d.
+type laneOp struct {
+	kind int8
+	idx  int32
+	d    sim.Time
+}
+
+// lane is one op stream replayed sequentially by a worker. A lane carries
+// one context at a time but is reused across context lifetimes (the router
+// hands a recycled context its previous lane): every lifetime ends with
+// the replay stack empty — discarded, force-closed, or naturally drained —
+// so consecutive lifetimes replay independently on the same lane state,
+// and the lane count stays at the maximum number of coexisting contexts
+// instead of growing with every switch.
+type lane struct {
+	ops []laneOp
+}
+
+func (l *lane) push(kind int8, idx int32) {
+	l.ops = append(l.ops, laneOp{kind: kind, idx: idx})
+}
+func (l *lane) ctl(kind int8, d sim.Time) {
+	l.ops = append(l.ops, laneOp{kind: kind, d: d})
+}
+
+// rstack is the router's view of one context: the open frame names (for
+// exit matching) and start times (for the interval arithmetic the serial
+// path reads off its nodes).
+type rstack struct {
+	ln          *lane
+	names       []string
+	starts      []sim.Time
+	doneElapsed sim.Time
+	suspendedAt sim.Time
+}
+
+// ShardedReconstructor is the parallel counterpart of Reconstructor: the
+// same Push/PushBatch/EndSegment/Finish surface, byte-identical lean
+// results, with the per-invocation bookkeeping fanned out over worker
+// goroutines at Finish. See the package comment at the top of this file
+// for the split.
+type ShardedReconstructor struct {
+	dec     *Decoder
+	workers int
+
+	emitFn func(Event)
+
+	// Router state, mirroring reconstructor's context machine.
+	haveStart    bool
+	start, end   sim.Time
+	lastSwitchIn sim.Time
+
+	cur       *rstack
+	suspended []*rstack
+	pending   bool
+
+	idleOpen  bool
+	idleStart sim.Time
+	idleIntr  sim.Time
+	idle      rstack
+
+	idleTotal   sim.Time
+	switches    int
+	orphanExits int
+	recovered   int
+
+	lanes []*lane
+	free  []*rstack
+	// evs stores each routed enter/exit event once; lane ops reference it
+	// by index. This is the sharded path's memory trade: the serial lean
+	// reconstructor never materializes the event stream, the sharded one
+	// buffers it until Finish fans the lanes out.
+	evs []Event
+
+	// Router-attributed statistics (the context-switch function's calls,
+	// orphan-exit calls, inline marks): folded as one more lane at merge.
+	ownFns map[string]statDelta
+
+	segments   []SegmentInfo
+	segStart   int
+	segCorrupt int
+
+	finished bool
+}
+
+// statDelta is the router's own per-function contribution.
+type statDelta struct {
+	calls     int
+	inlines   int
+	ctxSwitch bool
+}
+
+// NewShardedReconstructor returns a sharded streaming reconstructor.
+// workers <= 0 selects GOMAXPROCS. The sharded path is lean by definition
+// (no event list, no trace timeline); opts selects the decode repair
+// exactly as for NewReconstructor, and its Discard fields are ignored.
+func NewShardedReconstructor(cfg hw.Config, tags *tagfile.File, opts ReconstructOptions, workers int) *ShardedReconstructor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sr := &ShardedReconstructor{
+		dec:     NewRepairingDecoder(cfg, tags, opts.Repair),
+		workers: workers,
+		ownFns:  make(map[string]statDelta, 16),
+	}
+	sr.emitFn = sr.route
+	return sr
+}
+
+// Push decodes one raw record and routes the resulting events.
+func (sr *ShardedReconstructor) Push(r hw.Record) {
+	if sr.finished {
+		panic("analyze: Push after Finish")
+	}
+	sr.dec.Push(r, sr.emitFn)
+}
+
+// PushBatch decodes a whole bank at once, exactly as Reconstructor.PushBatch.
+func (sr *ShardedReconstructor) PushBatch(rs []hw.Record) {
+	if sr.finished {
+		panic("analyze: PushBatch after Finish")
+	}
+	sr.dec.PushBatch(rs, sr.emitFn)
+}
+
+func (sr *ShardedReconstructor) newRstack() *rstack {
+	if n := len(sr.free); n > 0 {
+		st := sr.free[n-1]
+		sr.free = sr.free[:n-1]
+		return st
+	}
+	return &rstack{}
+}
+
+func (sr *ShardedReconstructor) freeRstack(st *rstack) {
+	for i := range st.names {
+		st.names[i] = ""
+	}
+	st.names = st.names[:0]
+	st.starts = st.starts[:0]
+	// st.ln stays: the next context lifetime reusing this rstack appends
+	// to the same lane (see lane).
+	st.doneElapsed = 0
+	st.suspendedAt = 0
+	sr.free = append(sr.free, st)
+}
+
+// laneOf returns st's lane, creating it on first use. A context that never
+// receives an op never costs a lane.
+func (sr *ShardedReconstructor) laneOf(st *rstack) *lane {
+	if st.ln == nil {
+		st.ln = &lane{}
+		sr.lanes = append(sr.lanes, st.ln)
+	}
+	return st.ln
+}
+
+func (sr *ShardedReconstructor) own(name string, f func(*statDelta)) {
+	d := sr.ownFns[name]
+	f(&d)
+	sr.ownFns[name] = d
+}
+
+// route is the router's step function: the serial reconstructor.step's
+// context decisions over name stacks, emitting lane ops instead of touching
+// nodes.
+func (sr *ShardedReconstructor) route(ev Event) {
+	if !sr.haveStart {
+		sr.start, sr.lastSwitchIn, sr.haveStart = ev.Time, ev.Time, true
+	}
+	sr.end = ev.Time
+	switch {
+	case ev.Kind == Unknown:
+		return
+	case ev.CtxSwitch && ev.Kind == Entry:
+		sr.routeSwitchOut(ev)
+	case ev.CtxSwitch && ev.Kind == Exit:
+		sr.routeSwitchIn(ev)
+	case ev.Kind == Inline:
+		sr.routeInline(ev)
+	case ev.Kind == Entry:
+		sr.routeEnter(ev)
+	case ev.Kind == Exit:
+		sr.routeExit(ev)
+	}
+}
+
+func (sr *ShardedReconstructor) routeSwitchOut(ev Event) {
+	sr.switches++
+	sr.own(ev.Name, func(d *statDelta) { d.calls++; d.ctxSwitch = true })
+	if sr.pending {
+		sr.pending = false
+		if sr.cur == nil {
+			sr.cur = sr.newRstack()
+		}
+	}
+	if sr.cur != nil {
+		if len(sr.cur.names) > 0 {
+			sr.cur.suspendedAt = ev.Time
+			sr.suspended = append(sr.suspended, sr.cur)
+		} else {
+			sr.freeRstack(sr.cur)
+		}
+		sr.cur = nil
+	}
+	sr.idleOpen = true
+	sr.idleStart = ev.Time
+	sr.idleIntr = 0
+}
+
+func (sr *ShardedReconstructor) routeSwitchIn(ev Event) {
+	if sr.idleOpen {
+		idle := ev.Time - sr.idleStart - sr.idleIntr
+		if idle < 0 {
+			idle = 0
+		}
+		sr.idleTotal += idle
+		sr.idleOpen = false
+	}
+	if n := len(sr.idle.names); n > 0 {
+		// Interrupt frames never closed in the idle loop: force-closed as
+		// recovered, as the serial path's closeAll does.
+		sr.recovered += n
+		sr.idle.names = sr.idle.names[:0]
+		sr.idle.starts = sr.idle.starts[:0]
+		sr.laneOf(&sr.idle).ctl(opForceClose, ev.Time)
+	}
+	sr.pending = true
+	if sr.cur != nil {
+		// Lost switch-out: the stack was never parked; its frames drop
+		// silently (no statistics), exactly as serial frees them.
+		if len(sr.cur.names) > 0 {
+			sr.laneOf(sr.cur).ctl(opDiscard, 0)
+		}
+		sr.freeRstack(sr.cur)
+		sr.cur = nil
+	}
+	sr.lastSwitchIn = ev.Time
+}
+
+func (sr *ShardedReconstructor) routeInline(ev Event) {
+	// contextStack's side effect: outside idle a nil current materializes.
+	if !sr.idleOpen && sr.cur == nil {
+		sr.cur = sr.newRstack()
+	}
+	sr.own(ev.Name, func(d *statDelta) { d.inlines++ })
+}
+
+func (sr *ShardedReconstructor) routeEnter(ev Event) {
+	var st *rstack
+	switch {
+	case sr.pending:
+		if sr.cur == nil {
+			sr.cur = sr.newRstack()
+		}
+		st = sr.cur
+	case sr.idleOpen:
+		st = &sr.idle
+	default:
+		if sr.cur == nil {
+			sr.cur = sr.newRstack()
+		}
+		st = sr.cur
+	}
+	st.names = append(st.names, ev.Name)
+	st.starts = append(st.starts, ev.Time)
+	sr.laneOf(st).push(opEnter, sr.addEvent(ev))
+}
+
+// addEvent stores one routed event in the shared store, returning its index
+// for lane ops.
+func (sr *ShardedReconstructor) addEvent(ev Event) int32 {
+	sr.evs = append(sr.evs, ev)
+	return int32(len(sr.evs) - 1)
+}
+
+// closeOnRouter mirrors reconstructor.closeOn over the router's name
+// stacks: pops the matched frame (and everything above it when recover is
+// set), maintaining doneElapsed, the recovered count and — for the idle
+// stack — the idle-interrupt accounting. Reports whether the exit matched.
+func (sr *ShardedReconstructor) closeOnRouter(st *rstack, ev Event, recover bool) bool {
+	idx := -1
+	for i := len(st.names) - 1; i >= 0; i-- {
+		if st.names[i] == ev.Name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	if !recover && idx != len(st.names)-1 {
+		return false
+	}
+	sr.recovered += len(st.names) - 1 - idx
+	start := st.starts[idx]
+	st.names = st.names[:idx]
+	st.starts = st.starts[:idx]
+	if idx == 0 {
+		// Root closed: its in-context elapsed feeds a potential adoption
+		// splice. Frames on a tentative stack are never suspended, so
+		// elapsed is exactly end minus start.
+		st.doneElapsed += ev.Time - start
+	}
+	if st == &sr.idle && idx == 0 && sr.idleOpen {
+		sr.idleIntr += ev.Time - start
+	}
+	kind := int8(opExit)
+	if !recover {
+		kind = opExitStrict
+	}
+	sr.laneOf(st).push(kind, sr.addEvent(ev))
+	return true
+}
+
+func (sr *ShardedReconstructor) routeExit(ev Event) {
+	if sr.idleOpen {
+		if sr.closeOnRouter(&sr.idle, ev, true) {
+			return
+		}
+		sr.orphanExits++
+		return
+	}
+	if sr.pending {
+		if sr.cur != nil && sr.closeOnRouter(sr.cur, ev, false) {
+			return
+		}
+		for i, st := range sr.suspended {
+			if len(st.names) > 0 && st.names[len(st.names)-1] == ev.Name {
+				sr.adoptRouter(i, ev)
+				return
+			}
+		}
+		sr.orphanExits++
+		sr.own(ev.Name, func(d *statDelta) { d.calls++ })
+		sr.pending = false
+		if sr.cur == nil {
+			sr.cur = sr.newRstack()
+		}
+		return
+	}
+	if sr.cur == nil {
+		sr.cur = sr.newRstack()
+	}
+	if sr.closeOnRouter(sr.cur, ev, true) {
+		return
+	}
+	sr.orphanExits++
+}
+
+func (sr *ShardedReconstructor) adoptRouter(i int, ev Event) {
+	st := sr.suspended[i]
+	copy(sr.suspended[i:], sr.suspended[i+1:])
+	sr.suspended[len(sr.suspended)-1] = nil
+	sr.suspended = sr.suspended[:len(sr.suspended)-1]
+	ln := sr.laneOf(st)
+	ln.ctl(opResume, sr.lastSwitchIn-st.suspendedAt)
+	if sr.cur != nil {
+		if sr.cur.doneElapsed != 0 {
+			ln.ctl(opSplice, sr.cur.doneElapsed)
+		}
+		if n := len(sr.cur.names); n > 0 {
+			sr.recovered += n
+			sr.laneOf(sr.cur).ctl(opDiscard, 0)
+		}
+		sr.freeRstack(sr.cur)
+	}
+	sr.cur = st
+	sr.pending = false
+	sr.closeOnRouter(st, ev, true)
+}
+
+// EndSegment marks a drain boundary, exactly as Reconstructor.EndSegment:
+// a lossy boundary force-closes every open frame in every context.
+func (sr *ShardedReconstructor) EndSegment(dropped uint64, overflowed bool) {
+	if sr.finished {
+		panic("analyze: EndSegment after Finish")
+	}
+	seg := SegmentInfo{
+		Index:      len(sr.segments),
+		Records:    sr.dec.records - sr.segStart,
+		Dropped:    dropped,
+		Overflowed: overflowed,
+		Corrupt:    sr.dec.corrupt - sr.segCorrupt,
+		End:        sr.end,
+	}
+	if dropped > 0 {
+		seg.ForceClosed = sr.lossBoundaryRouter()
+	}
+	sr.segments = append(sr.segments, seg)
+	sr.segStart = sr.dec.records
+	sr.segCorrupt = sr.dec.corrupt
+}
+
+func (sr *ShardedReconstructor) lossBoundaryRouter() int {
+	at := sr.end
+	closed := 0
+	if sr.idleOpen {
+		idle := at - sr.idleStart - sr.idleIntr
+		if idle > 0 {
+			sr.idleTotal += idle
+		}
+		sr.idleOpen = false
+	}
+	drain := func(st *rstack) {
+		if n := len(st.names); n > 0 {
+			closed += n
+			st.names = st.names[:0]
+			st.starts = st.starts[:0]
+			sr.laneOf(st).ctl(opForceClose, at)
+		}
+	}
+	drain(&sr.idle)
+	if sr.cur != nil {
+		drain(sr.cur)
+		sr.freeRstack(sr.cur)
+		sr.cur = nil
+	}
+	for i, st := range sr.suspended {
+		drain(st)
+		sr.freeRstack(st)
+		sr.suspended[i] = nil
+	}
+	sr.suspended = sr.suspended[:0]
+	sr.pending = false
+	sr.recovered += closed
+	return closed
+}
+
+// Finish drains the decoder, replays every lane on the worker pool, merges
+// the per-function statistics and returns the Analysis — field for field
+// what the serial lean Reconstructor produces for the same records.
+func (sr *ShardedReconstructor) Finish(overflowed bool, dropped uint64) *Analysis {
+	if sr.finished {
+		panic("analyze: Finish called twice")
+	}
+	sr.finished = true
+	sr.dec.Flush(sr.emitFn)
+
+	if sr.idleOpen {
+		idle := sr.end - sr.idleStart - sr.idleIntr
+		if idle > 0 {
+			sr.idleTotal += idle
+		}
+	}
+	countOpen := func(st *rstack) {
+		if st == nil || len(st.names) == 0 {
+			return
+		}
+		sr.laneOf(st).ctl(opCountOpen, 0)
+	}
+	countOpen(sr.cur)
+	countOpen(&sr.idle)
+	for _, st := range sr.suspended {
+		countOpen(st)
+	}
+
+	results := sr.runLanes()
+
+	a := &Analysis{
+		Start:       sr.start,
+		End:         sr.end,
+		Idle:        sr.idleTotal,
+		Switches:    sr.switches,
+		OrphanExits: sr.orphanExits,
+		Recovered:   sr.recovered,
+		Segments:    sr.segments,
+		fns:         make(map[string]*FnStat, fnStatArenaCap),
+	}
+	mergeInto(a.fns, sr.ownFns, results)
+
+	stats := sr.dec.Stats()
+	stats.Overflowed = overflowed
+	stats.Dropped = dropped
+	for _, seg := range a.Segments {
+		stats.Dropped += seg.Dropped
+		if seg.Overflowed {
+			stats.Overflowed = true
+		}
+	}
+	a.Stats = stats
+	return a
+}
+
+// runLanes replays every lane, fanning out over the worker pool when it is
+// worth it.
+func (sr *ShardedReconstructor) runLanes() []map[string]*FnStat {
+	results := make([]map[string]*FnStat, len(sr.lanes))
+	workers := sr.workers
+	if workers > len(sr.lanes) {
+		workers = len(sr.lanes)
+	}
+	if workers <= 1 {
+		for i, ln := range sr.lanes {
+			results[i] = replayLane(ln, sr.evs)
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = replayLane(sr.lanes[i], sr.evs)
+			}
+		}()
+	}
+	for i := range sr.lanes {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// laneNode is one open invocation during lane replay: the fields of Node
+// the statistics folds read.
+type laneNode struct {
+	name         string
+	fn           int32
+	start        sim.Time
+	outOfContext sim.Time
+	childTime    sim.Time
+}
+
+func (n *laneNode) elapsed(end sim.Time) sim.Time { return end - n.start - n.outOfContext }
+
+// laneState is the per-invocation bookkeeping for one context, private to
+// its worker.
+type laneState struct {
+	open  []laneNode
+	fns   map[string]*FnStat
+	arena []FnStat
+	byIdx []*FnStat
+}
+
+func (ls *laneState) stat(name string, idx int32) *FnStat {
+	if idx > 0 {
+		if int(idx) <= len(ls.byIdx) {
+			if s := ls.byIdx[idx-1]; s != nil {
+				return s
+			}
+		} else {
+			size := int(idx) + 16
+			if size < fnStatArenaCap {
+				size = fnStatArenaCap
+			}
+			grown := make([]*FnStat, size)
+			copy(grown, ls.byIdx)
+			ls.byIdx = grown
+		}
+	}
+	s, ok := ls.fns[name]
+	if !ok {
+		if ls.arena == nil {
+			ls.arena = make([]FnStat, 0, fnStatArenaCap)
+		}
+		if len(ls.arena) < cap(ls.arena) {
+			ls.arena = append(ls.arena, FnStat{Name: name, Min: 1 << 62})
+			s = &ls.arena[len(ls.arena)-1]
+		} else {
+			s = &FnStat{Name: name, Min: 1 << 62}
+		}
+		ls.fns[name] = s
+	}
+	if idx > 0 {
+		ls.byIdx[idx-1] = s
+	}
+	return s
+}
+
+// fold is reconstructor.record over a lane node.
+func (ls *laneState) fold(n *laneNode, end sim.Time, complete bool) {
+	s := ls.stat(n.name, n.fn)
+	s.Calls++
+	if !complete {
+		return
+	}
+	s.TimedCalls++
+	el := n.elapsed(end)
+	s.Elapsed += el
+	net := el - n.childTime
+	s.Net += net
+	if net > s.Max {
+		s.Max = net
+	}
+	if net < s.Min {
+		s.Min = net
+	}
+}
+
+// replayLane runs one context's op stream through the bookkeeping. The
+// router already made every matching decision over the same name stack, so
+// a non-matching exit here is a desync bug, not a capture condition.
+func replayLane(ln *lane, evs []Event) map[string]*FnStat {
+	ls := &laneState{fns: make(map[string]*FnStat, 32)}
+	for i := range ln.ops {
+		op := &ln.ops[i]
+		switch op.kind {
+		case opEnter:
+			ev := &evs[op.idx]
+			ls.open = append(ls.open, laneNode{name: ev.Name, fn: ev.fnIdx, start: ev.Time})
+		case opExit, opExitStrict:
+			ev := &evs[op.idx]
+			idx := -1
+			for i := len(ls.open) - 1; i >= 0; i-- {
+				if ls.open[i].name == ev.Name {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 || (op.kind == opExitStrict && idx != len(ls.open)-1) {
+				panic("analyze: sharded lane desynced from router")
+			}
+			for len(ls.open)-1 > idx {
+				top := &ls.open[len(ls.open)-1]
+				ls.fold(top, ev.Time, false)
+				el := top.elapsed(ev.Time)
+				ls.open = ls.open[:len(ls.open)-1]
+				ls.open[len(ls.open)-1].childTime += el
+			}
+			n := ls.open[idx]
+			ls.open = ls.open[:idx]
+			if len(ls.open) > 0 {
+				ls.open[len(ls.open)-1].childTime += n.elapsed(ev.Time)
+			}
+			ls.fold(&n, ev.Time, true)
+		case opResume:
+			for i := range ls.open {
+				ls.open[i].outOfContext += op.d
+			}
+		case opSplice:
+			if len(ls.open) > 0 {
+				ls.open[len(ls.open)-1].childTime += op.d
+			}
+		case opDiscard:
+			ls.open = ls.open[:0]
+		case opForceClose:
+			for len(ls.open) > 0 {
+				top := &ls.open[len(ls.open)-1]
+				ls.fold(top, op.d, false)
+				el := top.elapsed(op.d)
+				ls.open = ls.open[:len(ls.open)-1]
+				if len(ls.open) > 0 {
+					ls.open[len(ls.open)-1].childTime += el
+				}
+			}
+		case opCountOpen:
+			for i := len(ls.open) - 1; i >= 0; i-- {
+				ls.stat(ls.open[i].name, ls.open[i].fn).Calls++
+			}
+			ls.open = ls.open[:0]
+		}
+	}
+	return ls.fns
+}
+
+// mergeInto folds the router's own contributions and every lane's private
+// statistics into dst. All folds are order-independent (integer sums, min,
+// max, boolean or), which is what makes the sharded result identical to
+// serial whatever the worker scheduling did.
+func mergeInto(dst map[string]*FnStat, own map[string]statDelta, lanes []map[string]*FnStat) {
+	get := func(name string) *FnStat {
+		s, ok := dst[name]
+		if !ok {
+			s = &FnStat{Name: name, Min: 1 << 62}
+			dst[name] = s
+		}
+		return s
+	}
+	for name, d := range own {
+		s := get(name)
+		s.Calls += d.calls
+		s.Inlines += d.inlines
+		if d.ctxSwitch {
+			s.CtxSwitch = true
+		}
+	}
+	for _, fns := range lanes {
+		for name, ls := range fns {
+			s := get(name)
+			s.Calls += ls.Calls
+			s.TimedCalls += ls.TimedCalls
+			s.Elapsed += ls.Elapsed
+			s.Net += ls.Net
+			if ls.Max > s.Max {
+				s.Max = ls.Max
+			}
+			if ls.Min < s.Min {
+				s.Min = ls.Min
+			}
+			s.Inlines += ls.Inlines
+			if ls.CtxSwitch {
+				s.CtxSwitch = true
+			}
+		}
+	}
+}

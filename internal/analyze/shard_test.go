@@ -1,0 +1,153 @@
+package analyze
+
+import (
+	"fmt"
+	"testing"
+
+	"kprof/internal/hw"
+)
+
+// serialLean runs the serial lean reconstruction over one capture.
+func serialLean(t *testing.T, c hw.Capture, opts ReconstructOptions) *Analysis {
+	t.Helper()
+	opts.DiscardEvents, opts.DiscardTrace = true, true
+	rc := NewReconstructor(c.ClockConfig(), mustTags(t), opts)
+	rc.PushBatch(c.Records)
+	return rc.Finish(c.Overflowed, c.Dropped)
+}
+
+// shardedLean runs the sharded reconstruction with the given worker count.
+func shardedLean(t *testing.T, c hw.Capture, opts ReconstructOptions, workers int) *Analysis {
+	t.Helper()
+	sr := NewShardedReconstructor(c.ClockConfig(), mustTags(t), opts, workers)
+	sr.PushBatch(c.Records)
+	return sr.Finish(c.Overflowed, c.Dropped)
+}
+
+// requireIdentical fails unless the two analyses agree on every quantity the
+// lean path retains — the accounting header, the capture-quality stats, the
+// segment table, the full per-function statistics, and the rendered report
+// byte for byte.
+func requireIdentical(t *testing.T, label string, got, want *Analysis) {
+	t.Helper()
+	if got.Start != want.Start || got.End != want.End || got.Idle != want.Idle ||
+		got.Switches != want.Switches || got.OrphanExits != want.OrphanExits ||
+		got.Recovered != want.Recovered {
+		t.Fatalf("%s: accounting differs:\n got Start=%v End=%v Idle=%v Sw=%d Orphan=%d Rec=%d\nwant Start=%v End=%v Idle=%v Sw=%d Orphan=%d Rec=%d",
+			label, got.Start, got.End, got.Idle, got.Switches, got.OrphanExits, got.Recovered,
+			want.Start, want.End, want.Idle, want.Switches, want.OrphanExits, want.Recovered)
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("%s: stats %+v != %+v", label, got.Stats, want.Stats)
+	}
+	if len(got.Segments) != len(want.Segments) {
+		t.Fatalf("%s: %d segments, want %d", label, len(got.Segments), len(want.Segments))
+	}
+	for i := range got.Segments {
+		if got.Segments[i] != want.Segments[i] {
+			t.Fatalf("%s: segment %d %+v != %+v", label, i, got.Segments[i], want.Segments[i])
+		}
+	}
+	gf, wf := got.Functions(), want.Functions()
+	if len(gf) != len(wf) {
+		t.Fatalf("%s: %d functions, want %d", label, len(gf), len(wf))
+	}
+	for i := range gf {
+		if *gf[i] != *wf[i] {
+			t.Fatalf("%s: fn %s: %+v != %+v", label, wf[i].Name, *gf[i], *wf[i])
+		}
+	}
+	if g, w := got.SummaryString(0), want.SummaryString(0); g != w {
+		t.Fatalf("%s: summary differs\n--- sharded ---\n%s--- serial ---\n%s", label, g, w)
+	}
+}
+
+// The sharded reconstructor must produce bit-identical lean analyses to the
+// serial path whatever the worker count — the determinism contract that
+// lets GOMAXPROCS>1 speed a capture up without perturbing the goldens.
+func TestShardedMatchesSerial(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 7, 42, 77, 123} {
+		c := pseudoCapture(seed, 4000)
+		for _, opts := range []ReconstructOptions{{}, {Repair: DefaultRepair()}} {
+			want := serialLean(t, c, opts)
+			for _, workers := range []int{1, 2, 4, 8} {
+				label := fmt.Sprintf("seed %d repair=%v workers %d", seed, opts.Repair.Enabled, workers)
+				requireIdentical(t, label, shardedLean(t, c, opts, workers), want)
+			}
+		}
+	}
+}
+
+// Hand-built adoption shapes (the Figure 4 resume, FIFO adoption across
+// two processes sleeping in the same function) pin the cross-context
+// decisions the router must make identically to serial.
+func TestShardedAdoptionShapes(t *testing.T) {
+	captures := []hw.Capture{
+		// Figure 4: tentative frames spliced into the adopted stack.
+		capOf(
+			[2]uint32{500, 0}, [2]uint32{502, 10}, [2]uint32{600, 20},
+			[2]uint32{601, 60}, [2]uint32{504, 65}, [2]uint32{505, 75},
+			[2]uint32{503, 90}, [2]uint32{501, 100},
+		),
+		// Two suspended processes in the same function: FIFO adoption.
+		capOf(
+			[2]uint32{500, 0}, [2]uint32{600, 10},
+			[2]uint32{601, 20}, [2]uint32{500, 25}, [2]uint32{600, 35},
+			[2]uint32{601, 50}, [2]uint32{501, 60},
+			[2]uint32{600, 70}, [2]uint32{601, 80}, [2]uint32{501, 95},
+		),
+		// Unclosed tentative frames discarded at adoption; orphan exit with
+		// no match anywhere; exit during idle.
+		capOf(
+			[2]uint32{500, 0}, [2]uint32{600, 5},
+			[2]uint32{504, 10}, [2]uint32{505, 15}, // interrupt in idle
+			[2]uint32{601, 20}, [2]uint32{502, 25}, // tentative b never closes
+			[2]uint32{501, 40},                     // orphan a exit: adopts
+			[2]uint32{507, 50},                     // exit with no frame: orphan
+			[2]uint32{600, 60}, [2]uint32{505, 70}, // exit in idle, no frame
+		),
+	}
+	for ci, c := range captures {
+		want := serialLean(t, c, ReconstructOptions{})
+		for _, workers := range []int{1, 3} {
+			requireIdentical(t, fmt.Sprintf("capture %d workers %d", ci, workers),
+				shardedLean(t, c, ReconstructOptions{}, workers), want)
+		}
+	}
+}
+
+// A segmented capture with lossy boundaries: the force-close at each loss
+// must land identically (segment table included) through the sharded path.
+func TestShardedSegmentedMatchesSerial(t *testing.T) {
+	whole := pseudoCapture(9, 3000)
+	cuts := []int{0, 700, 1400, 2100, 3000}
+	dropped := []uint64{0, 12, 0, 5}
+
+	feed := func(push func([]hw.Record), end func(uint64, bool)) {
+		for s := 0; s+1 < len(cuts); s++ {
+			push(whole.Records[cuts[s]:cuts[s+1]])
+			end(dropped[s], s == 1)
+		}
+	}
+
+	rc := NewReconstructor(whole.ClockConfig(), mustTags(t), ReconstructOptions{DiscardEvents: true, DiscardTrace: true, Repair: DefaultRepair()})
+	feed(rc.PushBatch, rc.EndSegment)
+	want := rc.Finish(false, 0)
+
+	for _, workers := range []int{1, 2, 4} {
+		sr := NewShardedReconstructor(whole.ClockConfig(), mustTags(t), ReconstructOptions{Repair: DefaultRepair()}, workers)
+		feed(sr.PushBatch, sr.EndSegment)
+		requireIdentical(t, fmt.Sprintf("segmented workers %d", workers), sr.Finish(false, 0), want)
+	}
+}
+
+// Record-at-a-time pushes must land identically to batch pushes.
+func TestShardedPushMatchesPushBatch(t *testing.T) {
+	c := pseudoCapture(5, 1500)
+	want := serialLean(t, c, ReconstructOptions{Repair: DefaultRepair()})
+	sr := NewShardedReconstructor(c.ClockConfig(), mustTags(t), ReconstructOptions{Repair: DefaultRepair()}, 4)
+	for _, r := range c.Records {
+		sr.Push(r)
+	}
+	requireIdentical(t, "record-at-a-time", sr.Finish(c.Overflowed, c.Dropped), want)
+}

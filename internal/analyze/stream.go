@@ -2,6 +2,7 @@ package analyze
 
 import (
 	"kprof/internal/hw"
+	"kprof/internal/sim"
 	"kprof/internal/tagfile"
 )
 
@@ -46,7 +47,7 @@ type Reconstructor struct {
 // under the given clock configuration (zero values select the prototype
 // card's 1 MHz, 24 bits).
 func NewReconstructor(cfg hw.Config, tags *tagfile.File, opts ReconstructOptions) *Reconstructor {
-	a := &Analysis{fns: make(map[string]*FnStat)}
+	a := &Analysis{fns: make(map[string]*FnStat, fnStatArenaCap)}
 	rc := &Reconstructor{
 		dec:        NewRepairingDecoder(cfg, tags, opts.Repair),
 		rec:        &reconstructor{a: a, idleStack: &stack{}, keepItems: !opts.DiscardTrace},
@@ -68,6 +69,51 @@ func (rc *Reconstructor) Push(r hw.Record) {
 }
 
 func (rc *Reconstructor) emit(ev Event) { rc.rec.feed(ev, rc.keepEvents) }
+
+// PushBatch decodes a whole drained bank at once. The drain loop hands a
+// bank's records in a single call, so the timestamp unwrap runs as one
+// batch scan instead of a per-record call chain; the emitted event stream
+// is identical to pushing the records one at a time.
+//
+// The common-case loop is Decoder.PushBatch's fused into this package's
+// consumer: the decoded event goes straight to the reconstruction step
+// with one direct call, not through the per-record emit closure. Repair
+// arbitration (a pending suspect stamp) drops to the record-at-a-time
+// path until the decoder is back in steady state.
+func (rc *Reconstructor) PushBatch(rs []hw.Record) {
+	if rc.finished {
+		panic("analyze: PushBatch after Finish")
+	}
+	d, rec, keep := rc.dec, rc.rec, rc.keepEvents
+	i := 0
+	if d.first && len(rs) > 0 {
+		d.records++
+		d.first = false
+		d.last = rs[0].Stamp
+		rec.feed(d.event(rs[0], d.now, false), keep)
+		i = 1
+	}
+	for i < len(rs) {
+		if !d.hasPending {
+			for ; i < len(rs); i++ {
+				r := rs[i]
+				delta := (r.Stamp - d.last) & d.mask
+				if d.repair.Enabled && delta >= d.suspect {
+					break
+				}
+				d.records++
+				d.now += sim.Time(delta) * d.tick
+				d.last = r.Stamp
+				rec.feed(d.event(r, d.now, false), keep)
+			}
+			if i >= len(rs) {
+				return
+			}
+		}
+		d.Push(rs[i], rc.emitFn)
+		i++
+	}
+}
 
 // EndSegment marks a drain boundary: the records pushed since the previous
 // boundary (or the start) form one segment that lost dropped strobes before
@@ -133,9 +179,7 @@ func Stitch(segs []hw.Capture, tags *tagfile.File, opts ReconstructOptions) *Ana
 	}
 	rc := NewReconstructor(cfg, tags, opts)
 	for _, seg := range segs {
-		for _, r := range seg.Records {
-			rc.Push(r)
-		}
+		rc.PushBatch(seg.Records)
 		rc.EndSegment(seg.Dropped, seg.Overflowed)
 	}
 	return rc.Finish(false, 0)
@@ -147,8 +191,6 @@ func Stitch(segs []hw.Capture, tags *tagfile.File, opts ReconstructOptions) *Ana
 // stamps, or the zero options for the historical batch behaviour.
 func ReconstructCapture(c hw.Capture, tags *tagfile.File, opts ReconstructOptions) *Analysis {
 	rc := NewReconstructor(c.ClockConfig(), tags, opts)
-	for _, r := range c.Records {
-		rc.Push(r)
-	}
+	rc.PushBatch(c.Records)
 	return rc.Finish(c.Overflowed, c.Dropped)
 }

@@ -250,7 +250,7 @@ func Run(cfg Config) (*Report, error) {
 		ds, err := core.NewSession(m, core.ProfileConfig{
 			Mode:  core.CaptureContinuous,
 			Depth: 4096,
-			Drain: core.DrainConfig{Pipeline: true},
+			Drain: core.DrainConfig{Pipeline: true, Recycle: true},
 		})
 		if err != nil {
 			panic(err)
@@ -320,7 +320,7 @@ func Run(cfg Config) (*Report, error) {
 		ps, err := core.NewSession(m, core.ProfileConfig{
 			Mode:  core.CaptureContinuous,
 			Depth: 4096,
-			Drain: core.DrainConfig{Pipeline: true},
+			Drain: core.DrainConfig{Pipeline: true, Recycle: true},
 		})
 		if err != nil {
 			panic(err)

@@ -131,6 +131,18 @@ type DrainConfig struct {
 	// PipelineDepth bounds the in-flight segment batches; 0 means
 	// DefaultPipelineDepth.
 	PipelineDepth int
+	// Recycle returns each drained record buffer to a pool once the
+	// pipelined decoder has consumed its batch, so a long continuous
+	// capture reads the card out into a handful of reused buffers instead
+	// of accumulating every segment's records host-side. It requires
+	// Pipeline, and it narrows the session's contract: segments retain
+	// only their loss metadata (Segment.Recycled, Capture.Records nil),
+	// so the capture cannot be re-decoded — Analyze and any AnalyzeLean
+	// call the pipelined result does not cover panic rather than silently
+	// analyzing an empty record list. Use it where only the final
+	// statistics matter (benchmarks, sweeps), not where the raw records
+	// are part of the product.
+	Recycle bool
 }
 
 // ProfileConfig selects what to instrument and where the card sits.
@@ -176,6 +188,15 @@ type ProfileConfig struct {
 type Segment struct {
 	Capture   hw.Capture
 	DrainedAt sim.Time // virtual time the drain ran
+	// Records is the drained record count. It always equals
+	// Capture.Len() except on a recycled segment, where it preserves the
+	// count after the record buffer went back to the pool.
+	Records int
+	// Recycled marks a segment whose record buffer was returned to the
+	// drain pool after the pipelined decoder consumed it
+	// (DrainConfig.Recycle): Capture.Records is nil and only the loss
+	// metadata remains host-side.
+	Recycled bool
 }
 
 // Session is one profiling setup: an instrumented kernel with the card
@@ -193,7 +214,16 @@ type Session struct {
 	drain    DrainConfig
 	segments []Segment
 	drainEv  *sim.Event
-	drainErr error
+	// drainPollFn is the poll body, bound once so the periodic re-arm can
+	// reuse drainEv's allocation (Reschedule) instead of building a fresh
+	// closure and event every interval.
+	drainPollFn func()
+	drainErr    error
+	drainErrs   int
+	// stitchBuf is the capture list stitchList assembles, reused across
+	// Analyze calls so a mid-run analysis loop does not allocate a fresh
+	// header slice per call.
+	stitchBuf []hw.Capture
 
 	// Pipelined-decode state (DrainConfig.Pipeline): the in-flight pipe
 	// while armed, then the finished analysis and the number of segments
@@ -236,6 +266,9 @@ type Progress struct {
 	// FaultsInjected counts corruptions the session's fault injector has
 	// applied so far (zero when no injector is attached).
 	FaultsInjected uint64
+	// DrainErrs counts drains whose readout failed verification so far;
+	// each one stranded a bank, accounted as dropped strobes above.
+	DrainErrs int
 }
 
 // SetProgress registers fn to observe the session's capture state: it
@@ -260,9 +293,10 @@ func (s *Session) notifyProgress() {
 		Overflowed: s.Card.Overflowed(),
 		Segments:   len(s.segments),
 		Dropped:    s.Card.Dropped,
+		DrainErrs:  s.drainErrs,
 	}
 	for _, seg := range s.segments {
-		p.SegmentRecords += seg.Capture.Len()
+		p.SegmentRecords += seg.Records
 		p.Dropped += seg.Capture.Dropped
 	}
 	if s.injector != nil {
@@ -330,6 +364,9 @@ func NewSession(m *Machine, cfg ProfileConfig) (*Session, error) {
 		if cfg.Drain.Interval < 0 {
 			return nil, fmt.Errorf("core: negative drain interval %v", cfg.Drain.Interval)
 		}
+		if cfg.Drain.Recycle && !cfg.Drain.Pipeline {
+			return nil, fmt.Errorf("core: DrainConfig.Recycle requires Pipeline — only the background decoder knows when a drained buffer is consumed")
+		}
 	}
 	return s, nil
 }
@@ -386,6 +423,7 @@ func (s *Session) Reset() {
 	s.Card.Reset()
 	s.segments = nil
 	s.drainErr = nil
+	s.drainErrs = 0
 	s.pipedA = nil
 	s.pipedSegs = 0
 }
@@ -406,10 +444,20 @@ func (s *Session) FaultStats() (stats faults.Stats, ok bool) {
 // continuous capture, in drain order.
 func (s *Session) Segments() []Segment { return s.segments }
 
-// DrainErr reports the first drain failure, if any. Drains cannot fail for
-// cards whose RAM fits the readout window (NewSession enforces that), so a
-// non-nil value indicates a bug, not a runtime condition.
+// DrainErr reports the first drain failure, if any — a readout whose
+// open-bus verify caught glitched addressing (hw.ErrReadoutVerify). The
+// drain loop survives it: the card is reset and re-armed, and the stranded
+// bank is accounted as dropped strobes on an empty segment, so a non-nil
+// value means the capture has a lossy (but honestly reported) hole, not
+// that it stalled. Later failures are suppressed behind the first; DrainErrs
+// counts them all.
 func (s *Session) DrainErr() error { return s.drainErr }
+
+// DrainErrs reports how many drains failed readout in total. Only the first
+// failure's error is retained (DrainErr); the remaining DrainErrs-1 were
+// suppressed, but every one of them left a zero-record segment carrying its
+// stranded bank's drop count, so no loss is silent.
+func (s *Session) DrainErrs() int { return s.drainErrs }
 
 // decodePipe couples the drain loop to a background reconstructor: drained
 // segments travel through a bounded channel of record batches and are
@@ -420,14 +468,23 @@ type decodePipe struct {
 	ch   chan pipeBatch
 	done chan struct{}
 	a    *analyze.Analysis
+	// free recycles drained readout buffers (DrainConfig.Recycle): the
+	// worker returns a batch's buffer here once the reconstructor has
+	// consumed its records, and the next drain reads the card out into
+	// it. The channel handoff is the synchronization — a buffer is never
+	// touched by both sides at once. Nil when recycling is off.
+	free chan *hw.ReadoutBuffer
 }
 
-// pipeBatch is one drained segment in flight: the records (read-only — the
-// segment store holds the same slice) and the loss at its end boundary.
+// pipeBatch is one drained segment in flight: the records (read-only — on
+// an unrecycled session the segment store holds the same slice) and the
+// loss at its end boundary. buf, when non-nil, is the readout buffer the
+// records live in, returned to the pipe's free pool after consumption.
 type pipeBatch struct {
 	records    []hw.Record
 	dropped    uint64
 	overflowed bool
+	buf        *hw.ReadoutBuffer
 }
 
 // startPipe launches the background decoder for a pipelined continuous
@@ -441,6 +498,10 @@ func (s *Session) startPipe() {
 		ch:   make(chan pipeBatch, depth),
 		done: make(chan struct{}),
 	}
+	if s.drain.Recycle {
+		// One buffer per in-flight batch plus the one being drained into.
+		p.free = make(chan *hw.ReadoutBuffer, depth+1)
+	}
 	rc := analyze.NewReconstructor(s.Card.Config(), s.Tags, analyze.ReconstructOptions{
 		DiscardEvents: true,
 		DiscardTrace:  true,
@@ -449,10 +510,14 @@ func (s *Session) startPipe() {
 	go func() {
 		defer close(p.done)
 		for b := range p.ch {
-			for _, r := range b.records {
-				rc.Push(r)
-			}
+			rc.PushBatch(b.records)
 			rc.EndSegment(b.dropped, b.overflowed)
+			if b.buf != nil {
+				select {
+				case p.free <- b.buf:
+				default: // pool full; let the buffer go
+				}
+			}
 		}
 		p.a = rc.Finish(false, 0)
 	}()
@@ -492,15 +557,24 @@ func (s *Session) drainInterval() sim.Time {
 // scheduleDrainPoll arms the next fill-level check on the machine's event
 // scheduler. The callback runs between simulation events — a safe point:
 // no kernel code is mid-trigger, and no virtual time passes while the
-// host reads the card out.
+// host reads the card out. The poll closure and its event are allocated
+// once per session and re-armed in place each interval.
 func (s *Session) scheduleDrainPoll() {
-	s.drainEv = s.M.K.Scheduler().After(s.drainInterval(), func() {
-		if s.Card.Stored() >= s.highWater() || s.Card.Overflowed() {
-			s.drainNow(true)
+	if s.drainPollFn == nil {
+		s.drainPollFn = func() {
+			if s.Card.Stored() >= s.highWater() || s.Card.Overflowed() {
+				s.drainNow(true)
+			}
+			s.notifyProgress()
+			s.scheduleDrainPoll()
 		}
-		s.notifyProgress()
-		s.scheduleDrainPoll()
-	})
+	}
+	sched := s.M.K.Scheduler()
+	if s.drainEv != nil && !s.drainEv.Scheduled() {
+		sched.Reschedule(s.drainEv, sched.Now()+s.drainInterval())
+		return
+	}
+	s.drainEv = sched.After(s.drainInterval(), s.drainPollFn)
 }
 
 // drainNow performs one drain: pause capture, fast-read the RAM bank by
@@ -512,19 +586,52 @@ func (s *Session) drainNow(rearm bool) {
 	if s.Card.Stored() == 0 && s.Card.Dropped == 0 {
 		return // nothing captured and nothing lost since the last drain
 	}
-	c, err := hw.ReadoutViaSocket(s.Socket, s.Card.Stored())
+	// A recycling drain reads the card out into a pooled buffer; the pipe
+	// worker hands the buffer back once the decoder has consumed it.
+	var buf *hw.ReadoutBuffer
+	if s.drain.Recycle && s.pipe != nil {
+		select {
+		case buf = <-s.pipe.free:
+		default:
+			buf = new(hw.ReadoutBuffer)
+		}
+	}
+	c, err := hw.ReadoutViaSocketInto(s.Socket, s.Card.Stored(), buf)
 	if err != nil {
+		// The bank is unreadable — a glitched readout. Its records are
+		// gone, but the loss must be loud and capture must go on: account
+		// every stranded strobe as dropped on an empty (force-closed)
+		// segment, keep the first error and count the rest, and fall
+		// through to the same reset + re-arm a successful drain performs.
+		// Returning early here would leave the card full and disarmed,
+		// silently stalling capture for the rest of the run.
+		s.drainErrs++
 		if s.drainErr == nil {
 			s.drainErr = err
 		}
-		return
+		c = s.Card.StrandedCapture()
+		if buf != nil {
+			// Nothing to consume; the buffer goes straight back.
+			select {
+			case s.pipe.free <- buf:
+			default:
+			}
+			buf = nil
+		}
 	}
-	s.segments = append(s.segments, Segment{Capture: c, DrainedAt: s.M.K.Now()})
+	seg := Segment{Capture: c, DrainedAt: s.M.K.Now(), Records: c.Len()}
+	if buf != nil {
+		// The buffer (and the records in it) belongs to the pipe now;
+		// the segment store keeps only the loss metadata.
+		seg.Capture.Records = nil
+		seg.Recycled = true
+	}
+	s.segments = append(s.segments, seg)
 	if s.pipe != nil {
 		// Hand the segment to the background decoder. The send blocks only
 		// when PipelineDepth segments are already in flight — the bounded
 		// channel is the pipeline's backpressure.
-		s.pipe.ch <- pipeBatch{records: c.Records, dropped: c.Dropped, overflowed: c.Overflowed}
+		s.pipe.ch <- pipeBatch{records: c.Records, dropped: c.Dropped, overflowed: c.Overflowed, buf: buf}
 	}
 	s.Card.Reset()
 	if rearm {
@@ -538,19 +645,36 @@ func (s *Session) Capture() hw.Capture { return s.Card.Dump() }
 // stitchList assembles the full capture sequence of a continuous run: the
 // drained segments plus whatever is still on the card (a Disarm leaves the
 // card empty, but callers may analyze mid-run). Nil when nothing was ever
-// drained — the one-shot case.
+// drained — the one-shot case. The returned slice is the session's cached
+// stitch buffer, overwritten by the next call.
 func (s *Session) stitchList() []hw.Capture {
 	if len(s.segments) == 0 {
 		return nil
 	}
-	caps := make([]hw.Capture, 0, len(s.segments)+1)
+	caps := s.stitchBuf[:0]
+	if cap(caps) < len(s.segments)+1 {
+		caps = make([]hw.Capture, 0, len(s.segments)+1)
+	}
 	for _, seg := range s.segments {
 		caps = append(caps, seg.Capture)
 	}
 	if s.Card.Stored() > 0 || s.Card.Dropped > 0 {
 		caps = append(caps, s.Card.Dump())
 	}
+	s.stitchBuf = caps
 	return caps
+}
+
+// requireResident panics when any drained segment's records went back to
+// the readout pool: a recycling session (DrainConfig.Recycle) traded the
+// raw records for bounded memory, so re-decoding them is a contract
+// violation, not an empty analysis.
+func (s *Session) requireResident(op string) {
+	for _, seg := range s.segments {
+		if seg.Recycled {
+			panic("core: " + op + " needs the drained records, but DrainConfig.Recycle returned them to the readout pool; only the pipelined AnalyzeLean result is available")
+		}
+	}
 }
 
 // Analyze decodes and reconstructs the current capture through the hardened
@@ -559,6 +683,7 @@ func (s *Session) stitchList() []hw.Capture {
 // stitched back into one timeline, with per-boundary losses reported on
 // Analysis.Segments.
 func (s *Session) Analyze() *analyze.Analysis {
+	s.requireResident("Analyze")
 	opts := analyze.ReconstructOptions{Repair: analyze.DefaultRepair()}
 	if caps := s.stitchList(); caps != nil {
 		return analyze.Stitch(caps, s.Tags, opts)
@@ -580,6 +705,7 @@ func (s *Session) AnalyzeLean() *analyze.Analysis {
 		s.Card.Stored() == 0 && s.Card.Dropped == 0 {
 		return s.pipedA
 	}
+	s.requireResident("AnalyzeLean")
 	rc := analyze.NewReconstructor(s.Card.Config(), s.Tags, analyze.ReconstructOptions{
 		DiscardEvents: true,
 		DiscardTrace:  true,
@@ -587,19 +713,49 @@ func (s *Session) AnalyzeLean() *analyze.Analysis {
 	})
 	if len(s.segments) > 0 {
 		for _, seg := range s.segments {
-			for _, r := range seg.Capture.Records {
-				rc.Push(r)
-			}
+			rc.PushBatch(seg.Capture.Records)
 			rc.EndSegment(seg.Capture.Dropped, seg.Capture.Overflowed)
 		}
 		if s.Card.Stored() > 0 || s.Card.Dropped > 0 {
-			s.Card.Scan(rc.Push)
+			rc.PushBatch(s.Card.Records())
 			rc.EndSegment(s.Card.Dropped, s.Card.Overflowed())
 		}
 		return rc.Finish(false, 0)
 	}
-	s.Card.Scan(rc.Push)
+	rc.PushBatch(s.Card.Records())
 	return rc.Finish(s.Card.Overflowed(), s.Card.Dropped)
+}
+
+// AnalyzeLeanSharded is AnalyzeLean with the reconstruction sharded per
+// process context across workers goroutines (workers <= 0 selects
+// GOMAXPROCS), so a multi-core host speeds up a single capture's analysis.
+// The result is bit-identical to AnalyzeLean's whatever the worker count —
+// the sharded engine's merge is order-independent by construction (see
+// analyze.NewShardedReconstructor) — so goldens and reports cannot tell
+// the two apart. A finished pipelined capture short-circuits the same way
+// AnalyzeLean does: the background decoder already paid for the analysis.
+func (s *Session) AnalyzeLeanSharded(workers int) *analyze.Analysis {
+	if s.pipedA != nil && s.pipedSegs == len(s.segments) &&
+		s.Card.Stored() == 0 && s.Card.Dropped == 0 {
+		return s.pipedA
+	}
+	s.requireResident("AnalyzeLeanSharded")
+	sr := analyze.NewShardedReconstructor(s.Card.Config(), s.Tags, analyze.ReconstructOptions{
+		Repair: analyze.DefaultRepair(),
+	}, workers)
+	if len(s.segments) > 0 {
+		for _, seg := range s.segments {
+			sr.PushBatch(seg.Capture.Records)
+			sr.EndSegment(seg.Capture.Dropped, seg.Capture.Overflowed)
+		}
+		if s.Card.Stored() > 0 || s.Card.Dropped > 0 {
+			sr.PushBatch(s.Card.Records())
+			sr.EndSegment(s.Card.Dropped, s.Card.Overflowed())
+		}
+		return sr.Finish(false, 0)
+	}
+	sr.PushBatch(s.Card.Records())
+	return sr.Finish(s.Card.Overflowed(), s.Card.Dropped)
 }
 
 // ModuleOf maps function names to their kernel module, for subsystem

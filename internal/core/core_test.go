@@ -489,3 +489,64 @@ func TestPipelinedDecodeMatchesSerial(t *testing.T) {
 		t.Fatal("pipelined analysis not cached")
 	}
 }
+
+// Analyzing while armed ("what has the profile seen so far?") stitches the
+// drained segments plus a live dump of the card's partial bank. In pipeline
+// mode that live tail is also decoded — later, by the background pipe, once
+// a drain actually reads it out. The two consumers must stay independent: a
+// mid-run Analyze may not perturb the pipe (or the simulation), and its
+// result must be byte-identical to the serial path's mid-run view.
+func TestMidRunAnalyzePipelineEquivalence(t *testing.T) {
+	run := func(pipeline bool) (*Session, *analyze.Analysis, *analyze.Analysis) {
+		m := NewMachine(kernel.Config{Seed: 11})
+		s, err := NewSession(m, ProfileConfig{
+			Mode:  CaptureContinuous,
+			Depth: 256,
+			Drain: DrainConfig{
+				HighWater: 64,
+				Interval:  20 * sim.Microsecond,
+				Pipeline:  pipeline,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Arm()
+		mallocStorm(m, 300)
+		m.K.Run(1 * sim.Second)
+		// Mid-run observation: still armed, some segments drained, a
+		// partial bank live on the card.
+		if len(s.Segments()) < 2 {
+			t.Fatalf("only %d segments drained before the mid-run analyze", len(s.Segments()))
+		}
+		mid := s.Analyze()
+		m.K.Run(2 * sim.Second)
+		s.Disarm()
+		return s, mid, s.AnalyzeLean()
+	}
+	sSer, midSer, finSer := run(false)
+	sPipe, midPipe, finPipe := run(true)
+
+	if got, want := midPipe.SummaryString(0), midSer.SummaryString(0); got != want {
+		t.Fatalf("mid-run summary differs between pipeline and serial:\n--- serial\n%s--- pipelined\n%s", want, got)
+	}
+	if midSer.Stats.Records <= 0 || midPipe.Stats.Records != midSer.Stats.Records {
+		t.Fatalf("mid-run records: serial %d, pipelined %d", midSer.Stats.Records, midPipe.Stats.Records)
+	}
+
+	// The observation perturbed nothing: the finished captures agree with
+	// each other byte for byte, and the pipelined session still serves the
+	// background decoder's cached result.
+	if got, want := finPipe.SummaryString(0), finSer.SummaryString(0); got != want {
+		t.Fatalf("final summary differs after a mid-run analyze:\n--- serial\n%s--- pipelined\n%s", want, got)
+	}
+	if finPipe.Stats != finSer.Stats {
+		t.Fatalf("final stats differ: serial %+v, pipelined %+v", finSer.Stats, finPipe.Stats)
+	}
+	if sPipe.AnalyzeLean() != finPipe {
+		t.Fatal("mid-run analyze evicted the pipelined analysis cache")
+	}
+	if sSer.DrainErr() != nil || sPipe.DrainErr() != nil {
+		t.Fatalf("drain errors: serial %v, pipelined %v", sSer.DrainErr(), sPipe.DrainErr())
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"kprof/internal/kernel"
+	"kprof/internal/sim"
+)
+
+// TestAnalyzeLeanShardedMatchesSerial pins the sharded analysis to the
+// serial one on real machine captures, byte for byte, whatever the worker
+// count: sharding changes which goroutine folds a context's frames, never
+// what the books say.
+func TestAnalyzeLeanShardedMatchesSerial(t *testing.T) {
+	run := func(drain bool) *Session {
+		m := NewMachine(kernel.Config{Seed: 23})
+		cfg := ProfileConfig{Mode: CaptureOneShot, Depth: 4096}
+		if drain {
+			cfg = ProfileConfig{
+				Mode:  CaptureContinuous,
+				Depth: 256,
+				Drain: DrainConfig{HighWater: 64, Interval: 20 * sim.Microsecond},
+			}
+		}
+		s, err := NewSession(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Arm()
+		mallocStorm(m, 300)
+		m.K.Run(2 * sim.Second)
+		s.Disarm()
+		return s
+	}
+
+	for _, drain := range []bool{false, true} {
+		s := run(drain)
+		want := s.AnalyzeLean()
+		for _, workers := range []int{1, 2, 4} {
+			got := s.AnalyzeLeanSharded(workers)
+			label := fmt.Sprintf("drain=%v workers=%d", drain, workers)
+			if g, w := got.SummaryString(0), want.SummaryString(0); g != w {
+				t.Fatalf("%s: sharded summary differs from serial:\n--- serial\n%s--- sharded\n%s", label, w, g)
+			}
+			if got.Stats != want.Stats {
+				t.Fatalf("%s: stats differ: serial %+v, sharded %+v", label, want.Stats, got.Stats)
+			}
+			if g, w := got.SegmentsString(), want.SegmentsString(); g != w {
+				t.Fatalf("%s: segment tables differ:\n--- serial\n%s--- sharded\n%s", label, w, g)
+			}
+			if got.Idle != want.Idle || got.Switches != want.Switches ||
+				got.OrphanExits != want.OrphanExits || got.Recovered != want.Recovered {
+				t.Fatalf("%s: accounting differs: serial Idle=%v Sw=%d Or=%d Rec=%d, sharded Idle=%v Sw=%d Or=%d Rec=%d",
+					label, want.Idle, want.Switches, want.OrphanExits, want.Recovered,
+					got.Idle, got.Switches, got.OrphanExits, got.Recovered)
+			}
+		}
+	}
+}

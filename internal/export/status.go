@@ -38,6 +38,10 @@ type SessionStatus struct {
 	// FaultsInjected counts corruptions the session's fault injector has
 	// applied; absent when the run is on pristine hardware.
 	FaultsInjected uint64 `json:"faults_injected,omitempty"`
+	// DrainErrs counts drains whose readout failed verification (each one
+	// stranded a bank, included in Dropped); absent when every drain read
+	// back clean.
+	DrainErrs int `json:"drain_errors,omitempty"`
 }
 
 // SweepStatus is the live view of a multi-seed sweep, mirroring
@@ -118,6 +122,7 @@ func (s *StatusServer) OnSessionProgress(p core.Progress) {
 		DrainedRecords: p.SegmentRecords,
 		Dropped:        p.Dropped,
 		FaultsInjected: p.FaultsInjected,
+		DrainErrs:      p.DrainErrs,
 	}
 	if p.Depth > 0 {
 		st.FillPct = 100 * float64(p.Stored) / float64(p.Depth)
@@ -200,6 +205,9 @@ func (s *StatusServer) serveHTML(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "<tr><th>dropped strobes</th><td>%d</td></tr>", st.Dropped)
 		if st.FaultsInjected > 0 {
 			fmt.Fprintf(w, "<tr><th>faults injected</th><td>%d</td></tr>", st.FaultsInjected)
+		}
+		if st.DrainErrs > 0 {
+			fmt.Fprintf(w, "<tr><th>failed drains</th><td>%d</td></tr>", st.DrainErrs)
 		}
 		fmt.Fprint(w, "</table>")
 	}

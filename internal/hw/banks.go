@@ -38,20 +38,32 @@ func EncodeBanks(records []Record) [NumBanks][]byte {
 // DecodeBanks reassembles records from five RAM chip images. All banks must
 // be the same length.
 func DecodeBanks(banks [NumBanks][]byte) ([]Record, error) {
+	return DecodeBanksInto(banks, nil)
+}
+
+// DecodeBanksInto reassembles records into dst's backing array, allocating
+// only when its capacity is too small — the recycling drain loop's variant
+// (see ReadoutViaSocketInto). dst's length is ignored; the returned slice
+// holds exactly the decoded records.
+func DecodeBanksInto(banks [NumBanks][]byte, dst []Record) ([]Record, error) {
 	n := len(banks[0])
 	for i := 1; i < NumBanks; i++ {
 		if len(banks[i]) != n {
 			return nil, fmt.Errorf("hw: bank %d has %d bytes, bank 0 has %d", i, len(banks[i]), n)
 		}
 	}
-	records := make([]Record, n)
-	for i := range records {
-		records[i] = Record{
+	if cap(dst) < n {
+		dst = make([]Record, n)
+	} else {
+		dst = dst[:n]
+	}
+	for i := range dst {
+		dst[i] = Record{
 			Tag:   uint16(banks[0][i]) | uint16(banks[1][i])<<8,
 			Stamp: uint32(banks[2][i]) | uint32(banks[3][i])<<8 | uint32(banks[4][i])<<16,
 		}
 	}
-	return records, nil
+	return dst, nil
 }
 
 // Raw capture file format: a fixed header followed by packed records.

@@ -67,6 +67,8 @@ func NewWithConfig(cfg Config, clock func() sim.Time) *Profiler {
 	return &Profiler{
 		clock: clock,
 		cfg:   cfg,
+		tick:  int64(cfg.TickPeriod()),
+		mask:  cfg.Mask(),
 		ram:   make([]Record, 0, cfg.Depth),
 		depth: cfg.Depth,
 	}

@@ -78,6 +78,12 @@ type Profiler struct {
 	clock func() sim.Time // the simulation clock the counter is derived from
 	cfg   Config
 
+	// tick and mask cache cfg.TickPeriod() and cfg.Mask(): Counter runs
+	// once per latch strobe, and recomputing the tick period there costs
+	// an integer division per event.
+	tick int64
+	mask uint32
+
 	ram      []Record
 	depth    int
 	addr     int
@@ -111,12 +117,20 @@ func New(depth int, clock func() sim.Time) *Profiler {
 // SetPowerOnCounter sets the card counter's value at simulation time zero.
 // The physical counter free-runs from power-on, so its value at the first
 // capture is arbitrary; tests use this to exercise timer wraparound.
-func (p *Profiler) SetPowerOnCounter(v uint32) { p.counterAt = v & p.cfg.Mask() }
+func (p *Profiler) SetPowerOnCounter(v uint32) { p.counterAt = v & p.mask }
 
 // Counter reports the card's current truncated counter value.
 func (p *Profiler) Counter() uint32 {
-	ticks := uint32(int64(p.clock()) / int64(p.cfg.TickPeriod()))
-	return (ticks + p.counterAt) & p.cfg.Mask()
+	now := int64(p.clock())
+	var ticks uint32
+	if p.tick == 1000 {
+		// The prototype card's 1 MHz counter: a constant divisor the
+		// compiler strength-reduces, on the once-per-event path.
+		ticks = uint32(now / 1000)
+	} else {
+		ticks = uint32(now / p.tick)
+	}
+	return (ticks + p.counterAt) & p.mask
 }
 
 // Arm starts capture, as the front-panel switch does. Arming does not clear
@@ -178,7 +192,7 @@ func (p *Profiler) Latch(tag uint16) {
 	if p.fault != nil {
 		var v LatchVerdict
 		r, v = p.fault.Latch(r)
-		r.Stamp &= p.cfg.Mask()
+		r.Stamp &= p.mask
 		switch v {
 		case LatchDrop:
 			// Lost silently: the card's own Dropped counter never sees
@@ -213,6 +227,11 @@ func (p *Profiler) Scan(fn func(Record)) {
 	}
 }
 
+// Records returns the stored records oldest first as a direct view of the
+// card RAM — no copy. The view is only valid until the next Latch or Reset;
+// batch decode paths read it straight into the reconstructor and drop it.
+func (p *Profiler) Records() []Record { return p.ram }
+
 // Dump copies out the captured records, oldest first. This models pulling
 // the battery-backed RAMs and reading them on the host.
 func (p *Profiler) Dump() Capture {
@@ -222,6 +241,21 @@ func (p *Profiler) Dump() Capture {
 		Records:    out,
 		Overflowed: p.overflow,
 		Dropped:    p.Dropped,
+		ClockHz:    p.cfg.ClockHz,
+		TimerBits:  p.cfg.TimerBits,
+	}
+}
+
+// StrandedCapture describes a bank the host failed to read out (a glitched
+// drain): no records recovered, every stored strobe plus the card's own
+// drop counter accounted as dropped. It is the loss-is-never-silent
+// counterpart of a successful readout — the drain loop appends it to the
+// segment store so the lost bank shows up as a lossy, force-closed segment
+// instead of vanishing.
+func (p *Profiler) StrandedCapture() Capture {
+	return Capture{
+		Overflowed: p.overflow,
+		Dropped:    p.Dropped + uint64(len(p.ram)),
 		ClockHz:    p.cfg.ClockHz,
 		TimerBits:  p.cfg.TimerBits,
 	}

@@ -1,6 +1,9 @@
 package hw
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Fast capture readout through the EPROM socket — the paper's future-work
 // plan for eliminating the pull-the-RAMs step: "once the Profiler has been
@@ -68,10 +71,98 @@ func (p *Profiler) readoutByte(offset uint32) byte {
 	return b
 }
 
+// fillBank extracts one RAM bank's byte lane from the records, the bulk
+// equivalent of readoutByte over offsets [0, len(ram)) with no fault hook:
+// the bank select is hoisted out of the loop.
+func fillBank(dst []byte, ram []Record, bank int) {
+	switch bank {
+	case 0:
+		for i := range ram {
+			dst[i] = byte(ram[i].Tag)
+		}
+	case 1:
+		for i := range ram {
+			dst[i] = byte(ram[i].Tag >> 8)
+		}
+	case 2:
+		for i := range ram {
+			dst[i] = byte(ram[i].Stamp)
+		}
+	case 3:
+		for i := range ram {
+			dst[i] = byte(ram[i].Stamp >> 8)
+		}
+	default:
+		for i := range ram {
+			dst[i] = byte(ram[i].Stamp >> 16)
+		}
+	}
+}
+
+// ErrReadoutVerify reports a readout whose open-bus verify read came back
+// wrong: the bank mux or the data lines glitched while the host was dumping
+// the RAM, so the bytes read cannot be trusted. The capture on the card is
+// untouched (readout is non-destructive), but the host has no way to tell
+// which bytes were misread — the drain that hit this must treat the whole
+// bank as lost.
+var ErrReadoutVerify = errors.New("readout verification failed")
+
+// verifyOpenBus checks the bank mux after a bank dump: the first address
+// past the stored count has no RAM cell driving the data lines, so it must
+// read as open bus (0xFF), exactly as an unprogrammed EPROM would. A
+// glitched readout — marginal mux settle, a corrupted bank select — shows
+// up as a wrong sentinel. The check costs one socket read per bank and
+// catches the failure modes that corrupt addressing (not every data-line
+// flip; single misreads inside the bank decode as corrupt records and are
+// the repair pipeline's job).
+func verifyOpenBus(sock *EPROMSocket, bank int) error {
+	p := sock.card
+	stored := p.Stored()
+	if stored >= WindowSize {
+		return nil // RAM fills the window; no open-bus address to check
+	}
+	if got := sock.Read(sock.base + uint32(stored)); got != 0xFF {
+		return fmt.Errorf("hw: bank %d open-bus sentinel read %#02x, want 0xff: %w", bank, got, ErrReadoutVerify)
+	}
+	return nil
+}
+
+// ReadoutBuffer is the scratch a recycling drain loop reuses across
+// readouts: the five bank images and the record slice the capture decodes
+// into. Ownership is strict — the Capture a readout-into returns aliases
+// the buffer's record storage, so the buffer must not be reused until the
+// capture's consumer is done with those records (core's pipelined drain
+// returns buffers to its pool only after the background decoder has
+// consumed the batch). The zero value is ready to use.
+type ReadoutBuffer struct {
+	banks   [NumBanks][]byte
+	records []Record
+}
+
+// bank returns the scratch image for bank b sized to n bytes, reusing the
+// previous readout's storage when it is big enough.
+func (rb *ReadoutBuffer) bank(b, n int) []byte {
+	if cap(rb.banks[b]) < n {
+		rb.banks[b] = make([]byte, n)
+	}
+	return rb.banks[b][:n]
+}
+
 // ReadoutViaSocket performs the full fast readout: bank by bank through
 // the window, reassembling the records host-side. The card is left in
-// normal mode, still holding its capture.
+// normal mode, still holding its capture. Each bank dump ends with an
+// open-bus verify read; a glitched readout returns ErrReadoutVerify and
+// the caller must treat the bank as unread (the capture is still intact on
+// the card, but a live drain has no time to retry — see core's drain loop).
 func ReadoutViaSocket(sock *EPROMSocket, count int) (Capture, error) {
+	return ReadoutViaSocketInto(sock, count, nil)
+}
+
+// ReadoutViaSocketInto is ReadoutViaSocket draining into buf's storage, so
+// a drain loop that recycles consumed captures reads the card out without
+// allocating. A nil buf allocates fresh storage, exactly as
+// ReadoutViaSocket does; see ReadoutBuffer for the aliasing contract.
+func ReadoutViaSocketInto(sock *EPROMSocket, count int, buf *ReadoutBuffer) (Capture, error) {
 	p := sock.card
 	if count < 0 || count > p.Stored() {
 		count = p.Stored()
@@ -84,14 +175,35 @@ func ReadoutViaSocket(sock *EPROMSocket, count int) (Capture, error) {
 	var banks [NumBanks][]byte
 	for b := 0; b < NumBanks; b++ {
 		p.SelectBank(b)
-		banks[b] = make([]byte, count)
-		for i := 0; i < count; i++ {
-			banks[b][i] = sock.Read(sock.base + uint32(i))
+		if buf != nil {
+			banks[b] = buf.bank(b, count)
+		} else {
+			banks[b] = make([]byte, count)
+		}
+		if p.fault == nil {
+			// No injector on the data lines: serve the bank straight from
+			// the RAM image. Byte-for-byte what the per-read loop below
+			// produces, without the per-byte window decode.
+			fillBank(banks[b], p.ram[:count], b)
+		} else {
+			for i := 0; i < count; i++ {
+				banks[b][i] = sock.Read(sock.base + uint32(i))
+			}
+		}
+		if err := verifyOpenBus(sock, b); err != nil {
+			return Capture{}, err
 		}
 	}
-	records, err := DecodeBanks(banks)
+	var dst []Record
+	if buf != nil {
+		dst = buf.records
+	}
+	records, err := DecodeBanksInto(banks, dst)
 	if err != nil {
 		return Capture{}, err
+	}
+	if buf != nil {
+		buf.records = records
 	}
 	return Capture{
 		Records:    records,

@@ -58,12 +58,14 @@ func (k *Kernel) PendingCallouts() int {
 func (k *Kernel) StartClock() {
 	irq := k.RegisterIRQ("clk", MaskClock, MaskAll, 0, k.hardclock)
 	period := sim.Second / sim.Time(k.hz)
+	// The tick closure is allocated once and rearmed on pooled events, so
+	// a long run's clock costs no allocation per tick.
 	var tick func()
 	tick = func() {
 		k.Raise(irq)
-		k.sched.After(period, tick)
+		k.sched.AfterFree(period, tick)
 	}
-	k.sched.After(period, tick)
+	k.sched.AfterFree(period, tick)
 	k.RegisterSoft(SoftClockBit, "softclock", k.softclock)
 }
 

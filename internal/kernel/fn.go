@@ -59,11 +59,24 @@ func (k *Kernel) RegisterAsmFn(module, name string) *Fn {
 	return k.registerFn(module, name, true)
 }
 
+// fnArenaCap covers a fully-attached machine's symbol table (~100 entries)
+// with headroom; registrations past the arena fall back to individual
+// allocations, so the cap is a sizing hint, not a limit.
+const fnArenaCap = 192
+
 func (k *Kernel) registerFn(module, name string, asm bool) *Fn {
 	if _, dup := k.fns[name]; dup {
 		panic(fmt.Sprintf("kernel: function %q registered twice", name))
 	}
-	f := &Fn{Name: name, Module: module, Asm: asm}
+	var f *Fn
+	if len(k.fnArena) < cap(k.fnArena) {
+		// Carve from the slab. Growing the arena would move earlier
+		// entries, so past capacity we allocate individually instead.
+		k.fnArena = append(k.fnArena, Fn{Name: name, Module: module, Asm: asm})
+		f = &k.fnArena[len(k.fnArena)-1]
+	} else {
+		f = &Fn{Name: name, Module: module, Asm: asm}
+	}
 	k.fns[name] = f
 	k.fnOrder = append(k.fnOrder, f)
 	return f

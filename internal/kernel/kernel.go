@@ -50,9 +50,13 @@ type Kernel struct {
 	arch  Arch
 	costs archCosts
 
-	// Symbol table.
+	// Symbol table. fnArena block-allocates the Fn structs themselves: a
+	// full machine registers ~100 functions at boot, and carving them from
+	// one slab keeps repeated boots (benchmarks, sweeps) cheap. The arena
+	// is append-only — fns/fnOrder hold the stable per-entry pointers.
 	fns     map[string]*Fn
 	fnOrder []*Fn
+	fnArena []Fn
 
 	// bootStack tracks Call nesting for the boot/idle context; process
 	// contexts carry their own stacks (see Proc.callStack).
@@ -149,17 +153,21 @@ func New(cfg Config) *Kernel {
 		trigCost = costs.trigger
 	}
 	k := &Kernel{
-		sched:    sim.NewScheduler(),
-		rng:      sim.NewRand(cfg.Seed ^ 0x6b70726f66), // "kprof"
-		hz:       hz,
-		arch:     cfg.Arch,
-		costs:    costs,
-		fns:      make(map[string]*Fn),
-		trigCost: trigCost,
-		sleepers: make(map[any][]*Proc),
-		toSched:  make(chan schedEvent),
-		softs:    make(map[uint32]*softIntr),
-		nextPID:  1,
+		sched:     sim.NewScheduler(),
+		rng:       sim.NewRand(cfg.Seed ^ 0x6b70726f66), // "kprof"
+		hz:        hz,
+		arch:      cfg.Arch,
+		costs:     costs,
+		fns:       make(map[string]*Fn, fnArenaCap),
+		fnOrder:   make([]*Fn, 0, fnArenaCap),
+		fnArena:   make([]Fn, 0, fnArenaCap),
+		bootStack: make([]*Fn, 0, 32),
+		irqs:      make([]*IRQ, 0, 8),
+		trigCost:  trigCost,
+		sleepers:  make(map[any][]*Proc),
+		toSched:   make(chan schedEvent),
+		softs:     make(map[uint32]*softIntr),
+		nextPID:   1,
 	}
 	k.registerCore()
 	return k

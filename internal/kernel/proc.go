@@ -94,6 +94,8 @@ func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 		resume:   make(chan struct{}),
 		body:     body,
 		firstRun: true,
+		// Presized for typical Call nesting so the hot path never regrows.
+		callStack: make([]*Fn, 0, 32),
 	}
 	k.nextPID++
 	k.procs = append(k.procs, p)

@@ -24,6 +24,12 @@ type Mbuf struct {
 	Region bus.Region
 	Next   *Mbuf // next buffer in this packet's chain
 
+	// Frame, when set on a chain's head, is the raw frame buffer whose
+	// bytes this chain carries; freeing the mbuf hands the buffer to the
+	// pool's frame recycler. Receivers that keep payload bytes must copy
+	// them out before freeing the chain.
+	Frame []byte
+
 	blk *Block // backing storage from the bucket allocator
 }
 
@@ -59,6 +65,17 @@ type MbufPool struct {
 	freeBlks    []*Block // free list of malloc'd plain mbufs
 	freeCluster int
 
+	// spare recycles Mbuf structs themselves, and arena block-allocates
+	// them before any have been freed (simulator-side, no cost model: the
+	// real kernel's mbufs live inside the malloc'd blocks). The arena is
+	// append-only at fixed capacity, so carved pointers stay valid.
+	spare []*Mbuf
+	arena []Mbuf
+
+	// frameRecycler, when set, receives the Frame buffer of each freed
+	// mbuf that carries one.
+	frameRecycler func([]byte)
+
 	// mgetInline is the inline '=' trigger address assigned by the
 	// instrumentation pass for the MGET macro; 0 when not instrumented.
 	mgetInline uint32
@@ -82,15 +99,29 @@ const (
 	freeListMax = 4
 	// clusterPoolMax bounds the cluster pool; clusters per page = 4.
 	clusterPoolMax = 16
+
+	// spareMax bounds the Mbuf-struct recycle list; mbufArenaCap covers
+	// the steady in-flight mbuf population of a saturated receive run.
+	spareMax     = 64
+	mbufArenaCap = 96
 )
 
 // NewMbufPool builds the pool on an allocator.
 func NewMbufPool(a *Allocator) *MbufPool {
-	return &MbufPool{k: a.k, a: a}
+	return &MbufPool{
+		k:        a.k,
+		a:        a,
+		freeBlks: make([]*Block, 0, freeListMax),
+		spare:    make([]*Mbuf, 0, spareMax),
+	}
 }
 
 // SetMGetInline installs the inline trigger address for the MGET macro.
 func (p *MbufPool) SetMGetInline(addr uint32) { p.mgetInline = addr }
+
+// SetFrameRecycler installs f as the destination for Frame buffers carried
+// by freed mbufs (the netstack's frame pool).
+func (p *MbufPool) SetFrameRecycler(f func([]byte)) { p.frameRecycler = f }
 
 // MGet allocates a plain mbuf: the MGET macro — inline trigger, the splimp
 // dance (modeled as splnet), free-list pop or malloc fallback.
@@ -108,6 +139,20 @@ func (p *MbufPool) MGet() *Mbuf {
 		blk = p.a.Malloc(MSize)
 	}
 	p.k.SplX(s)
+	if n := len(p.spare); n > 0 {
+		m := p.spare[n-1]
+		p.spare[n-1] = nil
+		p.spare = p.spare[:n-1]
+		*m = Mbuf{Region: bus.MainMemory, blk: blk}
+		return m
+	}
+	if p.arena == nil {
+		p.arena = make([]Mbuf, 0, mbufArenaCap)
+	}
+	if len(p.arena) < cap(p.arena) {
+		p.arena = append(p.arena, Mbuf{Region: bus.MainMemory, blk: blk})
+		return &p.arena[len(p.arena)-1]
+	}
 	return &Mbuf{Region: bus.MainMemory, blk: blk}
 }
 
@@ -162,6 +207,15 @@ func (p *MbufPool) MFree(m *Mbuf) {
 			p.a.Free(m.blk)
 		}
 		m.blk = nil
+	}
+	if m.Frame != nil {
+		if p.frameRecycler != nil {
+			p.frameRecycler(m.Frame)
+		}
+		m.Frame = nil
+	}
+	if m.Next == nil && len(p.spare) < spareMax {
+		p.spare = append(p.spare, m)
 	}
 	p.k.SplX(s)
 }

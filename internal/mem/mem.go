@@ -31,6 +31,13 @@ type Allocator struct {
 
 	buckets [bucketCount]bucket
 
+	// spare recycles Block descriptors freed through Free, and arena
+	// block-allocates them before any have been freed (simulator-side
+	// bookkeeping only; the cost model is unchanged). The arena is
+	// append-only at fixed capacity, so carved pointers stay valid.
+	spare []*Block
+	arena []Block
+
 	// Statistics.
 	Mallocs, Frees        uint64
 	KmemAllocs, KmemFrees uint64
@@ -76,6 +83,7 @@ func Attach(k *kernel.Kernel) *Allocator {
 	for i := range a.buckets {
 		a.buckets[i].size = 1 << (minBucketShift + i)
 	}
+	a.spare = make([]*Block, 0, blockSpareMax)
 	return a
 }
 
@@ -110,7 +118,23 @@ func (a *Allocator) Malloc(size int) *Block {
 	}
 	a.Mallocs++
 	bi := bucketFor(size)
-	blk := &Block{Size: size, bucket: bi}
+	var blk *Block
+	switch {
+	case len(a.spare) > 0:
+		n := len(a.spare)
+		blk = a.spare[n-1]
+		a.spare[n-1] = nil
+		a.spare = a.spare[:n-1]
+		*blk = Block{Size: size, bucket: bi}
+	case len(a.arena) < cap(a.arena) || a.arena == nil:
+		if a.arena == nil {
+			a.arena = make([]Block, 0, blockArenaCap)
+		}
+		a.arena = append(a.arena, Block{Size: size, bucket: bi})
+		blk = &a.arena[len(a.arena)-1]
+	default:
+		blk = &Block{Size: size, bucket: bi}
+	}
 	a.k.Call(a.fnMalloc, func() {
 		s := a.k.SplHigh()
 		defer a.k.SplX(s)
@@ -152,7 +176,17 @@ func (a *Allocator) Free(blk *Block) {
 		}
 		a.k.SplX(s)
 	})
+	if len(a.spare) < blockSpareMax {
+		a.spare = append(a.spare, blk)
+	}
 }
+
+// blockSpareMax bounds the Block descriptor recycle list; blockArenaCap
+// covers the live-block population of a steady receive run.
+const (
+	blockSpareMax = 64
+	blockArenaCap = 128
+)
 
 // KmemAlloc allocates and wires pages of kernel virtual memory.
 func (a *Allocator) KmemAlloc(pages int) {

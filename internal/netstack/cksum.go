@@ -1,5 +1,7 @@
 package netstack
 
+import "encoding/binary"
+
 // The internet checksum (RFC 1071), computed for real over the simulated
 // packet bytes. The simulation separately charges virtual time for the
 // computation: the paper discovered that 386BSD's in_cksum "has not been
@@ -11,18 +13,55 @@ package netstack
 
 // InternetChecksum computes the RFC 1071 one's-complement checksum of data.
 func InternetChecksum(data []byte) uint16 {
-	var sum uint32
+	return foldChecksum(sumBytes(data, 0))
+}
+
+// sumBytes accumulates data into a running one's-complement sum. The byte
+// count must be even for every contribution except the last (one's-complement
+// addition is associative over even-length prefixes), which is how the
+// pseudo-header (always 12 bytes) chains with a segment without ever
+// concatenating the two into a fresh buffer.
+//
+// The inner loop takes eight bytes per iteration: 16-bit one's-complement
+// addition is congruent mod 0xffff, so wider partial sums accumulated in a
+// 64-bit register fold back to the same uint32 partial the byte-pair loop
+// produces (same residue, zero only when every contribution was zero —
+// which is all foldChecksum depends on).
+func sumBytes(data []byte, sum uint32) uint32 {
 	n := len(data)
-	for i := 0; i+1 < n; i += 2 {
-		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	acc := uint64(sum)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		acc += uint64(binary.BigEndian.Uint32(data[i:])) +
+			uint64(binary.BigEndian.Uint32(data[i+4:]))
+	}
+	for ; i+1 < n; i += 2 {
+		acc += uint64(data[i])<<8 | uint64(data[i+1])
 	}
 	if n%2 == 1 {
-		sum += uint32(data[n-1]) << 8
+		acc += uint64(data[n-1]) << 8
 	}
+	for acc>>32 != 0 {
+		acc = acc&0xffffffff + acc>>32
+	}
+	return uint32(acc)
+}
+
+// foldChecksum folds the carries and complements, finishing a sumBytes chain.
+func foldChecksum(sum uint32) uint16 {
 	for sum>>16 != 0 {
 		sum = (sum & 0xffff) + (sum >> 16)
 	}
 	return ^uint16(sum)
+}
+
+// pseudoSum is the TCP/UDP pseudo-header's contribution to the checksum,
+// computed arithmetically — the 12 bytes (src, dst, zero, proto, length) are
+// word-aligned, so their sum needs no byte buffer at all.
+func pseudoSum(src, dst uint32, proto uint8, length int) uint32 {
+	return (src >> 16) + (src & 0xffff) +
+		(dst >> 16) + (dst & 0xffff) +
+		uint32(proto) + uint32(uint16(length))
 }
 
 // checksumValid reports whether data containing an embedded checksum field

@@ -26,13 +26,22 @@ type WE struct {
 	fnWeStart *kernel.Fn
 	fnWeTint  *kernel.Fn
 
-	ring      [][]byte // received frames awaiting the driver, in card RAM
+	// ring holds received frames awaiting the driver, in card RAM,
+	// consumed from ringHead so the backing array is reused.
+	ring      [][]byte
+	ringHead  int
 	ringBytes int
 	txBusy    bool
 	txDone    bool
 
+	// txFree recycles in-flight transmit descriptors (frame + completion
+	// callback), so the steady ACK stream schedules without allocating.
+	txFree []*txJob
+
 	// wireTaps receive frames the PC transmits (the remote hosts' view);
-	// an empty list discards them.
+	// an empty list discards them. A tap sees the frame only for the
+	// duration of the call: the buffer is recycled afterwards, so a tap
+	// that keeps bytes must copy them.
 	wireTaps []func(frame []byte)
 
 	// Statistics.
@@ -54,6 +63,7 @@ func newWE(n *Net) *WE {
 	we := &WE{
 		n:         n,
 		k:         n.k,
+		ring:      make([][]byte, 0, 16),
 		fnWeIntr:  n.k.RegisterFn("if_we", "weintr"),
 		fnWeRint:  n.k.RegisterFn("if_we", "werint"),
 		fnWeRead:  n.k.RegisterFn("if_we", "weread"),
@@ -65,10 +75,12 @@ func newWE(n *Net) *WE {
 	return we
 }
 
-// SetWire installs f as the sole receiver of frames the PC transmits.
+// SetWire installs f as the sole receiver of frames the PC transmits. The
+// frame passed to f is only valid for the duration of the call; copy to keep.
 func (we *WE) SetWire(f func(frame []byte)) { we.wireTaps = []func([]byte){f} }
 
 // AddWireTap adds a receiver for transmitted frames alongside existing ones.
+// The frame passed to f is only valid for the duration of the call.
 func (we *WE) AddWireTap(f func(frame []byte)) { we.wireTaps = append(we.wireTaps, f) }
 
 // WireTime reports how long a frame of n IP bytes occupies the Ethernet.
@@ -80,9 +92,11 @@ func WireTime(n int) sim.Time {
 // frame arrives from the wire: the card DMAs it into its ring — no CPU
 // involvement — and raises its interrupt. A full ring drops the frame, which
 // is exactly what happened to the saturated PC in the paper's test.
+// Ownership of ipPacket passes to the device; the caller must not reuse it.
 func (we *WE) HostDeliver(ipPacket []byte) {
 	if we.ringBytes+len(ipPacket)+4 > RingCapacity {
 		we.RxDrops++
+		we.n.frames.Put(ipPacket)
 		return
 	}
 	we.RxFrames++
@@ -92,13 +106,13 @@ func (we *WE) HostDeliver(ipPacket []byte) {
 }
 
 // PendingRx reports frames waiting in the card ring (for tests).
-func (we *WE) PendingRx() int { return len(we.ring) }
+func (we *WE) PendingRx() int { return len(we.ring) - we.ringHead }
 
 // intr is the card ISR: dispatch receive and transmit-complete work.
 func (we *WE) intr() {
 	we.k.Call(we.fnWeIntr, func() {
 		we.k.Advance(costWeIntrBody)
-		if len(we.ring) > 0 {
+		if we.PendingRx() > 0 {
 			we.RxInterrupts++
 			we.rint()
 		}
@@ -117,12 +131,15 @@ func (we *WE) intr() {
 func (we *WE) rint() {
 	we.k.Call(we.fnWeRint, func() {
 		we.k.Advance(costWeRintBody)
-		for len(we.ring) > 0 {
-			frame := we.ring[0]
-			we.ring = we.ring[1:]
+		for we.ringHead < len(we.ring) {
+			frame := we.ring[we.ringHead]
+			we.ring[we.ringHead] = nil
+			we.ringHead++
 			we.ringBytes -= len(frame) + 4
 			we.read(frame)
 		}
+		we.ring = we.ring[:0]
+		we.ringHead = 0
 	})
 }
 
@@ -134,6 +151,9 @@ func (we *WE) read(frame []byte) {
 		// Peek at the buffer header in card RAM: a short ISA access.
 		we.k.Advance(bus.TouchCost(4, bus.ISA8))
 		chain := we.get(frame)
+		// The chain carries the frame buffer; freeing the chain recycles
+		// it back into the frame pool.
+		chain.Frame = frame
 		we.n.enqueueIP(chain, frame)
 	})
 }
@@ -177,9 +197,45 @@ func (we *WE) get(frame []byte) *mem.Mbuf {
 	return chain
 }
 
+// txJob is one in-flight transmission: the frame on the wire plus its
+// completion callback, pooled on the WE so back-to-back output does not
+// allocate a closure and event per frame.
+type txJob struct {
+	we    *WE
+	frame []byte
+	fire  func() // bound once to done
+}
+
+func (we *WE) txJobGet() *txJob {
+	if n := len(we.txFree); n > 0 {
+		j := we.txFree[n-1]
+		we.txFree = we.txFree[:n-1]
+		return j
+	}
+	j := &txJob{we: we}
+	j.fire = j.done
+	return j
+}
+
+// done is the wire-time completion: transmit-complete interrupt, wire taps,
+// and the frame buffer back to the pool.
+func (j *txJob) done() {
+	we, frame := j.we, j.frame
+	j.frame = nil
+	we.txFree = append(we.txFree, j)
+	we.txBusy = false
+	we.txDone = true
+	we.k.Raise(we.irq)
+	for _, tap := range we.wireTaps {
+		tap(frame)
+	}
+	we.n.frames.Put(frame)
+}
+
 // Transmit is westart: copy the frame into card RAM across the ISA bus and
 // start the transmitter; the wire time later raises a transmit-complete
-// interrupt.
+// interrupt. Ownership of frame passes to the device: taps see it on the
+// wire, then it returns to the frame pool.
 func (we *WE) Transmit(frame []byte) {
 	we.k.Call(we.fnWeStart, func() {
 		we.k.Advance(costWeStartBody)
@@ -191,14 +247,8 @@ func (we *WE) Transmit(frame []byte) {
 		we.k.Bcopy(bus.CopyCost(len(frame), bus.MainMemory, bus.ISA8))
 		we.txBusy = true
 		we.TxFrames++
-		out := frame
-		we.k.Scheduler().After(WireTime(len(frame)), func() {
-			we.txBusy = false
-			we.txDone = true
-			we.k.Raise(we.irq)
-			for _, tap := range we.wireTaps {
-				tap(out)
-			}
-		})
+		j := we.txJobGet()
+		j.frame = frame
+		we.k.Scheduler().AfterFree(WireTime(len(frame)), j.fire)
 	})
 }

@@ -42,6 +42,12 @@ type Sender struct {
 	inFlight   bool // a frame is occupying the wire / scheduled
 	recovery   *sim.Event
 
+	// pendingPkt/deliverFn carry the single in-flight frame to its arrival
+	// event without allocating a closure per segment (deliverFn is bound
+	// once; inFlight guarantees one outstanding delivery).
+	pendingPkt []byte
+	deliverFn  func()
+
 	// Stats.
 	SegmentsSent uint64
 	BytesSent    uint64
@@ -54,7 +60,9 @@ const DefaultMSS = EtherMTU - IPHdrLen - TCPHdrLen
 
 // NewSender builds a traffic source aimed at port on the PC.
 func NewSender(n *Net, port uint16) *Sender {
-	return &Sender{n: n, dev: n.we, MSS: DefaultMSS, Port: port, Window: 16384, peerWindow: 16384, seq: 1, acked: 1}
+	s := &Sender{n: n, dev: n.we, MSS: DefaultMSS, Port: port, Window: 16384, peerWindow: 16384, seq: 1, acked: 1}
+	s.deliverFn = s.deliver
+	return s
 }
 
 // SetDevice aims the sender at a different interface (the embedded LE).
@@ -64,15 +72,43 @@ func (s *Sender) SetDevice(d NetDevice) { s.dev = d }
 // real checksums vary across segments.
 func payloadPattern(seq uint32, n int) []byte {
 	b := make([]byte, n)
-	binary.BigEndian.PutUint32(b, seq)
-	for i := 4; i < n; i++ {
-		b[i] = byte(seq>>8) + byte(i)
-	}
+	payloadPatternInto(b, seq)
 	return b
 }
 
-// buildSegment constructs the full IP packet for the next data segment.
+// payloadRamp holds byte(j) for every index the pattern fill can need: the
+// body bytes of a payload are base+byte(i), a ramp shifted by base, so the
+// fill is a single copy out of this table instead of a byte loop.
+var payloadRamp = func() []byte {
+	t := make([]byte, 256+frameCap)
+	for j := range t {
+		t[j] = byte(j)
+	}
+	return t
+}()
+
+// payloadPatternInto writes the pattern into an existing buffer.
+func payloadPatternInto(b []byte, seq uint32) {
+	binary.BigEndian.PutUint32(b, seq)
+	if len(b) <= 4 {
+		return
+	}
+	if base := int(byte(seq >> 8)); base+len(b) <= len(payloadRamp) {
+		copy(b[4:], payloadRamp[base+4:base+len(b)])
+		return
+	}
+	for i := 4; i < len(b); i++ {
+		b[i] = byte(seq>>8) + byte(i)
+	}
+}
+
+// buildSegment constructs the full IP packet for the next data segment,
+// assembled in place in a pooled frame buffer (the receiving machine
+// recycles it once the packet is consumed).
 func (s *Sender) buildSegment() []byte {
+	frame := s.n.frames.Get(IPHdrLen + TCPHdrLen + s.MSS)
+	seg := frame[IPHdrLen:]
+	payloadPatternInto(seg[TCPHdrLen:], s.seq)
 	th := TCPHeader{
 		SrcPort: 1023,
 		DstPort: s.Port,
@@ -80,18 +116,18 @@ func (s *Sender) buildSegment() []byte {
 		Flags:   FlagACK,
 		Window:  4096,
 	}
-	payload := payloadPattern(s.seq, s.MSS)
-	seg := th.Marshal(SparcAddr, PCAddr, payload)
+	th.MarshalInto(seg, SparcAddr, PCAddr)
 	ih := IPv4Header{
-		TotalLen: uint16(IPHdrLen + len(seg)),
+		TotalLen: uint16(len(frame)),
 		ID:       uint16(s.seq),
 		TTL:      255,
 		Proto:    ProtoTCP,
 		Src:      SparcAddr,
 		Dst:      PCAddr,
 	}
+	ih.MarshalInto(frame)
 	s.seq += uint32(s.MSS)
-	return append(ih.Marshal(), seg...)
+	return frame
 }
 
 // Start begins the stream. The sender transmits back-to-back frames while
@@ -136,11 +172,18 @@ func (s *Sender) pump() {
 	if s.Jitter > 0 {
 		gap += s.n.k.Rand().Duration(0, s.Jitter)
 	}
-	s.n.k.Scheduler().After(WireTime(len(pkt))+gap, func() {
-		s.inFlight = false
-		s.dev.HostDeliver(pkt)
-		s.pump()
-	})
+	s.pendingPkt = pkt
+	s.n.k.Scheduler().AfterFree(WireTime(len(pkt))+gap, s.deliverFn)
+}
+
+// deliver is the frame-arrival event: hand the in-flight packet to the
+// receiving device and pump the next one.
+func (s *Sender) deliver() {
+	pkt := s.pendingPkt
+	s.pendingPkt = nil
+	s.inFlight = false
+	s.dev.HostDeliver(pkt)
+	s.pump()
 }
 
 // armRecovery schedules the give-up-on-holes timer: the real Sparc would
@@ -207,16 +250,19 @@ func NewUDPSource(n *Net, port uint16) *UDPSource {
 
 // Send injects one datagram of n payload bytes.
 func (u *UDPSource) Send(nBytes int) {
+	frame := u.n.frames.Get(IPHdrLen + UDPHdrLen + nBytes)
+	dgram := frame[IPHdrLen:]
+	payloadPatternInto(dgram[UDPHdrLen:], uint32(u.DgSent))
 	uh := UDPHeader{SrcPort: 997, DstPort: u.Port}
-	payload := payloadPattern(uint32(u.DgSent), nBytes)
-	dgram := uh.Marshal(SparcAddr, PCAddr, payload, u.Cksum)
+	uh.MarshalInto(dgram, SparcAddr, PCAddr, u.Cksum)
 	ih := IPv4Header{
-		TotalLen: uint16(IPHdrLen + len(dgram)),
+		TotalLen: uint16(len(frame)),
 		TTL:      255,
 		Proto:    ProtoUDP,
 		Src:      SparcAddr,
 		Dst:      PCAddr,
 	}
+	ih.MarshalInto(frame)
 	u.DgSent++
-	u.n.we.HostDeliver(append(ih.Marshal(), dgram...))
+	u.n.we.HostDeliver(frame)
 }

@@ -38,37 +38,46 @@ type IPv4Header struct {
 // Marshal encodes the header with a correct header checksum.
 func (h *IPv4Header) Marshal() []byte {
 	b := make([]byte, IPHdrLen)
-	b[0] = 0x45 // version 4, IHL 5
-	binary.BigEndian.PutUint16(b[2:], h.TotalLen)
-	binary.BigEndian.PutUint16(b[4:], h.ID)
-	b[8] = h.TTL
-	b[9] = h.Proto
-	binary.BigEndian.PutUint32(b[12:], h.Src)
-	binary.BigEndian.PutUint32(b[16:], h.Dst)
-	binary.BigEndian.PutUint16(b[10:], InternetChecksum(b))
+	h.MarshalInto(b)
 	return b
 }
 
+// MarshalInto encodes the header into b's first IPHdrLen bytes. Every byte
+// is written (the buffer may be recycled and carry stale contents).
+func (h *IPv4Header) MarshalInto(b []byte) {
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = 0    // TOS
+	binary.BigEndian.PutUint16(b[2:], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:], h.ID)
+	b[6], b[7] = 0, 0 // flags/fragment offset
+	b[8] = h.TTL
+	b[9] = h.Proto
+	b[10], b[11] = 0, 0 // checksum placeholder (included in the sum below)
+	binary.BigEndian.PutUint32(b[12:], h.Src)
+	binary.BigEndian.PutUint32(b[16:], h.Dst)
+	binary.BigEndian.PutUint16(b[10:], InternetChecksum(b[:IPHdrLen]))
+}
+
 // ParseIPv4 decodes and validates an IPv4 header.
-func ParseIPv4(b []byte) (*IPv4Header, error) {
+func ParseIPv4(b []byte) (IPv4Header, error) {
 	if len(b) < IPHdrLen {
-		return nil, fmt.Errorf("netstack: short IP header (%d bytes)", len(b))
+		return IPv4Header{}, fmt.Errorf("netstack: short IP header (%d bytes)", len(b))
 	}
 	if b[0] != 0x45 {
-		return nil, fmt.Errorf("netstack: unsupported IP version/IHL %#x", b[0])
+		return IPv4Header{}, fmt.Errorf("netstack: unsupported IP version/IHL %#x", b[0])
 	}
 	if b[1] != 0 {
-		return nil, fmt.Errorf("netstack: unsupported TOS %#x", b[1])
+		return IPv4Header{}, fmt.Errorf("netstack: unsupported TOS %#x", b[1])
 	}
 	if b[6] != 0 || b[7] != 0 {
 		// No reassembly: the stack never generates fragments (the
 		// NFS-lite rsize stays inside one frame for this reason).
-		return nil, fmt.Errorf("netstack: IP fragments not supported")
+		return IPv4Header{}, fmt.Errorf("netstack: IP fragments not supported")
 	}
 	if !checksumValid(b[:IPHdrLen]) {
-		return nil, fmt.Errorf("netstack: bad IP header checksum")
+		return IPv4Header{}, fmt.Errorf("netstack: bad IP header checksum")
 	}
-	return &IPv4Header{
+	return IPv4Header{
 		TotalLen: binary.BigEndian.Uint16(b[2:]),
 		ID:       binary.BigEndian.Uint16(b[4:]),
 		TTL:      b[8],
@@ -93,20 +102,20 @@ const (
 	FlagACK = 1 << 4
 )
 
-// pseudoHeader builds the TCP/UDP checksum pseudo-header.
-func pseudoHeader(src, dst uint32, proto uint8, length int) []byte {
-	b := make([]byte, 12)
-	binary.BigEndian.PutUint32(b[0:], src)
-	binary.BigEndian.PutUint32(b[4:], dst)
-	b[9] = proto
-	binary.BigEndian.PutUint16(b[10:], uint16(length))
-	return b
-}
-
 // Marshal encodes the TCP header plus payload with a correct checksum
 // computed over the pseudo-header, header and data.
 func (h *TCPHeader) Marshal(src, dst uint32, payload []byte) []byte {
 	b := make([]byte, TCPHdrLen+len(payload))
+	copy(b[TCPHdrLen:], payload)
+	h.MarshalInto(b, src, dst)
+	return b
+}
+
+// MarshalInto encodes the TCP header into b's first TCPHdrLen bytes; the
+// payload must already occupy the rest of b. The checksum covers the
+// pseudo-header plus all of b. Every header byte is written (the buffer may
+// be recycled and carry stale contents).
+func (h *TCPHeader) MarshalInto(b []byte, src, dst uint32) {
 	binary.BigEndian.PutUint16(b[0:], h.SrcPort)
 	binary.BigEndian.PutUint16(b[2:], h.DstPort)
 	binary.BigEndian.PutUint32(b[4:], h.Seq)
@@ -114,33 +123,31 @@ func (h *TCPHeader) Marshal(src, dst uint32, payload []byte) []byte {
 	b[12] = 5 << 4 // data offset
 	b[13] = h.Flags
 	binary.BigEndian.PutUint16(b[14:], h.Window)
-	copy(b[TCPHdrLen:], payload)
-	ph := pseudoHeader(src, dst, ProtoTCP, len(b))
-	sum := InternetChecksum(append(ph, b...))
+	b[16], b[17] = 0, 0 // checksum placeholder
+	b[18], b[19] = 0, 0 // urgent pointer
+	sum := foldChecksum(sumBytes(b, pseudoSum(src, dst, ProtoTCP, len(b))))
 	binary.BigEndian.PutUint16(b[16:], sum)
-	return b
 }
 
 // ParseTCP decodes a TCP segment and validates its checksum against the
 // pseudo-header.
-func ParseTCP(src, dst uint32, b []byte) (*TCPHeader, []byte, error) {
+func ParseTCP(src, dst uint32, b []byte) (TCPHeader, []byte, error) {
 	if len(b) < TCPHdrLen {
-		return nil, nil, fmt.Errorf("netstack: short TCP segment (%d bytes)", len(b))
+		return TCPHeader{}, nil, fmt.Errorf("netstack: short TCP segment (%d bytes)", len(b))
 	}
 	if b[12]>>4 != 5 {
-		return nil, nil, fmt.Errorf("netstack: TCP options not supported (offset %d)", b[12]>>4)
+		return TCPHeader{}, nil, fmt.Errorf("netstack: TCP options not supported (offset %d)", b[12]>>4)
 	}
 	if b[12]&0x0F != 0 {
-		return nil, nil, fmt.Errorf("netstack: nonzero reserved bits")
+		return TCPHeader{}, nil, fmt.Errorf("netstack: nonzero reserved bits")
 	}
 	if b[18] != 0 || b[19] != 0 {
-		return nil, nil, fmt.Errorf("netstack: urgent pointer not supported")
+		return TCPHeader{}, nil, fmt.Errorf("netstack: urgent pointer not supported")
 	}
-	ph := pseudoHeader(src, dst, ProtoTCP, len(b))
-	if InternetChecksum(append(ph, b...)) != 0 {
-		return nil, nil, fmt.Errorf("netstack: bad TCP checksum")
+	if foldChecksum(sumBytes(b, pseudoSum(src, dst, ProtoTCP, len(b)))) != 0 {
+		return TCPHeader{}, nil, fmt.Errorf("netstack: bad TCP checksum")
 	}
-	h := &TCPHeader{
+	h := TCPHeader{
 		SrcPort: binary.BigEndian.Uint16(b[0:]),
 		DstPort: binary.BigEndian.Uint16(b[2:]),
 		Seq:     binary.BigEndian.Uint32(b[4:]),
@@ -161,39 +168,45 @@ type UDPHeader struct {
 // whose consequences the paper explores.
 func (h *UDPHeader) Marshal(src, dst uint32, payload []byte, cksum bool) []byte {
 	b := make([]byte, UDPHdrLen+len(payload))
+	copy(b[UDPHdrLen:], payload)
+	h.MarshalInto(b, src, dst, cksum)
+	return b
+}
+
+// MarshalInto encodes the UDP header into b's first UDPHdrLen bytes; the
+// payload must already occupy the rest of b. Every header byte is written
+// (the buffer may be recycled and carry stale contents).
+func (h *UDPHeader) MarshalInto(b []byte, src, dst uint32, cksum bool) {
 	binary.BigEndian.PutUint16(b[0:], h.SrcPort)
 	binary.BigEndian.PutUint16(b[2:], h.DstPort)
 	binary.BigEndian.PutUint16(b[4:], uint16(len(b)))
-	copy(b[UDPHdrLen:], payload)
+	b[6], b[7] = 0, 0 // checksum: absent unless computed below
 	if cksum {
-		ph := pseudoHeader(src, dst, ProtoUDP, len(b))
-		sum := InternetChecksum(append(ph, b...))
+		sum := foldChecksum(sumBytes(b, pseudoSum(src, dst, ProtoUDP, len(b))))
 		if sum == 0 {
 			sum = 0xffff // 0 means "no checksum" on the wire
 		}
 		binary.BigEndian.PutUint16(b[6:], sum)
 	}
-	return b
 }
 
 // ParseUDP decodes a UDP datagram, validating the checksum only when one is
 // present. It reports whether a checksum was verified.
-func ParseUDP(src, dst uint32, b []byte) (*UDPHeader, []byte, bool, error) {
+func ParseUDP(src, dst uint32, b []byte) (UDPHeader, []byte, bool, error) {
 	if len(b) < UDPHdrLen {
-		return nil, nil, false, fmt.Errorf("netstack: short UDP datagram (%d bytes)", len(b))
+		return UDPHeader{}, nil, false, fmt.Errorf("netstack: short UDP datagram (%d bytes)", len(b))
 	}
 	length := int(binary.BigEndian.Uint16(b[4:]))
 	if length > len(b) || length < UDPHdrLen {
-		return nil, nil, false, fmt.Errorf("netstack: bad UDP length %d", length)
+		return UDPHeader{}, nil, false, fmt.Errorf("netstack: bad UDP length %d", length)
 	}
 	hasCksum := binary.BigEndian.Uint16(b[6:]) != 0
 	if hasCksum {
-		ph := pseudoHeader(src, dst, ProtoUDP, len(b[:length]))
-		if InternetChecksum(append(ph, b[:length]...)) != 0 {
-			return nil, nil, true, fmt.Errorf("netstack: bad UDP checksum")
+		if foldChecksum(sumBytes(b[:length], pseudoSum(src, dst, ProtoUDP, length))) != 0 {
+			return UDPHeader{}, nil, true, fmt.Errorf("netstack: bad UDP checksum")
 		}
 	}
-	h := &UDPHeader{
+	h := UDPHeader{
 		SrcPort: binary.BigEndian.Uint16(b[0:]),
 		DstPort: binary.BigEndian.Uint16(b[2:]),
 	}

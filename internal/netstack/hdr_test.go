@@ -54,8 +54,8 @@ func TestIPv4RoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *got != h {
-		t.Fatalf("round trip: %+v != %+v", *got, h)
+	if got != h {
+		t.Fatalf("round trip: %+v != %+v", got, h)
 	}
 }
 
@@ -84,8 +84,8 @@ func TestTCPRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *got != h {
-		t.Fatalf("header: %+v != %+v", *got, h)
+	if got != h {
+		t.Fatalf("header: %+v != %+v", got, h)
 	}
 	if string(data) != string(payload) {
 		t.Fatalf("payload mismatch: %q", data)
@@ -123,7 +123,7 @@ func TestUDPRoundTripWithChecksum(t *testing.T) {
 	if !hadCksum {
 		t.Fatal("checksum not present")
 	}
-	if *got != h || string(data) != "rpc call" {
+	if got != h || string(data) != "rpc call" {
 		t.Fatalf("round trip: %+v %q", got, data)
 	}
 	b[9] ^= 0xFF

@@ -36,10 +36,15 @@ type LE struct {
 	fnLeStart *kernel.Fn
 
 	ring      [][]byte
+	ringHead  int
 	ringBytes int
 	txBusy    bool
 	txDone    bool
 
+	txFree []*leTxJob
+
+	// wireTaps see a transmitted frame only for the duration of the call;
+	// the buffer is recycled afterwards.
 	wireTaps []func(frame []byte)
 
 	// Statistics.
@@ -83,6 +88,7 @@ func NewLE(n *Net, style DriverStyle) *LE {
 		n:         n,
 		k:         n.k,
 		Style:     style,
+		ring:      make([][]byte, 0, 16),
 		fnLeIntr:  n.k.RegisterFn("if_le", "leintr"),
 		fnLeRint:  n.k.RegisterFn("if_le", "lerint"),
 		fnLeRead:  n.k.RegisterFn("if_le", "leread"),
@@ -104,6 +110,7 @@ func (le *LE) AddWireTap(f func(frame []byte)) { le.wireTaps = append(le.wireTap
 func (le *LE) HostDeliver(ipPacket []byte) {
 	if le.ringBytes+len(ipPacket)+4 > leRingCapacity {
 		le.RxDrops++
+		le.n.frames.Put(ipPacket)
 		return
 	}
 	le.RxFrames++
@@ -115,7 +122,7 @@ func (le *LE) HostDeliver(ipPacket []byte) {
 func (le *LE) intr() {
 	le.k.Call(le.fnLeIntr, func() {
 		le.k.Advance(costLeIntrBody)
-		if len(le.ring) > 0 {
+		if le.ringHead < len(le.ring) {
 			le.rint()
 		}
 		if le.txDone {
@@ -127,12 +134,15 @@ func (le *LE) intr() {
 func (le *LE) rint() {
 	le.k.Call(le.fnLeRint, func() {
 		le.k.Advance(costLeRintBody)
-		for len(le.ring) > 0 {
-			frame := le.ring[0]
-			le.ring = le.ring[1:]
+		for le.ringHead < len(le.ring) {
+			frame := le.ring[le.ringHead]
+			le.ring[le.ringHead] = nil
+			le.ringHead++
 			le.ringBytes -= len(frame) + 4
 			le.read(frame)
 		}
+		le.ring = le.ring[:0]
+		le.ringHead = 0
 	})
 }
 
@@ -142,6 +152,7 @@ func (le *LE) read(frame []byte) {
 	le.k.Call(le.fnLeRead, func() {
 		le.k.Advance(costLeReadBody)
 		chain := le.buildChain(len(frame))
+		chain.Frame = frame
 		switch le.Style {
 		case DriverOld:
 			// Pass one: ring buffer to the staging area, byte loop.
@@ -190,14 +201,40 @@ func (le *LE) Transmit(frame []byte) {
 		le.k.CallCost(le.fnLeCopy, sim.Time(len(frame))*leWordLoopPerB)
 		le.txBusy = true
 		le.TxFrames++
-		out := frame
-		le.k.Scheduler().After(WireTime(len(frame)), func() {
-			le.txBusy = false
-			le.txDone = true
-			le.k.Raise(le.irq)
-			for _, tap := range le.wireTaps {
-				tap(out)
-			}
-		})
+		j := le.txJobGet()
+		j.frame = frame
+		le.k.Scheduler().AfterFree(WireTime(len(frame)), j.fire)
 	})
+}
+
+// leTxJob is the LE's pooled in-flight transmission, mirroring the WE's
+// txJob so steady output allocates no closure or event per frame.
+type leTxJob struct {
+	le    *LE
+	frame []byte
+	fire  func() // bound once to done
+}
+
+func (le *LE) txJobGet() *leTxJob {
+	if n := len(le.txFree); n > 0 {
+		j := le.txFree[n-1]
+		le.txFree = le.txFree[:n-1]
+		return j
+	}
+	j := &leTxJob{le: le}
+	j.fire = j.done
+	return j
+}
+
+func (j *leTxJob) done() {
+	le, frame := j.le, j.frame
+	j.frame = nil
+	le.txFree = append(le.txFree, j)
+	le.txBusy = false
+	le.txDone = true
+	le.k.Raise(le.irq)
+	for _, tap := range le.wireTaps {
+		tap(frame)
+	}
+	le.n.frames.Put(frame)
 }

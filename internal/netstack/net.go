@@ -78,7 +78,14 @@ type Net struct {
 	// effectively acked continuously; keep it on for that workload.
 	AckEveryPacket bool
 
-	ipq []*inPacket
+	// ipq is the IP input queue between the driver and ipintr, drained
+	// from ipqHead so steady-state traffic reuses the backing array
+	// instead of growing a freshly-sliced tail forever.
+	ipq     []inPacket
+	ipqHead int
+
+	// frames recycles the byte buffers packets travel in (see frames.go).
+	frames framePool
 
 	pcbs map[pcbKey]*Socket
 
@@ -127,6 +134,9 @@ func Attach(k *kernel.Kernel, alloc *mem.Allocator) *Net {
 	n.registerSocketFns()
 	n.we = newWE(n)
 	n.outDev = n.we
+	// Received frames ride inside mbuf chains; freeing the chain returns
+	// the buffer to the frame pool.
+	n.pool.SetFrameRecycler(n.frames.Put)
 	k.RegisterSoft(kernel.SoftNetIP, "ipintr", n.ipintr)
 	return n
 }
@@ -159,6 +169,33 @@ func (n *Net) Pool() *mem.MbufPool { return n.pool }
 // Cksum charges the in_cksum cost for length bytes living in region and
 // returns the real checksum of the data (which the callers use to verify).
 func (n *Net) Cksum(data []byte, region bus.Region) uint16 {
+	perByte := n.cksumPerByte(region)
+	var sum uint16
+	n.k.Call(n.fnInCksum, func() {
+		n.k.Advance(cksumSetup + sim.Time(len(data))*perByte)
+		sum = InternetChecksum(data)
+	})
+	return sum
+}
+
+// pseudoHdrLen is the TCP/UDP pseudo-header's width for cost accounting.
+const pseudoHdrLen = 12
+
+// CksumPseudo is Cksum over a pseudo-header followed by data, without ever
+// materialising the concatenation: the charge covers the same
+// pseudoHdrLen+len(data) bytes in_cksum touched, and the sum chains the
+// pseudo-header words arithmetically (sumBytes/pseudoSum in cksum.go).
+func (n *Net) CksumPseudo(src, dst uint32, proto uint8, data []byte, region bus.Region) uint16 {
+	perByte := n.cksumPerByte(region)
+	var sum uint16
+	n.k.Call(n.fnInCksum, func() {
+		n.k.Advance(cksumSetup + sim.Time(pseudoHdrLen+len(data))*perByte)
+		sum = foldChecksum(sumBytes(data, pseudoSum(src, dst, proto, len(data))))
+	})
+	return sum
+}
+
+func (n *Net) cksumPerByte(region bus.Region) sim.Time {
 	perByte := cksumNaivePerB
 	if n.CksumMode == CksumOptimized {
 		perByte = cksumFastPerB
@@ -168,12 +205,7 @@ func (n *Net) Cksum(data []byte, region bus.Region) uint16 {
 		// the arithmetic.
 		perByte += bus.NsPerByte(region) - bus.NsPerByte(bus.MainMemory)
 	}
-	var sum uint16
-	n.k.Call(n.fnInCksum, func() {
-		n.k.Advance(cksumSetup + sim.Time(len(data))*perByte)
-		sum = InternetChecksum(data)
-	})
-	return sum
+	return perByte
 }
 
 // cksumRegion is where packet data lives when checksummed: main memory
@@ -189,13 +221,13 @@ func (n *Net) cksumRegion() bus.Region {
 // and schedules the network software interrupt (schednetisr(NETISR_IP)).
 func (n *Net) enqueueIP(chain *mem.Mbuf, data []byte) {
 	s := n.k.SplNet()
-	if len(n.ipq) >= IFQMaxLen {
+	if len(n.ipq)-n.ipqHead >= IFQMaxLen {
 		n.IPQDrops++
 		n.k.SplX(s)
 		n.freeChain(chain)
 		return
 	}
-	n.ipq = append(n.ipq, &inPacket{chain: chain, data: data})
+	n.ipq = append(n.ipq, inPacket{chain: chain, data: data})
 	n.k.SplX(s)
 	n.k.ScheduleSoft(kernel.SoftNetIP)
 }
@@ -207,19 +239,22 @@ func (n *Net) ipintr() {
 		n.k.Advance(costIPIntrBody)
 		for {
 			s := n.k.SplNet()
-			if len(n.ipq) == 0 {
+			if n.ipqHead == len(n.ipq) {
+				n.ipq = n.ipq[:0]
+				n.ipqHead = 0
 				n.k.SplX(s)
 				return
 			}
-			pkt := n.ipq[0]
-			n.ipq = n.ipq[1:]
+			pkt := n.ipq[n.ipqHead]
+			n.ipq[n.ipqHead] = inPacket{}
+			n.ipqHead++
 			n.k.SplX(s)
 			n.ipInput(pkt)
 		}
 	})
 }
 
-func (n *Net) ipInput(pkt *inPacket) {
+func (n *Net) ipInput(pkt inPacket) {
 	data := pkt.data
 	if n.Cksum(dataOrAll(data, IPHdrLen), n.cksumRegion()) != 0 {
 		n.IPBadChecksum++
@@ -235,9 +270,9 @@ func (n *Net) ipInput(pkt *inPacket) {
 	payload := data[IPHdrLen:ih.TotalLen]
 	switch ih.Proto {
 	case ProtoTCP:
-		n.tcpInput(ih, payload, pkt.chain)
+		n.tcpInput(&ih, payload, pkt.chain)
 	case ProtoUDP:
-		n.udpInput(ih, payload, pkt.chain)
+		n.udpInput(&ih, payload, pkt.chain)
 	default:
 		n.IPNoProto++
 		n.pool.MFreeChain(pkt.chain)
@@ -263,22 +298,31 @@ func (n *Net) pcbLookup(proto uint8, port uint16) *Socket {
 }
 
 // ipOutput wraps a transport payload in an IP header and hands the frame to
-// the driver.
+// the driver. The payload is copied into a pooled frame buffer.
 func (n *Net) ipOutput(proto uint8, src, dst uint32, payload []byte) {
+	frame := n.frames.Get(IPHdrLen + len(payload))
+	copy(frame[IPHdrLen:], payload)
+	n.ipOutputFrame(proto, src, dst, frame)
+}
+
+// ipOutputFrame is ipOutput for a frame whose transport bytes already sit
+// after IPHdrLen of headroom — the in-place path transport outputs use. The
+// IP header is written into the headroom; ownership of frame passes to the
+// driver, which recycles it once the wire is done with it.
+func (n *Net) ipOutputFrame(proto uint8, src, dst uint32, frame []byte) {
 	n.k.Call(n.fnIPOutput, func() {
 		n.k.Advance(costIPOutputBody)
 		ih := IPv4Header{
-			TotalLen: uint16(IPHdrLen + len(payload)),
+			TotalLen: uint16(len(frame)),
 			TTL:      64,
 			Proto:    proto,
 			Src:      src,
 			Dst:      dst,
 		}
-		hdr := ih.Marshal()
-		// ip_output computes the header checksum: charge it. (Marshal
+		ih.MarshalInto(frame)
+		// ip_output computes the header checksum: charge it. (MarshalInto
 		// already embedded the real sum; the charge models the work.)
-		n.Cksum(hdr, bus.MainMemory)
-		frame := append(hdr, payload...)
+		n.Cksum(frame[:IPHdrLen], bus.MainMemory)
 		n.outDev.Transmit(frame)
 	})
 }

@@ -70,7 +70,8 @@ func TestUDPOutputWithChecksumVerifiesOnWire(t *testing.T) {
 	so, _ := n.SoCreate(ProtoUDP, 2000)
 	so.Connect(SparcAddr, 3000)
 	var frames [][]byte
-	n.Device().SetWire(func(f []byte) { frames = append(frames, f) })
+	// Taps only borrow the frame for the call; copy to keep it.
+	n.Device().SetWire(func(f []byte) { frames = append(frames, append([]byte(nil), f...)) })
 	n.SendUDPDatagram(so, []byte("checksummed payload"))
 	k.Advance(50 * sim.Millisecond)
 	if len(frames) != 1 {

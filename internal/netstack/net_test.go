@@ -113,7 +113,8 @@ func TestAckTransmittedBack(t *testing.T) {
 	k, n := newNet()
 	so, _ := n.SoCreate(ProtoTCP, 5001)
 	var acks [][]byte
-	n.Device().SetWire(func(frame []byte) { acks = append(acks, frame) })
+	// Taps only borrow the frame for the call; copy to keep it.
+	n.Device().SetWire(func(frame []byte) { acks = append(acks, append([]byte(nil), frame...)) })
 	sender := NewSender(n, 5001)
 	sender.MSS = 256
 	k.Spawn("reader", func(p *kernel.Proc) { n.SoReceive(p, so, 4096) })

@@ -19,8 +19,12 @@ type Socket struct {
 	Proto uint8
 	Port  uint16
 
+	// rcvChains/rcvData queue received chains and their payload slices,
+	// consumed from rcvHead so the backing arrays are reused in steady
+	// state instead of reallocated by tail slicing.
 	rcvChains []*mem.Mbuf
 	rcvData   [][]byte // payload bytes parallel to rcvChains
+	rcvHead   int
 	rcvBytes  int
 	// RcvBufCap is the socket receive buffer capacity; the space left is
 	// the window TCP advertises, which is what flow-controls the remote
@@ -51,7 +55,13 @@ func (n *Net) SoCreate(proto uint8, port uint16) (*Socket, error) {
 	if _, busy := n.pcbs[key]; busy {
 		return nil, fmt.Errorf("netstack: port %d/%d in use", proto, port)
 	}
-	so := &Socket{n: n, Proto: proto, Port: port, tcb: &tcpcb{}, RcvBufCap: DefaultSockBuf}
+	so := &Socket{
+		n: n, Proto: proto, Port: port, tcb: &tcpcb{}, RcvBufCap: DefaultSockBuf,
+		// Presized for the buffered-chain high-water mark of a full
+		// receive buffer, so steady traffic never regrows the queues.
+		rcvChains: make([]*mem.Mbuf, 0, 16),
+		rcvData:   make([][]byte, 0, 16),
+	}
 	n.k.Call(n.fnSoCreate, func() {
 		n.k.Advance(costSoCreate)
 		n.alloc.Malloc(256) // struct socket + pcb
@@ -68,11 +78,12 @@ func (so *Socket) Close() {
 
 func (so *Socket) chainAll() *mem.Mbuf {
 	var head *mem.Mbuf
-	for _, c := range so.rcvChains {
+	for _, c := range so.rcvChains[so.rcvHead:] {
 		head = mem.AppendChain(head, c)
 	}
 	so.rcvChains = nil
 	so.rcvData = nil
+	so.rcvHead = 0
 	so.rcvBytes = 0
 	return head
 }
@@ -129,7 +140,14 @@ func (so *Socket) noteAck(ack uint32) {
 // blocking (sbwait/tsleep) while the receive buffer is empty. It returns
 // the bytes delivered to user space. Must run in process context.
 func (n *Net) SoReceive(p *kernel.Proc, so *Socket, max int) []byte {
-	var out []byte
+	return n.SoReceiveInto(p, so, max, nil)
+}
+
+// SoReceiveInto is SoReceive appending into buf (which may be nil), so a
+// read-and-discard loop can reuse one scratch buffer across reads instead of
+// allocating the return slice every time.
+func (n *Net) SoReceiveInto(p *kernel.Proc, so *Socket, max int, buf []byte) []byte {
+	out := buf[:0]
 	n.k.Call(n.fnSoReceive, func() {
 		n.k.Advance(costSoReceiveBody)
 		s := n.k.SplNet()
@@ -138,14 +156,20 @@ func (n *Net) SoReceive(p *kernel.Proc, so *Socket, max int) []byte {
 			n.sbWait(so)
 			s = n.k.SplNet()
 		}
-		for len(out) < max && len(so.rcvChains) > 0 {
-			chain := so.rcvChains[0]
-			data := so.rcvData[0]
+		for len(out) < max && so.rcvHead < len(so.rcvChains) {
+			chain := so.rcvChains[so.rcvHead]
+			data := so.rcvData[so.rcvHead]
 			if len(out)+len(data) > max && len(out) > 0 {
 				break // next chain doesn't fit; deliver what we have
 			}
-			so.rcvChains = so.rcvChains[1:]
-			so.rcvData = so.rcvData[1:]
+			so.rcvChains[so.rcvHead] = nil
+			so.rcvData[so.rcvHead] = nil
+			so.rcvHead++
+			if so.rcvHead == len(so.rcvChains) {
+				so.rcvChains = so.rcvChains[:0]
+				so.rcvData = so.rcvData[:0]
+				so.rcvHead = 0
+			}
 			so.rcvBytes -= len(data)
 			so.RcvRead += uint64(len(data))
 			n.k.SplX(s)
@@ -161,8 +185,10 @@ func (n *Net) SoReceive(p *kernel.Proc, so *Socket, max int) []byte {
 					n.k.Copyout(m.Len)
 				}
 			}
-			n.pool.MFreeChain(chain)
+			// Copy the payload out BEFORE freeing the chain: the free
+			// recycles the frame buffer data points into.
 			out = append(out, data...)
+			n.pool.MFreeChain(chain)
 			s = n.k.SplNet()
 		}
 		n.k.SplX(s)

@@ -15,8 +15,7 @@ func (n *Net) udpInput(ih *IPv4Header, dgram []byte, chain *mem.Mbuf) {
 		// Charge the checksum only if the datagram carries one.
 		hasCksum := len(dgram) >= UDPHdrLen && (dgram[6] != 0 || dgram[7] != 0)
 		if hasCksum {
-			ph := pseudoHeader(ih.Src, ih.Dst, ProtoUDP, len(dgram))
-			if n.Cksum(append(ph, dgram...), n.cksumRegion()) != 0 {
+			if n.CksumPseudo(ih.Src, ih.Dst, ProtoUDP, dgram, n.cksumRegion()) != 0 {
 				n.IPBadChecksum++
 				n.freeChain(chain)
 				return
@@ -48,15 +47,17 @@ func (n *Net) udpOutput(so *Socket, payload []byte) {
 	n.k.Call(n.fnUDPOutput, func() {
 		n.k.Advance(costUDPOutputBody)
 		uh := UDPHeader{SrcPort: so.Port, DstPort: so.tcb.rport}
-		dgram := uh.Marshal(PCAddr, so.tcb.peer, payload, n.UDPChecksum)
+		frame := n.frames.Get(IPHdrLen + UDPHdrLen + len(payload))
+		dgram := frame[IPHdrLen:]
+		copy(dgram[UDPHdrLen:], payload)
+		uh.MarshalInto(dgram, PCAddr, so.tcb.peer, n.UDPChecksum)
 		if n.UDPChecksum {
-			ph := pseudoHeader(PCAddr, so.tcb.peer, ProtoUDP, len(dgram))
-			n.Cksum(append(ph, dgram...), n.cksumRegion())
+			n.CksumPseudo(PCAddr, so.tcb.peer, ProtoUDP, dgram, n.cksumRegion())
 		}
 		// UDP "acks" itself immediately for the sender's window
 		// accounting: there is no transport-level flow control.
 		so.sndUnacked = 0
-		n.ipOutput(ProtoUDP, PCAddr, so.tcb.peer, dgram)
+		n.ipOutputFrame(ProtoUDP, PCAddr, so.tcb.peer, frame)
 	})
 }
 

@@ -5,10 +5,11 @@ import "container/heap"
 // Event is a scheduled callback. Events are one-shot; cancelling an event
 // that has already fired is a no-op.
 type Event struct {
-	when  Time
-	seq   uint64 // tie-break so simultaneous events fire in schedule order
-	index int    // heap index, -1 once fired or cancelled
-	fn    func()
+	when   Time
+	seq    uint64 // tie-break so simultaneous events fire in schedule order
+	index  int    // heap index, -1 once fired or cancelled
+	pooled bool   // recycled by RunDue after firing (AtFree/AfterFree)
+	fn     func()
 }
 
 // When reports the virtual time the event is scheduled for.
@@ -28,6 +29,7 @@ type Scheduler struct {
 	now    Time
 	events eventHeap
 	seq    uint64
+	free   []*Event // recycled pooled events (AtFree/AfterFree)
 }
 
 // NewScheduler returns a scheduler with the clock at zero and no events.
@@ -61,6 +63,60 @@ func (s *Scheduler) After(d Time, fn func()) *Event {
 		panic("sim: negative delay")
 	}
 	return s.At(s.now+d, fn)
+}
+
+// AtFree schedules fn at absolute time t on a pooled Event that the
+// scheduler reclaims the moment it fires. No handle is returned — a pooled
+// event cannot be cancelled or rescheduled, because the caller has no way to
+// know whether its pointer still means the same scheduling. Use it for
+// fire-and-forget work on hot paths; use At when you need Cancel.
+func (s *Scheduler) AtFree(t Time, fn func()) {
+	if t < s.now {
+		panic("sim: event scheduled in the past")
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.when, e.fn = t, fn
+	} else {
+		e = &Event{when: t, fn: fn, pooled: true}
+	}
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// AfterFree is AtFree at d after the current time.
+func (s *Scheduler) AfterFree(d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	s.AtFree(s.now+d, fn)
+}
+
+// Reschedule re-arms a fired (non-pooled) event at absolute time t, reusing
+// its allocation. The event must be idle: rescheduling a still-pending or
+// pooled event, or scheduling into the past, panics.
+func (s *Scheduler) Reschedule(e *Event, t Time) {
+	switch {
+	case e == nil || e.fn == nil:
+		panic("sim: Reschedule of nil event")
+	case e.pooled:
+		panic("sim: Reschedule of pooled event")
+	case e.index >= 0:
+		panic("sim: Reschedule of pending event")
+	case t < s.now:
+		panic("sim: event scheduled in the past")
+	}
+	e.when = t
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
 }
 
 // Cancel removes a pending event. It is safe to call on an event that has
@@ -103,6 +159,10 @@ func (s *Scheduler) RunDue() int {
 		e := heap.Pop(&s.events).(*Event)
 		e.index = -1
 		e.fn()
+		if e.pooled {
+			e.fn = nil
+			s.free = append(s.free, e)
+		}
 		n++
 	}
 	return n

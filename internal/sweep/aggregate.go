@@ -65,11 +65,18 @@ type Aggregate struct {
 // aggregate folds per-seed results in slice order — a fixed order, so the
 // merged statistics are identical however the seeds were scheduled.
 func aggregate(scenario string, results []SeedResult) *Aggregate {
+	// Presized for a full symbol table; the arena carves the per-function
+	// aggregates from one slab (append-only at fixed capacity, falling
+	// back to individual allocations if a sweep somehow exceeds it).
+	const fnHint = 160
+	arena := make([]FnAggregate, 0, fnHint)
 	g := &Aggregate{
 		Scenario: scenario,
 		Seeds:    len(results),
-		byName:   make(map[string]*FnAggregate),
+		Fns:      make([]*FnAggregate, 0, fnHint),
+		byName:   make(map[string]*FnAggregate, fnHint),
 	}
+	names := make([]string, 0, fnHint)
 	for _, r := range results {
 		g.ElapsedUS.Add(r.ElapsedUS)
 		g.RunUS.Add(r.RunUS)
@@ -79,7 +86,7 @@ func aggregate(scenario string, results []SeedResult) *Aggregate {
 
 		// Map iteration order is random; fold each seed's functions in
 		// sorted name order to keep the float accumulation deterministic.
-		names := make([]string, 0, len(r.Fns))
+		names = names[:0]
 		for name := range r.Fns {
 			names = append(names, name)
 		}
@@ -88,7 +95,12 @@ func aggregate(scenario string, results []SeedResult) *Aggregate {
 			s := r.Fns[name]
 			f := g.byName[name]
 			if f == nil {
-				f = &FnAggregate{Name: name}
+				if len(arena) < cap(arena) {
+					arena = append(arena, FnAggregate{Name: name})
+					f = &arena[len(arena)-1]
+				} else {
+					f = &FnAggregate{Name: name}
+				}
 				g.byName[name] = f
 				g.Fns = append(g.Fns, f)
 			}

@@ -284,7 +284,7 @@ func sample(seed uint64, line string, a *analyze.Analysis) SeedResult {
 		Corrupt:   a.Stats.CorruptRecords,
 		Repaired:  a.Stats.RepairedTimestamps,
 		Resyncs:   a.Stats.Resyncs,
-		Fns:       make(map[string]FnSample),
+		Fns:       make(map[string]FnSample, 160),
 	}
 	if elapsed > 0 {
 		r.IdlePct = 100 * float64(a.Idle) / float64(elapsed)

@@ -70,13 +70,41 @@ type File struct {
 	entries []Entry
 	byName  map[string]int
 	byTag   map[uint16]int // function entry tag or inline tag -> entry index
+
+	// resolved is the dense tag-resolution table built lazily by
+	// ResolveIndex and invalidated by every mutation: one slot per tag
+	// value in [resolvedLo, resolvedLo+len), classifying the tag and
+	// naming its entry. Tag files are contiguous in practice (assignment
+	// packs pairs upward from the base), so the table stays small and a
+	// decode resolves each record with one bounds check instead of one or
+	// two map probes.
+	resolved   []resolvedSlot
+	resolvedLo uint32
+}
+
+// resolvedSlot is one entry of the dense resolution table. It carries the
+// entry's name and context-switch flag alongside the classification so the
+// decode hot path reads everything it needs in a single table load, with no
+// second lookup into the entries slice.
+type resolvedSlot struct {
+	idx  int32 // index into entries, -1 for unused tag values
+	kind uint8 // EventKind
+	ctx  bool  // the entry's ContextSwitch flag
+	name string
 }
 
 // New returns an empty file. The first Assign call on an empty file starts
 // at tag 500, matching the paper's convention of leaving low tag values for
 // manual use; use NewStartingAt to pick a different base.
 func New() *File {
-	return &File{byName: make(map[string]int), byTag: make(map[uint16]int)}
+	// Presized for a full machine's symbol table (~100 functions plus
+	// inlines), so repeated boots don't regrow the maps entry by entry.
+	const sizeHint = 160
+	return &File{
+		byName:  make(map[string]int, sizeHint),
+		byTag:   make(map[uint16]int, sizeHint),
+		entries: make([]Entry, 0, sizeHint),
+	}
 }
 
 // NewStartingAt returns a file seeded with a dummy entry that fixes the
@@ -161,6 +189,7 @@ func (f *File) add(e Entry) error {
 	f.byName[e.Name] = len(f.entries)
 	f.byTag[e.Tag] = len(f.entries)
 	f.entries = append(f.entries, e)
+	f.resolved = nil
 	return nil
 }
 
@@ -236,6 +265,7 @@ func (f *File) MarkContextSwitch(name string) error {
 		return fmt.Errorf("tagfile: %q is an inline tag, not a function", name)
 	}
 	f.entries[i].ContextSwitch = true
+	f.resolved = nil
 	return nil
 }
 
@@ -256,19 +286,84 @@ const (
 // Resolve classifies a raw tag from the capture and returns the entry it
 // belongs to.
 func (f *File) Resolve(tag uint16) (Entry, EventKind) {
-	if i, ok := f.byTag[tag]; ok {
-		e := f.entries[i]
+	i, kind := f.ResolveIndex(tag)
+	if i < 0 {
+		return Entry{}, UnknownTag
+	}
+	return f.entries[i], kind
+}
+
+// ResolveIndex classifies a raw tag and returns the index of its entry in
+// file order, or -1 for a tag the file does not list. It is the decode hot
+// path: one bounds-checked table load per record, against Resolve's one or
+// two map probes, and the index lets downstream consumers key per-function
+// state by a small dense integer instead of hashing the name.
+func (f *File) ResolveIndex(tag uint16) (int32, EventKind) {
+	if f.resolved == nil {
+		f.buildResolved()
+	}
+	t := uint32(tag) - f.resolvedLo // wraps below-range tags out of bounds
+	if t >= uint32(len(f.resolved)) {
+		return -1, UnknownTag
+	}
+	s := f.resolved[t]
+	return s.idx, EventKind(s.kind)
+}
+
+// EntryAt returns the entry at a ResolveIndex result. It panics on a
+// negative (UnknownTag) index.
+func (f *File) EntryAt(i int32) Entry { return f.entries[i] }
+
+// ResolveRecord classifies a raw tag and returns its entry index, kind,
+// name and context-switch flag in one dense-table load. It is what the
+// record decoder uses: everything an event needs without copying the Entry.
+func (f *File) ResolveRecord(tag uint16) (idx int32, kind EventKind, name string, ctxSwitch bool) {
+	if f.resolved == nil {
+		f.buildResolved()
+	}
+	t := uint32(tag) - f.resolvedLo // wraps below-range tags out of bounds
+	if t >= uint32(len(f.resolved)) {
+		return -1, UnknownTag, "", false
+	}
+	s := &f.resolved[t]
+	return s.idx, EventKind(s.kind), s.name, s.ctx
+}
+
+// buildResolved materializes the dense resolution table over the file's
+// occupied tag range (entry and exit tags included).
+func (f *File) buildResolved() {
+	lo, hi := uint32(MaxTag), uint32(0)
+	for _, e := range f.entries {
+		t := uint32(e.Tag)
+		top := t
+		if !e.Inline {
+			top = t + 1
+		}
+		if t < lo {
+			lo = t
+		}
+		if top > hi {
+			hi = top
+		}
+	}
+	if len(f.entries) == 0 {
+		f.resolved, f.resolvedLo = make([]resolvedSlot, 0), 0
+		return
+	}
+	tbl := make([]resolvedSlot, hi-lo+1)
+	for i := range tbl {
+		tbl[i].idx = -1
+	}
+	for i, e := range f.entries {
+		t := uint32(e.Tag) - lo
 		if e.Inline {
-			return e, InlineTag
-		}
-		return e, FunctionEntry
-	}
-	if tag >= 1 {
-		if i, ok := f.byTag[tag-1]; ok && !f.entries[i].Inline {
-			return f.entries[i], FunctionExit
+			tbl[t] = resolvedSlot{idx: int32(i), kind: uint8(InlineTag), name: e.Name}
+		} else {
+			tbl[t] = resolvedSlot{idx: int32(i), kind: uint8(FunctionEntry), name: e.Name, ctx: e.ContextSwitch}
+			tbl[t+1] = resolvedSlot{idx: int32(i), kind: uint8(FunctionExit), name: e.Name, ctx: e.ContextSwitch}
 		}
 	}
-	return Entry{}, UnknownTag
+	f.resolved, f.resolvedLo = tbl, lo
 }
 
 // Merge concatenates other into f, the way multiple per-module-group files
@@ -282,6 +377,7 @@ func (f *File) Merge(other *File) error {
 			}
 			if e.ContextSwitch && !have.ContextSwitch {
 				f.entries[f.byName[e.Name]].ContextSwitch = true
+				f.resolved = nil
 			}
 			continue
 		}

@@ -181,8 +181,9 @@ func Proday(m *core.Machine, p Params) (*ProdayResult, error) {
 		}
 		cs = append(cs, c)
 		m.K.Spawn(fmt.Sprintf("pd-sink%d", i), func(p *kernel.Proc) {
+			var scratch []byte
 			for m.K.Now() < deadline {
-				m.K.Syscall(p, func() { m.Net.SoReceive(p, so, 4096) })
+				m.K.Syscall(p, func() { scratch = m.Net.SoReceiveInto(p, so, 4096, scratch) })
 			}
 		})
 	}
@@ -298,9 +299,9 @@ func Proday(m *core.Machine, p Params) (*ProdayResult, error) {
 	anchors := mibAnchors(agent.Store())
 	snmpReq := 0
 	m.K.Spawn("pd-snmpd", func(p *kernel.Proc) {
+		var req []byte
 		for m.K.Now() < deadline {
-			var req []byte
-			m.K.Syscall(p, func() { req = m.Net.SoReceive(p, snmpSo, 512) })
+			m.K.Syscall(p, func() { req = m.Net.SoReceiveInto(p, snmpSo, 512, req) })
 			if m.K.Now() >= deadline {
 				return
 			}

@@ -106,9 +106,9 @@ func SNMPServe(m *core.Machine, u *core.UserProgram, store snmp.Store, count int
 	// The snmpd process.
 	m.K.Spawn("snmpd", func(p *kernel.Proc) {
 		u.Call(fnMain, func() {
+			var req []byte
 			for int(res.Requests) < count {
-				var req []byte
-				m.K.Syscall(p, func() { req = m.Net.SoReceive(p, so, 512) })
+				m.K.Syscall(p, func() { req = m.Net.SoReceiveInto(p, so, 512, req) })
 				if done {
 					return
 				}

@@ -38,10 +38,13 @@ func NetReceive(m *core.Machine, d sim.Time) (*NetReceiveResult, error) {
 	res := &NetReceiveResult{}
 	deadline := m.K.Now() + d
 	m.K.Spawn("discard", func(p *kernel.Proc) {
+		// Read-and-discard: one scratch buffer reused across reads.
+		var scratch []byte
 		for m.K.Now() < deadline {
 			var n int
 			m.K.Syscall(p, func() {
-				n = len(m.Net.SoReceive(p, so, 4096))
+				scratch = m.Net.SoReceiveInto(p, so, 4096, scratch)
+				n = len(scratch)
 			})
 			res.BytesDelivered += n
 		}
@@ -227,8 +230,10 @@ func FTPTransfer(m *core.Machine, size int) (*TransferResult, error) {
 	start := m.K.Now()
 	done := false
 	m.K.Spawn("ftprecv", func(p *kernel.Proc) {
+		var scratch []byte
 		for res.Bytes < size {
-			res.Bytes += len(m.Net.SoReceive(p, so, 8192))
+			scratch = m.Net.SoReceiveInto(p, so, 8192, scratch)
+			res.Bytes += len(scratch)
 		}
 		done = true
 	})
@@ -254,8 +259,9 @@ func Mixed(m *core.Machine, d sim.Time) {
 	if so, err := m.Net.SoCreate(netstack.ProtoUDP, 7); err == nil {
 		src := netstack.NewUDPSource(m.Net, 7)
 		m.K.Spawn("udpsink", func(p *kernel.Proc) {
+			var scratch []byte
 			for m.K.Now() < deadline {
-				m.K.Syscall(p, func() { m.Net.SoReceive(p, so, 4096) })
+				m.K.Syscall(p, func() { scratch = m.Net.SoReceiveInto(p, so, 4096, scratch) })
 			}
 		})
 		var tick func()
@@ -331,10 +337,12 @@ func EmbeddedNetReceive(m *core.Machine, le *netstack.LE, d sim.Time) (*NetRecei
 	res := &NetReceiveResult{}
 	deadline := m.K.Now() + d
 	m.K.Spawn("discard", func(p *kernel.Proc) {
+		var scratch []byte
 		for m.K.Now() < deadline {
 			var n int
 			m.K.Syscall(p, func() {
-				n = len(m.Net.SoReceive(p, so, 4096))
+				scratch = m.Net.SoReceiveInto(p, so, 4096, scratch)
+				n = len(scratch)
 			})
 			res.BytesDelivered += n
 		}
