@@ -30,6 +30,13 @@
 //	kprof -bench BENCH_5.json
 //	kprof -bench /tmp/now.json -benchquick
 //	kprof -benchcmp BENCH_5.json,/tmp/now.json
+//
+// Fleet mode runs N heterogeneous machines under continuous capture and
+// streams every drained segment through one ingest pipeline into a
+// windowed cross-fleet aggregate:
+//
+//	kprof -fleet 6 -fleetmix netrecv=2,proday=1 -duration 200ms -window 50ms
+//	kprof -fleet 4 -fleetworkers 2 -fleetjson fleet.json -http :6060
 package main
 
 import (
@@ -44,6 +51,7 @@ import (
 	"kprof/internal/core"
 	"kprof/internal/export"
 	"kprof/internal/faults"
+	"kprof/internal/fleet"
 	"kprof/internal/hw"
 	"kprof/internal/kernel"
 	"kprof/internal/loadgen"
@@ -91,6 +99,11 @@ func main() {
 		benchQuick = flag.Bool("benchquick", false, "trim the benchmark suite to the fast check-in configuration (needs -bench)")
 		benchCmp   = flag.String("benchcmp", "", "compare two BENCH json artifacts, 'old.json,new.json'; exits 1 on regression")
 		benchTol   = flag.Float64("benchtol", 0, "regression tolerance percentage for -benchcmp (0 = 15)")
+		fleetN     = flag.Int("fleet", 0, "fleet mode: run this many machines under continuous capture through one ingest pipeline")
+		fleetMix   = flag.String("fleetmix", "netrecv", "scenario mix for -fleet, e.g. netrecv=2,proday=1 (weights cycle across machines)")
+		fleetWrk   = flag.Int("fleetworkers", 0, "projection workers for -fleet (0 = GOMAXPROCS; the report bytes do not depend on it)")
+		window     = flag.Duration("window", 100*time.Millisecond, "fleet aggregation window in virtual time (needs -fleet)")
+		fleetJSON  = flag.String("fleetjson", "", "write the fleet report as JSON (schema kprof-fleet/1) to this file (- for stdout; needs -fleet)")
 	)
 	flag.Parse()
 
@@ -185,6 +198,19 @@ func main() {
 			os.Exit(1)
 		}
 		faultCfg = &faults.Config{Seed: *faultSeed, Rate: *faultRate}
+	}
+	if *fleetN > 0 {
+		serveStatus(fmt.Sprintf("fleet of %d (%s)", *fleetN, *fleetMix))
+		var onProgress func(fleet.Progress)
+		if status != nil {
+			onProgress = status.OnFleetProgress
+		}
+		if err := runFleet(*fleetN, *fleetMix, *fleetWrk, *seed, params,
+			sim.Time(window.Nanoseconds()), *top, *fleetJSON, onProgress); err != nil {
+			fmt.Fprintln(os.Stderr, "kprof:", err)
+			os.Exit(1)
+		}
+		finish(nil)
 	}
 	if *seeds != "" || *report == "sweep" {
 		// The per-run exporters need one analysis; a sweep has many.
@@ -306,6 +332,43 @@ func main() {
 	}
 	printReport(a, m, *report, *top, *maxlines, *fn)
 	finish(a)
+}
+
+// runFleet builds the fleet from the mix spec, runs it through the ingest
+// pipeline, and prints the windowed report (plus the JSON document when
+// requested).
+func runFleet(n int, mixSpec string, workers int, seed uint64, params workload.Params, window sim.Time, top int, jsonPath string, onProgress func(fleet.Progress)) error {
+	machines, err := fleet.MachinesFromMix(n, mixSpec, seed, params)
+	if err != nil {
+		return err
+	}
+	res, err := fleet.Run(fleet.Config{
+		Machines:   machines,
+		Window:     window,
+		Workers:    workers,
+		OnProgress: onProgress,
+	})
+	if err != nil {
+		return err
+	}
+	if err := res.Write(os.Stdout, top); err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		w := os.Stdout
+		if jsonPath != "-" {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := res.WriteJSON(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runBench executes the benchmark suite and writes the BENCH json artifact

@@ -115,6 +115,50 @@ func (rc *Reconstructor) PushBatch(rs []hw.Record) {
 	}
 }
 
+// SnapshotCounters is the whole-capture running state of a streaming
+// reconstruction, observable mid-stream (between pushes or at segment
+// boundaries). All values are cumulative since the first record, so a
+// consumer slicing a continuous capture into per-segment contributions
+// takes exact integer differences between successive snapshots — the
+// deltas sum to the final Analysis totals bit for bit, because they are
+// the same counters Finish publishes.
+type SnapshotCounters struct {
+	// Records is the decoded record count so far.
+	Records int
+	// Start and End bound the reconstructed timeline so far; Elapsed so
+	// far is End - Start.
+	Start, End sim.Time
+	// Idle is accumulated time inside the context switcher; Switches
+	// counts entries to it.
+	Idle     sim.Time
+	Switches int
+}
+
+// Snapshot reports the reconstruction's running counters and, when visit
+// is non-nil, visits every function's live statistics. The *FnStat values
+// are the reconstruction's own working state: visitors must not mutate or
+// retain them, and mid-stream a function with open frames shows only the
+// net time of its completed calls so far. Visit order is unspecified
+// (consumers needing determinism must key on FnStat.Name); the counters
+// themselves are exact at any boundary. The fleet ingest pipeline is the
+// intended consumer: it diffs snapshots taken at segment boundaries into
+// integer per-segment samples.
+func (rc *Reconstructor) Snapshot(visit func(*FnStat)) SnapshotCounters {
+	if visit != nil {
+		for _, f := range rc.rec.a.fns {
+			visit(f)
+		}
+	}
+	a := rc.rec.a
+	return SnapshotCounters{
+		Records:  rc.dec.records,
+		Start:    a.Start,
+		End:      a.End,
+		Idle:     a.Idle,
+		Switches: a.Switches,
+	}
+}
+
 // EndSegment marks a drain boundary: the records pushed since the previous
 // boundary (or the start) form one segment that lost dropped strobes before
 // its drain completed. The timestamp-unwrap state always carries across the

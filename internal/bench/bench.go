@@ -25,6 +25,7 @@ import (
 
 	"kprof/internal/analyze"
 	"kprof/internal/core"
+	"kprof/internal/fleet"
 	"kprof/internal/hw"
 	"kprof/internal/kernel"
 	"kprof/internal/sim"
@@ -61,7 +62,10 @@ func (c Config) seed() uint64 {
 type Result struct {
 	// Name identifies the hot path, e.g. "decode/steady".
 	Name string `json:"name"`
-	// Records is the number of records one iteration processes.
+	// Records is the number of work units one iteration processes —
+	// records for the decode/capture/sweep rows, segments for
+	// fleet/ingest (whose per-unit figures therefore read as ns/segment
+	// and allocs/segment).
 	Records int `json:"records"`
 	// Iters is how many measured iterations ran (after warmup).
 	Iters int `json:"iters"`
@@ -340,6 +344,54 @@ func Run(cfg Config) (*Report, error) {
 	prodayRes := measure("scenario/proday", prodayRecords, 1, prodayIters, prodayPass)
 	prodayRes.WallNoisy = true
 	rep.Benchmarks = append(rep.Benchmarks, prodayRes)
+
+	// fleet/ingest: the fleet ingest pipeline over pre-recorded segment
+	// streams — per-machine streaming reconstruction, delta sampling,
+	// staging, checkpointed projection, windowed merge — isolated from the
+	// machine simulation by replaying four machines recorded once up
+	// front. The unit is one SEGMENT, not one record: Records carries the
+	// fleet's total segment count, so NsPerRecord reads as ns/segment (and
+	// AllocsPerRecord as allocs/segment) in this row.
+	fleetIters := 6
+	if cfg.Quick {
+		fleetIters = 3
+	}
+	fleetSources := make([]fleet.Source, 4)
+	fleetMachines := make([]fleet.MachineConfig, 4)
+	for i := range fleetSources {
+		mc := fleet.MachineConfig{
+			ID:       i,
+			Seed:     cfg.seed() + uint64(i),
+			Scenario: "netrecv",
+			Params:   workload.Params{Duration: 200 * sim.Millisecond},
+			Depth:    4096,
+		}
+		fleetMachines[i] = mc
+		rs, err := fleet.Record(mc)
+		if err != nil {
+			return nil, err
+		}
+		fleetSources[i] = rs
+	}
+	var fleetSegments int
+	fleetPass := func() {
+		res, err := fleet.RunSources(fleet.Config{
+			Machines: fleetMachines,
+			Window:   50 * sim.Millisecond,
+			Workers:  2,
+		}, fleetSources)
+		if err != nil {
+			panic(err)
+		}
+		fleetSegments = res.Segments
+	}
+	fleetPass()
+	if fleetSegments == 0 {
+		return nil, fmt.Errorf("bench: fleet/ingest produced no segments")
+	}
+	fleetRes := measure("fleet/ingest", fleetSegments, 1, fleetIters, fleetPass)
+	fleetRes.WallNoisy = true
+	rep.Benchmarks = append(rep.Benchmarks, fleetRes)
 
 	return rep, nil
 }

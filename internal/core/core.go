@@ -238,6 +238,8 @@ type Session struct {
 
 	// progress, when set, observes capture state changes (see SetProgress).
 	progress func(Progress)
+	// onSegment, when set, receives each drained segment (see SetOnSegment).
+	onSegment func(Segment)
 }
 
 // Progress is a point-in-time snapshot of a session's capture state,
@@ -278,6 +280,20 @@ type Progress struct {
 // goroutines (an HTTP status server, say) must do its own locking. A nil
 // fn unregisters.
 func (s *Session) SetProgress(fn func(Progress)) { s.progress = fn }
+
+// SetOnSegment registers fn to receive every drained segment of a
+// continuous capture, immediately after it is appended to the segment
+// store — including the final drain performed by Disarm. The callback
+// runs on the simulation goroutine inside the drain (no virtual time
+// passes during it) and must not re-enter the session. The segment's
+// Capture.Records slice is owned by the segment store; a recycling
+// session (DrainConfig.Recycle) has already surrendered it to the drain
+// pool, so the callback sees Records nil there, exactly like
+// Session.Segments does. This is the streaming tap the fleet ingest
+// pipeline consumes: each machine's segments flow to a host-side ingest
+// worker as they finish instead of being collected after disarm. A nil fn
+// unregisters.
+func (s *Session) SetOnSegment(fn func(Segment)) { s.onSegment = fn }
 
 // notifyProgress delivers a snapshot to the registered callback.
 func (s *Session) notifyProgress() {
@@ -627,6 +643,9 @@ func (s *Session) drainNow(rearm bool) {
 		seg.Recycled = true
 	}
 	s.segments = append(s.segments, seg)
+	if s.onSegment != nil {
+		s.onSegment(seg)
+	}
 	if s.pipe != nil {
 		// Hand the segment to the background decoder. The send blocks only
 		// when PipelineDepth segments are already in flight — the bounded

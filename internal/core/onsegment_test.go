@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"kprof/internal/kernel"
+	"kprof/internal/sim"
+)
+
+// The segment hook must observe every drained segment — including the
+// final drain at Disarm — in drain order, with the records the session
+// retains.
+func TestOnSegmentHook(t *testing.T) {
+	m := NewMachine(kernel.Config{Seed: 17})
+	s, err := NewSession(m, ProfileConfig{
+		Mode:  CaptureContinuous,
+		Depth: 256,
+		Drain: DrainConfig{HighWater: 64, Interval: 20 * sim.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []Segment
+	s.SetOnSegment(func(seg Segment) { seen = append(seen, seg) })
+	s.Arm()
+	mallocStorm(m, 150)
+	m.K.Run(sim.Second)
+	s.Disarm()
+	if err := s.DrainErr(); err != nil {
+		t.Fatal(err)
+	}
+	segs := s.Segments()
+	if len(segs) < 2 {
+		t.Fatalf("drained only %d segments; grow the workload", len(segs))
+	}
+	if len(seen) != len(segs) {
+		t.Fatalf("hook fired %d times for %d segments", len(seen), len(segs))
+	}
+	var prev sim.Time
+	for i, seg := range seen {
+		if seg.Records != segs[i].Records || len(seg.Capture.Records) != seg.Records {
+			t.Fatalf("segment %d: hook saw %d records (%d in slice), session retains %d",
+				i, seg.Records, len(seg.Capture.Records), segs[i].Records)
+		}
+		if seg.DrainedAt < prev {
+			t.Fatalf("segment %d: drain time regressed %v -> %v", i, prev, seg.DrainedAt)
+		}
+		prev = seg.DrainedAt
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"kprof/internal/core"
+	"kprof/internal/fleet"
 	"kprof/internal/sim"
 	"kprof/internal/sweep"
 )
@@ -56,16 +57,36 @@ type SweepStatus struct {
 	Dropped  uint64 `json:"dropped_strobes"`
 }
 
+// FleetStatus is the live view of a fleet ingest pipeline, mirroring
+// fleet.Progress.
+type FleetStatus struct {
+	Machines     int `json:"machines"`
+	MachinesDone int `json:"machines_done"`
+	// SegmentsStaged and SegmentsCommitted are lifetime totals; Backlog
+	// is the staged-but-uncommitted count bounded by the staging store.
+	SegmentsStaged    int `json:"segments_staged"`
+	SegmentsCommitted int `json:"segments_committed"`
+	Backlog           int `json:"backlog"`
+	RecordsCommitted  int `json:"records_committed"`
+	// Dropped uses the repository-wide loss vocabulary.
+	Dropped uint64 `json:"dropped_strobes"`
+	// WatermarkUS is the fleet watermark: every machine's stream is
+	// committed at least this far into virtual time.
+	WatermarkUS   int64 `json:"watermark_us"`
+	WindowsClosed int   `json:"windows_closed"`
+}
+
 // StatusSnapshot is everything /status.json serves.
 type StatusSnapshot struct {
 	// Scenario and State describe the run as a whole; State is free-form
 	// ("running", "done", ...) and set by the driver via SetState.
 	Scenario string `json:"scenario,omitempty"`
 	State    string `json:"state"`
-	// Session and Sweep are present once the corresponding hook has
-	// fired at least once.
+	// Session, Sweep and Fleet are present once the corresponding hook
+	// has fired at least once.
 	Session *SessionStatus `json:"session,omitempty"`
 	Sweep   *SweepStatus   `json:"sweep,omitempty"`
+	Fleet   *FleetStatus   `json:"fleet,omitempty"`
 }
 
 // StatusServer serves the live capture status. Zero value is not usable;
@@ -149,6 +170,26 @@ func (s *StatusServer) OnSweepProgress(p sweep.Progress) {
 	s.snap.Sweep = st
 }
 
+// OnFleetProgress is a fleet ingest-pipeline hook: assign it to
+// fleet.Config.OnProgress. It runs under the staging store's lock, so it
+// only copies the snapshot and returns.
+func (s *StatusServer) OnFleetProgress(p fleet.Progress) {
+	st := &FleetStatus{
+		Machines:          p.Machines,
+		MachinesDone:      p.MachinesDone,
+		SegmentsStaged:    p.SegmentsStaged,
+		SegmentsCommitted: p.SegmentsCommitted,
+		Backlog:           p.Backlog,
+		RecordsCommitted:  p.RecordsCommitted,
+		Dropped:           p.Dropped,
+		WatermarkUS:       p.WatermarkUS,
+		WindowsClosed:     p.WindowsClosed,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snap.Fleet = st
+}
+
 // Snapshot returns a copy of the current status.
 func (s *StatusServer) Snapshot() StatusSnapshot {
 	s.mu.RLock()
@@ -209,6 +250,17 @@ func (s *StatusServer) serveHTML(w http.ResponseWriter, r *http.Request) {
 		if st.DrainErrs > 0 {
 			fmt.Fprintf(w, "<tr><th>failed drains</th><td>%d</td></tr>", st.DrainErrs)
 		}
+		fmt.Fprint(w, "</table>")
+	}
+	if st := snap.Fleet; st != nil {
+		fmt.Fprint(w, "<h2>fleet</h2><table>")
+		fmt.Fprintf(w, "<tr><th>machines done</th><td>%d / %d</td></tr>", st.MachinesDone, st.Machines)
+		fmt.Fprintf(w, "<tr><th>segments committed</th><td>%d / %d staged (%d backlog)</td></tr>",
+			st.SegmentsCommitted, st.SegmentsStaged, st.Backlog)
+		fmt.Fprintf(w, "<tr><th>records committed</th><td>%d</td></tr>", st.RecordsCommitted)
+		fmt.Fprintf(w, "<tr><th>dropped strobes</th><td>%d</td></tr>", st.Dropped)
+		fmt.Fprintf(w, "<tr><th>watermark</th><td>%s</td></tr>", sim.Time(st.WatermarkUS)*sim.Microsecond)
+		fmt.Fprintf(w, "<tr><th>windows closed</th><td>%d</td></tr>", st.WindowsClosed)
 		fmt.Fprint(w, "</table>")
 	}
 	if st := snap.Sweep; st != nil {

@@ -11,6 +11,7 @@ import (
 
 	"kprof/internal/core"
 	"kprof/internal/faults"
+	"kprof/internal/fleet"
 	"kprof/internal/kernel"
 	"kprof/internal/sim"
 	"kprof/internal/workload"
@@ -96,5 +97,52 @@ func TestStatusServerLiveFaultedSession(t *testing.T) {
 	snap := srv.Snapshot().Session
 	if snap == nil || snap.FaultsInjected != st.Injected() {
 		t.Fatalf("status reports %+v, injector says %d", snap, st.Injected())
+	}
+}
+
+// The fleet section rides OnFleetProgress: absent until the hook fires,
+// then present in both views, and a real fleet run drives it end to end
+// with a drained final state.
+func TestStatusServerFleet(t *testing.T) {
+	srv := NewStatusServer()
+	if body := statusGet(t, srv, "/status.json").Body.String(); strings.Contains(body, `"fleet"`) {
+		t.Fatalf("idle server leaked a fleet section:\n%s", body)
+	}
+	machines, err := fleet.MachinesFromMix(2, "netrecv", 900, workload.Params{Duration: 50 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fleet.Run(fleet.Config{
+		Machines:   machines,
+		Window:     20 * sim.Millisecond,
+		OnProgress: srv.OnFleetProgress,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap StatusSnapshot
+	if err := json.Unmarshal(statusGet(t, srv, "/status.json").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	fs := snap.Fleet
+	if fs == nil {
+		t.Fatal("fleet section missing after a fleet run")
+	}
+	if fs.Machines != 2 || fs.MachinesDone != 2 || fs.Backlog != 0 {
+		t.Fatalf("final fleet status not drained: %+v", fs)
+	}
+	if fs.SegmentsCommitted != res.Segments || fs.RecordsCommitted != res.Records {
+		t.Fatalf("status totals %d/%d, result says %d/%d",
+			fs.SegmentsCommitted, fs.RecordsCommitted, res.Segments, res.Records)
+	}
+	if fs.WatermarkUS != res.WatermarkUS || fs.WindowsClosed != len(res.Windows) {
+		t.Fatalf("status watermark/windows %d/%d, result says %d/%d",
+			fs.WatermarkUS, fs.WindowsClosed, res.WatermarkUS, len(res.Windows))
+	}
+	html := statusGet(t, srv, "/").Body.String()
+	for _, want := range []string{"fleet", "machines done", "watermark", "windows closed"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("HTML view missing %q:\n%s", want, html)
+		}
 	}
 }

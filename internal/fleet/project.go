@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ErrKilled reports a projector that hit its kill budget (SetKillAfter)
+// before the store drained — the simulated crash of the restart
+// differential test.
+var ErrKilled = errors.New("fleet: projector killed before the store drained")
+
+// Projector is a pool of projection workers over one staging store. Each
+// worker claims the head of some machine's queue — machines are claimed
+// exclusively, so per-machine commit order is structurally sequence order
+// — commits it, and releases the machine. Claims are the projector's only
+// state; everything durable lives in the Store, so a new Projector over
+// the same Store resumes exactly where a dead one stopped.
+type Projector struct {
+	st      *Store
+	workers int
+	wg      sync.WaitGroup
+
+	// claimed (guarded by st.mu) marks machines with a sample in flight.
+	claimed map[int]bool
+	// budget is the number of claims left before the projector simulates
+	// a crash; <0 is unlimited. stopped/killed record why workers exited.
+	budget  int
+	stopped bool
+	killed  bool
+}
+
+// NewProjector builds a projector; workers of 0 means GOMAXPROCS.
+func NewProjector(st *Store, workers int) *Projector {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Projector{st: st, workers: workers, budget: -1, claimed: make(map[int]bool)}
+}
+
+// SetKillAfter arms the simulated crash: the projector commits exactly n
+// more samples, then stops dead, leaving the store's checkpoints, open
+// windows and cumulative aggregate exactly as the n commits left them.
+// Call before Start.
+func (p *Projector) SetKillAfter(n int) { p.budget = n }
+
+// Start launches the workers.
+func (p *Projector) Start() {
+	for i := 0; i < p.workers; i++ {
+		p.wg.Add(1)
+		go p.run()
+	}
+}
+
+func (p *Projector) run() {
+	defer p.wg.Done()
+	for {
+		s := p.claim()
+		if s == nil {
+			return
+		}
+		p.st.Commit(s)
+		p.release(s.Machine)
+	}
+}
+
+// claim blocks until some unclaimed machine has a staged sample, the
+// store drains completely, the run fails, or the projector stops. Among
+// claimable machines it picks the one with the smallest checkpoint
+// position (ties by ID) — the machine most likely to be holding the
+// watermark back. The policy affects only scheduling: report bytes are
+// fixed by the commit fold orders, not by claim order.
+func (p *Projector) claim() *Sample {
+	st := p.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if st.failed != nil || p.stopped || st.allCompleteLocked() {
+			return nil
+		}
+		var best *machineState
+		for _, id := range st.order {
+			ms := st.machines[id]
+			if p.claimed[id] || len(ms.queue) == 0 {
+				continue
+			}
+			if best == nil || ms.pos < best.pos {
+				best = ms
+			}
+		}
+		if best != nil {
+			if p.budget == 0 {
+				p.stopped = true
+				p.killed = true
+				st.cond.Broadcast()
+				return nil
+			}
+			if p.budget > 0 {
+				p.budget--
+			}
+			p.claimed[best.id] = true
+			return best.queue[0]
+		}
+		st.cond.Wait()
+	}
+}
+
+func (p *Projector) release(machine int) {
+	st := p.st
+	st.mu.Lock()
+	delete(p.claimed, machine)
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// Stop halts the workers without draining and waits for them to exit.
+func (p *Projector) Stop() {
+	st := p.st
+	st.mu.Lock()
+	p.stopped = true
+	p.killed = true
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Wait blocks until every worker has exited and reports why: nil when the
+// store drained completely, ErrKilled when the kill budget (or Stop) hit
+// first, or the store's failure error.
+func (p *Projector) Wait() error {
+	p.wg.Wait()
+	st := p.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.failed != nil {
+		return st.failed
+	}
+	if p.killed && !st.allCompleteLocked() {
+		return ErrKilled
+	}
+	return nil
+}

@@ -45,10 +45,15 @@ func (f *FnAggregate) Stable(totalSeeds int, maxCV float64) bool {
 	return f.Seeds == totalSeeds && f.PctNet.CV() <= maxCV
 }
 
-// Aggregate is the cross-seed merge of a sweep.
+// Aggregate is the cross-seed merge of a sweep. The observation unit is
+// one SeedResult: a whole seed for a sweep, or one machine's contribution
+// to one time window for a fleet run (internal/fleet), which reuses this
+// type so fleet reports carry the same statistics vocabulary.
 type Aggregate struct {
 	Scenario string
-	Seeds    int
+	// Seeds counts observations folded in (per-seed for sweeps,
+	// per-machine-window for fleet runs).
+	Seeds int
 
 	// Whole-run scalars, one observation per seed.
 	ElapsedUS analyze.Acc
@@ -62,63 +67,149 @@ type Aggregate struct {
 	byName map[string]*FnAggregate
 }
 
+// Aggregator builds an Aggregate incrementally, one observation at a
+// time, instead of folding a finished result slice at the end. The sweep
+// engine feeds it per-seed results in seed order; the fleet ingest
+// pipeline feeds it per-(machine, window) samples in machine order as
+// each window closes. Observations fold in Add-call order and each
+// observation's functions fold in sorted name order, so two Aggregators
+// fed the same observations in the same order produce bit-identical
+// statistics — whatever scheduling produced the observations.
+type Aggregator struct {
+	g *Aggregate
+	// arena carves the per-function aggregates from one slab (append-only
+	// at fixed capacity, falling back to individual allocations if a run
+	// somehow exceeds the symbol-table hint).
+	arena []FnAggregate
+	names []string
+}
+
+// fnHint presizes for a full symbol table.
+const fnHint = 160
+
+// NewAggregator starts an empty aggregate for the named scenario (a fleet
+// merging heterogeneous scenarios passes its own label).
+func NewAggregator(scenario string) *Aggregator {
+	return &Aggregator{
+		g: &Aggregate{
+			Scenario: scenario,
+			Fns:      make([]*FnAggregate, 0, fnHint),
+			byName:   make(map[string]*FnAggregate, fnHint),
+		},
+		arena: make([]FnAggregate, 0, fnHint),
+		names: make([]string, 0, fnHint),
+	}
+}
+
+// Add folds one observation in. The result's functions fold in sorted
+// name order — map iteration order is random, and a fixed order keeps the
+// float accumulation deterministic.
+func (ag *Aggregator) Add(r SeedResult) {
+	g := ag.g
+	g.Seeds++
+	g.ElapsedUS.Add(r.ElapsedUS)
+	g.RunUS.Add(r.RunUS)
+	g.IdlePct.Add(r.IdlePct)
+	g.Records.Add(float64(r.Records))
+	g.Switches.Add(float64(r.Switches))
+
+	ag.names = ag.names[:0]
+	for name := range r.Fns {
+		ag.names = append(ag.names, name)
+	}
+	sort.Strings(ag.names)
+	for _, name := range ag.names {
+		s := r.Fns[name]
+		f := g.byName[name]
+		if f == nil {
+			if len(ag.arena) < cap(ag.arena) {
+				ag.arena = append(ag.arena, FnAggregate{Name: name})
+				f = &ag.arena[len(ag.arena)-1]
+			} else {
+				f = &FnAggregate{Name: name}
+			}
+			g.byName[name] = f
+			g.Fns = append(g.Fns, f)
+		}
+		f.Seeds++
+		f.Calls.Add(float64(s.Calls))
+		f.NetUS.Add(s.NetUS)
+		f.AvgUS.Add(s.AvgUS)
+		f.PctReal.Add(s.PctReal)
+		f.PctNet.Add(s.PctNet)
+	}
+}
+
+// Finish sorts the function table and returns the aggregate. The
+// Aggregator must not be used afterwards.
+func (ag *Aggregator) Finish() *Aggregate {
+	sortFns(ag.g.Fns)
+	return ag.g
+}
+
 // aggregate folds per-seed results in slice order — a fixed order, so the
 // merged statistics are identical however the seeds were scheduled.
 func aggregate(scenario string, results []SeedResult) *Aggregate {
-	// Presized for a full symbol table; the arena carves the per-function
-	// aggregates from one slab (append-only at fixed capacity, falling
-	// back to individual allocations if a sweep somehow exceeds it).
-	const fnHint = 160
-	arena := make([]FnAggregate, 0, fnHint)
-	g := &Aggregate{
-		Scenario: scenario,
-		Seeds:    len(results),
-		Fns:      make([]*FnAggregate, 0, fnHint),
-		byName:   make(map[string]*FnAggregate, fnHint),
-	}
-	names := make([]string, 0, fnHint)
+	ag := NewAggregator(scenario)
 	for _, r := range results {
-		g.ElapsedUS.Add(r.ElapsedUS)
-		g.RunUS.Add(r.RunUS)
-		g.IdlePct.Add(r.IdlePct)
-		g.Records.Add(float64(r.Records))
-		g.Switches.Add(float64(r.Switches))
-
-		// Map iteration order is random; fold each seed's functions in
-		// sorted name order to keep the float accumulation deterministic.
-		names = names[:0]
-		for name := range r.Fns {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			s := r.Fns[name]
-			f := g.byName[name]
-			if f == nil {
-				if len(arena) < cap(arena) {
-					arena = append(arena, FnAggregate{Name: name})
-					f = &arena[len(arena)-1]
-				} else {
-					f = &FnAggregate{Name: name}
-				}
-				g.byName[name] = f
-				g.Fns = append(g.Fns, f)
-			}
-			f.Seeds++
-			f.Calls.Add(float64(s.Calls))
-			f.NetUS.Add(s.NetUS)
-			f.AvgUS.Add(s.AvgUS)
-			f.PctReal.Add(s.PctReal)
-			f.PctNet.Add(s.PctNet)
-		}
+		ag.Add(r)
 	}
-	sort.Slice(g.Fns, func(i, j int) bool {
-		if g.Fns[i].NetUS.Mean != g.Fns[j].NetUS.Mean {
-			return g.Fns[i].NetUS.Mean > g.Fns[j].NetUS.Mean
+	return ag.Finish()
+}
+
+// Merge folds another aggregate into g using the exact parallel-variance
+// update (analyze.Acc.Merge): g becomes the aggregate of both input
+// observation sets. The other aggregate's functions fold in sorted name
+// order and g's function table is re-sorted afterwards, so a chain of
+// Merge calls in a fixed order — the fleet's windows closing in window
+// order — renders bit-identically however the observations were produced.
+// Merge-equals-serial holds to floating-point reassociation (~1e-9
+// relative on the moments; counts and extremes are exact), which is why
+// deterministic output always comes from fixing the fold order, never
+// from re-grouping the folds.
+func (g *Aggregate) Merge(o *Aggregate) {
+	g.Seeds += o.Seeds
+	g.ElapsedUS.Merge(o.ElapsedUS)
+	g.RunUS.Merge(o.RunUS)
+	g.IdlePct.Merge(o.IdlePct)
+	g.Records.Merge(o.Records)
+	g.Switches.Merge(o.Switches)
+
+	if g.byName == nil {
+		g.byName = make(map[string]*FnAggregate, fnHint)
+	}
+	names := make([]string, 0, len(o.Fns))
+	for _, f := range o.Fns {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		of := o.byName[name]
+		f := g.byName[name]
+		if f == nil {
+			f = &FnAggregate{Name: name}
+			g.byName[name] = f
+			g.Fns = append(g.Fns, f)
 		}
-		return g.Fns[i].Name < g.Fns[j].Name
+		f.Seeds += of.Seeds
+		f.Calls.Merge(of.Calls)
+		f.NetUS.Merge(of.NetUS)
+		f.AvgUS.Merge(of.AvgUS)
+		f.PctReal.Merge(of.PctReal)
+		f.PctNet.Merge(of.PctNet)
+	}
+	sortFns(g.Fns)
+}
+
+// sortFns orders the function table by mean net time descending, ties by
+// name — the rendering order, re-established after every build or merge.
+func sortFns(fns []*FnAggregate) {
+	sort.Slice(fns, func(i, j int) bool {
+		if fns[i].NetUS.Mean != fns[j].NetUS.Mean {
+			return fns[i].NetUS.Mean > fns[j].NetUS.Mean
+		}
+		return fns[i].Name < fns[j].Name
 	})
-	return g
 }
 
 // Fn looks one function's aggregate up by name.

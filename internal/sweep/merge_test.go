@@ -1,0 +1,182 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"kprof/internal/analyze"
+)
+
+// approxEq compares floats to a relative tolerance (absolute near zero):
+// Acc.Merge reassociates the Welford update, so moments agree with the
+// serial fold only to rounding.
+func approxEq(a, b float64) bool {
+	const tol = 1e-9
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	return d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// synthResults builds a deterministic observation set with overlapping
+// but not identical function populations, so merges exercise both the
+// find and the create path of the name fold.
+func synthResults(n int) []SeedResult {
+	names := []string{"bcopy", "in_cksum", "soreceive", "vm_fault", "ffs_write", "malloc", "ip_input", "tcp_input"}
+	results := make([]SeedResult, n)
+	for i := range results {
+		r := SeedResult{
+			Seed:      uint64(i),
+			ElapsedUS: 100000 + 37.5*float64(i),
+			RunUS:     90000 - 13.25*float64(i),
+			IdlePct:   5 + 0.75*float64(i%7),
+			Records:   16000 + 11*i,
+			Switches:  300 + 7*i,
+			Fns:       make(map[string]FnSample),
+		}
+		for j, name := range names {
+			if (i+j)%3 == 0 {
+				continue // this function absent in this observation
+			}
+			base := float64(i*7 + j*13)
+			r.Fns[name] = FnSample{
+				Calls:   100 + i*j,
+				NetUS:   1000 + 11.5*base,
+				AvgUS:   3 + 0.125*base,
+				PctReal: 1 + 0.01*base,
+				PctNet:  2 + 0.02*base,
+			}
+		}
+		results[i] = r
+	}
+	return results
+}
+
+func requireAccEq(t *testing.T, ctx string, got, want analyze.Acc) {
+	t.Helper()
+	if got.N != want.N {
+		t.Fatalf("%s: N = %d, want %d", ctx, got.N, want.N)
+	}
+	if got.N > 0 && (got.Min() != want.Min() || got.Max() != want.Max()) {
+		t.Fatalf("%s: extremes [%v, %v], want [%v, %v]", ctx, got.Min(), got.Max(), want.Min(), want.Max())
+	}
+	if !approxEq(got.Mean, want.Mean) || !approxEq(got.M2, want.M2) {
+		t.Fatalf("%s: moments (%v, %v), want (%v, %v)", ctx, got.Mean, got.M2, want.Mean, want.M2)
+	}
+}
+
+func requireAggEq(t *testing.T, ctx string, got, want *Aggregate) {
+	t.Helper()
+	if got.Seeds != want.Seeds {
+		t.Fatalf("%s: %d observations, want %d", ctx, got.Seeds, want.Seeds)
+	}
+	requireAccEq(t, ctx+": elapsed", got.ElapsedUS, want.ElapsedUS)
+	requireAccEq(t, ctx+": run", got.RunUS, want.RunUS)
+	requireAccEq(t, ctx+": idle%", got.IdlePct, want.IdlePct)
+	requireAccEq(t, ctx+": records", got.Records, want.Records)
+	requireAccEq(t, ctx+": switches", got.Switches, want.Switches)
+	if len(got.Fns) != len(want.Fns) {
+		t.Fatalf("%s: %d functions, want %d", ctx, len(got.Fns), len(want.Fns))
+	}
+	for _, wf := range want.Fns {
+		gf, ok := got.Fn(wf.Name)
+		if !ok {
+			t.Fatalf("%s: function %s missing", ctx, wf.Name)
+		}
+		if gf.Seeds != wf.Seeds {
+			t.Fatalf("%s: %s seen in %d observations, want %d", ctx, wf.Name, gf.Seeds, wf.Seeds)
+		}
+		requireAccEq(t, ctx+": "+wf.Name+" calls", gf.Calls, wf.Calls)
+		requireAccEq(t, ctx+": "+wf.Name+" net", gf.NetUS, wf.NetUS)
+		requireAccEq(t, ctx+": "+wf.Name+" avg", gf.AvgUS, wf.AvgUS)
+		requireAccEq(t, ctx+": "+wf.Name+" %real", gf.PctReal, wf.PctReal)
+		requireAccEq(t, ctx+": "+wf.Name+" %net", gf.PctNet, wf.PctNet)
+	}
+}
+
+// TestWindowedMergeEqualsFold is the fleet refactor's property test: an
+// incremental windowed merge — observations grouped into consecutive
+// windows, each window aggregated independently, windows merged into a
+// cumulative in order — equals the historical fold-at-the-end over the
+// same observations, for every window size and every split point. Counts
+// and extremes must match exactly; the moments to Merge's documented
+// reassociation tolerance.
+func TestWindowedMergeEqualsFold(t *testing.T) {
+	results := synthResults(13)
+	want := aggregate("synth", results)
+
+	// Every uniform window size from singletons to one big window.
+	for w := 1; w <= len(results); w++ {
+		cum := NewAggregator("synth").Finish()
+		for i := 0; i < len(results); i += w {
+			end := i + w
+			if end > len(results) {
+				end = len(results)
+			}
+			wa := NewAggregator("synth")
+			for _, r := range results[i:end] {
+				wa.Add(r)
+			}
+			cum.Merge(wa.Finish())
+		}
+		requireAggEq(t, fmt.Sprintf("window size %d", w), cum, want)
+	}
+
+	// Every two-way split point, including the empty prefix and suffix.
+	for cut := 0; cut <= len(results); cut++ {
+		left := NewAggregator("synth")
+		for _, r := range results[:cut] {
+			left.Add(r)
+		}
+		right := NewAggregator("synth")
+		for _, r := range results[cut:] {
+			right.Add(r)
+		}
+		cum := left.Finish()
+		cum.Merge(right.Finish())
+		requireAggEq(t, fmt.Sprintf("split at %d", cut), cum, want)
+	}
+}
+
+// TestAggregatorMatchesFold pins the streaming Aggregator to the batch
+// fold exactly: same observations in the same order must produce
+// bit-identical statistics (it is the same code path).
+func TestAggregatorMatchesFold(t *testing.T) {
+	results := synthResults(9)
+	want := aggregate("synth", results)
+	ag := NewAggregator("synth")
+	for _, r := range results {
+		ag.Add(r)
+	}
+	got := ag.Finish()
+	if got.Seeds != want.Seeds || len(got.Fns) != len(want.Fns) {
+		t.Fatalf("shape differs: %d/%d observations, %d/%d functions",
+			got.Seeds, want.Seeds, len(got.Fns), len(want.Fns))
+	}
+	if got.ElapsedUS != want.ElapsedUS || got.RunUS != want.RunUS {
+		t.Fatal("whole-run accumulators not bit-identical to the batch fold")
+	}
+	for i, wf := range want.Fns {
+		gf := got.Fns[i]
+		if gf.Name != wf.Name || gf.NetUS != wf.NetUS || gf.PctNet != wf.PctNet {
+			t.Fatalf("function %d (%s) not bit-identical to the batch fold", i, wf.Name)
+		}
+	}
+}
+
+// TestMergeIntoEmpty covers the degenerate directions: merging into a
+// fresh aggregate adopts the other side; merging an empty one is a no-op.
+func TestMergeIntoEmpty(t *testing.T) {
+	results := synthResults(5)
+	want := aggregate("synth", results)
+
+	empty := NewAggregator("synth").Finish()
+	empty.Merge(want)
+	requireAggEq(t, "into empty", empty, want)
+
+	full := aggregate("synth", results)
+	full.Merge(NewAggregator("synth").Finish())
+	requireAggEq(t, "empty into full", full, want)
+}

@@ -37,6 +37,7 @@ import (
 	"kprof/internal/core"
 	"kprof/internal/export"
 	"kprof/internal/faults"
+	"kprof/internal/fleet"
 	"kprof/internal/hw"
 	"kprof/internal/kernel"
 	"kprof/internal/loadgen"
@@ -443,4 +444,50 @@ var (
 	EstimateMbufLinking = analyze.EstimateMbufLinking
 	// EstimateOptimizedChecksum evaluates recoding in_cksum.
 	EstimateOptimizedChecksum = analyze.EstimateOptimizedChecksum
+)
+
+// Fleet mode: many machines, one ingest pipeline. N heterogeneous
+// simulated machines run continuous drain capture concurrently and stream
+// every finished segment into a central staging store; projection workers
+// commit them with atomic per-machine checkpoints under a monotonic fleet
+// watermark, folding an incremental windowed cross-fleet aggregate (see
+// internal/fleet and the DESIGN.md fleet section).
+type (
+	// FleetMachine describes one fleet machine: seed, scenario, card build.
+	FleetMachine = fleet.MachineConfig
+	// FleetConfig describes a fleet run (machines, window, workers,
+	// staging bound, progress hook).
+	FleetConfig = fleet.Config
+	// FleetResult is a finished fleet run: the closed windows and the
+	// cumulative aggregate, rendered by Write/WriteJSON.
+	FleetResult = fleet.Result
+	// FleetWindow is one closed aggregation window's summary.
+	FleetWindow = fleet.WindowSummary
+	// FleetProgress is a point-in-time view of the ingest pipeline
+	// (watermark, backlog, committed counts), fed to FleetConfig.OnProgress
+	// and to StatusServer.OnFleetProgress.
+	FleetProgress = fleet.Progress
+	// FleetSource is one machine's segment stream (live or replayed).
+	FleetSource = fleet.Source
+	// FleetReplaySource replays a pre-captured segment stream — the same
+	// bytes under any worker count, for determinism tests and benchmarks.
+	FleetReplaySource = fleet.ReplaySource
+)
+
+// FleetSchema tags the fleet JSON report format.
+const FleetSchema = fleet.Schema
+
+// RunFleet executes a full fleet run and returns the windowed result.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) { return fleet.Run(cfg) }
+
+var (
+	// RunFleetSources executes a fleet run over explicit sources (e.g.
+	// FleetReplaySources).
+	RunFleetSources = fleet.RunSources
+	// FleetMachinesFromMix expands a scenario-mix spec ("netrecv=2,proday=1")
+	// into n deterministic heterogeneous machine configurations.
+	FleetMachinesFromMix = fleet.MachinesFromMix
+	// RecordFleetSource captures one machine's live stream into a
+	// FleetReplaySource.
+	RecordFleetSource = fleet.Record
 )

@@ -47,6 +47,23 @@ if [ "${SKIP_RACE:-0}" != "1" ]; then
 		./internal/analyze/ ./internal/core/ ./internal/bench/
 fi
 
+echo "== fleet determinism + restart (GOMAXPROCS 1/2/4) =="
+# The fleet report must be byte-identical for any projection-worker count
+# and ingest interleaving, and a killed-and-restarted projector must
+# resume from the checkpoints to the same bytes. Run the differentials
+# under one, two and four procs, and under the race detector (unless
+# skipped) to cover the staging/projection concurrency itself.
+for procs in 1 2 4; do
+	GOMAXPROCS=$procs go test -count=1 \
+		-run 'TestFleetDeterminism|TestFleetRestart' \
+		./internal/fleet/
+done
+if [ "${SKIP_RACE:-0}" != "1" ]; then
+	GOMAXPROCS=4 go test -race -count=1 \
+		-run 'TestFleet|TestStatusServerFleet' \
+		./internal/fleet/ ./internal/export/
+fi
+
 echo "== fuzz smoke =="
 go test -run 'FuzzDecodeUnwrap|FuzzSegmentBoundary|FuzzFaultedDecode|FuzzProdayDecode' ./internal/analyze/
 if [ "${SKIP_FUZZ:-0}" != "1" ]; then
