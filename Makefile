@@ -17,11 +17,11 @@ race:
 
 # The perf-trajectory artifact: run the full deterministic benchmark suite
 # (streaming decode, drain-and-stitch capture, multi-seed sweep, proday
-# end to end, fleet ingest) and write BENCH_8.json — the artifact
+# end to end, fleet ingest, live serving tier) and write BENCH_9.json — the artifact
 # scripts/bench_check.sh gates regressions against. Bump the artifact
 # number alongside the ISSUE/PR number.
 bench:
-	$(GO) run ./cmd/kprof -bench BENCH_8.json
+	$(GO) run ./cmd/kprof -bench BENCH_9.json
 
 # Regression gate: quick benchmark run compared against the newest
 # committed BENCH_*.json (>15 % slower or more allocs per record fails).

@@ -90,7 +90,8 @@ func main() {
 		tagsIn     = flag.String("tags", "", "name/tag file for -load")
 		pprofOut   = flag.String("pprof", "", "write the analysis as a gzipped pprof profile (view with `go tool pprof`)")
 		traceOut   = flag.String("trace", "", "write the analysis as a Chrome trace_event JSON file (view in Perfetto or chrome://tracing)")
-		httpAddr   = flag.String("http", "", "serve live capture status (JSON + HTML) on this address, e.g. :6060; keeps serving after the run")
+		httpAddr   = flag.String("http", "", "serve live capture status on this address, e.g. :6060 (JSON + HTML + SSE /events + /timeseries.json + live /pprof and /trace.json); keeps serving after the run")
+		ringCap    = flag.Int("ringcap", 0, "points retained per time-series ring on the -http endpoint (0 = 256 windows / 512 load samples)")
 		faultsOn   = flag.Bool("faults", false, "inject deterministic hardware faults into the capture (robustness testing)")
 		faultRate  = flag.Float64("faultrate", 0.01, "per-strobe fault probability in [0,1] (needs -faults)")
 		faultSeed  = flag.Uint64("faultseed", 1, "fault-injector seed; sweeps derive a per-seed stream from it (needs -faults)")
@@ -128,6 +129,9 @@ func main() {
 			return
 		}
 		status = export.NewStatusServer()
+		if *ringCap > 0 {
+			status.SetRingCap(*ringCap, 2**ringCap)
+		}
 		status.SetScenario(scenario)
 		status.SetState("running")
 		url, _, err := status.Start(*httpAddr)
@@ -135,10 +139,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "kprof:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "kprof: live status at %s\n", url)
+		fmt.Fprintf(os.Stderr, "kprof: live status at %s (/, /status.json, /events, /timeseries.json, /pprof, /trace.json)\n", url)
 	}
-	// finish flushes the exporters, parks the status server in its "done"
-	// state, and exits the process.
+	// finish flushes the exporters, publishes the analysis to the live
+	// /pprof and /trace.json endpoints, parks the status server in its
+	// "done" state, and exits the process.
 	finish := func(a *analyze.Analysis) {
 		if a != nil {
 			if err := writeExports(a, *pprofOut, *traceOut); err != nil {
@@ -147,6 +152,9 @@ func main() {
 			}
 		}
 		if status != nil {
+			if a != nil {
+				status.PublishAnalysis(a)
+			}
 			status.SetState("done")
 			fmt.Fprintf(os.Stderr, "kprof: run finished; status endpoint still serving (Ctrl-C to exit)\n")
 			select {}
@@ -202,11 +210,13 @@ func main() {
 	if *fleetN > 0 {
 		serveStatus(fmt.Sprintf("fleet of %d (%s)", *fleetN, *fleetMix))
 		var onProgress func(fleet.Progress)
+		var onWindow func(fleet.WindowSummary)
 		if status != nil {
 			onProgress = status.OnFleetProgress
+			onWindow = status.OnFleetWindow
 		}
 		if err := runFleet(*fleetN, *fleetMix, *fleetWrk, *seed, params,
-			sim.Time(window.Nanoseconds()), *top, *fleetJSON, onProgress); err != nil {
+			sim.Time(window.Nanoseconds()), *top, *fleetJSON, onProgress, onWindow); err != nil {
 			fmt.Fprintln(os.Stderr, "kprof:", err)
 			os.Exit(1)
 		}
@@ -337,7 +347,7 @@ func main() {
 // runFleet builds the fleet from the mix spec, runs it through the ingest
 // pipeline, and prints the windowed report (plus the JSON document when
 // requested).
-func runFleet(n int, mixSpec string, workers int, seed uint64, params workload.Params, window sim.Time, top int, jsonPath string, onProgress func(fleet.Progress)) error {
+func runFleet(n int, mixSpec string, workers int, seed uint64, params workload.Params, window sim.Time, top int, jsonPath string, onProgress func(fleet.Progress), onWindow func(fleet.WindowSummary)) error {
 	machines, err := fleet.MachinesFromMix(n, mixSpec, seed, params)
 	if err != nil {
 		return err
@@ -347,6 +357,7 @@ func runFleet(n int, mixSpec string, workers int, seed uint64, params workload.P
 		Window:     window,
 		Workers:    workers,
 		OnProgress: onProgress,
+		OnWindow:   onWindow,
 	})
 	if err != nil {
 		return err

@@ -393,5 +393,11 @@ func Run(cfg Config) (*Report, error) {
 	fleetRes.WallNoisy = true
 	rep.Benchmarks = append(rep.Benchmarks, fleetRes)
 
+	// serve/*: the live serving tier — cached vs uncached status requests
+	// and SSE fan-out (serve.go).
+	if err := serveBenchmarks(cfg, rep); err != nil {
+		return nil, err
+	}
+
 	return rep, nil
 }

@@ -237,7 +237,9 @@ type Session struct {
 	injector *faults.Injector
 
 	// progress, when set, observes capture state changes (see SetProgress).
-	progress func(Progress)
+	// progressGen counts delivered snapshots (Progress.Gen).
+	progress    func(Progress)
+	progressGen uint64
 	// onSegment, when set, receives each drained segment (see SetOnSegment).
 	onSegment func(Segment)
 }
@@ -271,6 +273,11 @@ type Progress struct {
 	// DrainErrs counts drains whose readout failed verification so far;
 	// each one stranded a bank, accounted as dropped strobes above.
 	DrainErrs int
+	// Gen is a session-monotonic snapshot sequence number: it increments
+	// by exactly one per delivered snapshot, so a consumer can order
+	// snapshots and invalidate caches (export.StatusServer's ETag
+	// generations) without comparing every field.
+	Gen uint64
 }
 
 // SetProgress registers fn to observe the session's capture state: it
@@ -318,6 +325,8 @@ func (s *Session) notifyProgress() {
 	if s.injector != nil {
 		p.FaultsInjected = s.injector.Stats().Injected()
 	}
+	s.progressGen++
+	p.Gen = s.progressGen
 	s.progress(p)
 }
 

@@ -550,3 +550,34 @@ func TestMidRunAnalyzePipelineEquivalence(t *testing.T) {
 		t.Fatalf("drain errors: serial %v, pipelined %v", sSer.DrainErr(), sPipe.DrainErr())
 	}
 }
+
+// TestProgressGenMonotonic: every delivered progress snapshot carries the
+// session's Gen sequence number, incrementing by exactly one per
+// delivery starting at 1 — the serving tier keys cache invalidation and
+// SSE event identity off it, so two equal Gens must always be the same
+// snapshot.
+func TestProgressGenMonotonic(t *testing.T) {
+	m := NewMachine(kernel.Config{Seed: 5})
+	s, err := NewSession(m, ProfileConfig{
+		Mode:  CaptureContinuous,
+		Depth: 256,
+		Drain: DrainConfig{HighWater: 64, Interval: 20 * sim.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gens []uint64
+	s.SetProgress(func(p Progress) { gens = append(gens, p.Gen) })
+	s.Arm()
+	mallocStorm(m, 200)
+	m.K.Run(1 * sim.Second)
+	s.Disarm()
+	if len(gens) < 3 {
+		t.Fatalf("only %d progress deliveries; the run should drain repeatedly", len(gens))
+	}
+	for i, g := range gens {
+		if g != uint64(i+1) {
+			t.Fatalf("delivery %d carried gen %d, want %d (dense, monotonic, starting at 1)", i, g, i+1)
+		}
+	}
+}

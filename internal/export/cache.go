@@ -1,0 +1,101 @@
+package export
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Cached resource rendering with ETag revalidation. Every cacheable
+// endpoint owns a cachedResource; every mutation of the state a resource
+// renders bumps its generation counter (inside the mutator's critical
+// section, after the state change). The serving invariant is one-sided
+// and cheap to maintain:
+//
+//	a 304 is only ever sent for the ETag of the CURRENT generation, and
+//	every mutation bumps the generation — so a client holding a stale
+//	ETag always gets a 200 with a fresh body, and a client that
+//	revalidates an unchanged resource always gets a 304 that cost no
+//	render, no marshal, and no snapshot lock.
+//
+// The body cache may briefly be fresher than its generation label (a
+// mutation can land between the generation read and the render), which
+// only means one extra re-render on the next miss — never a stale body.
+
+// cachedResource is one endpoint's generation counter plus the rendered
+// body for that generation.
+type cachedResource struct {
+	// prefix distinguishes the resource's ETags (e.g. `"st-7"`).
+	prefix string
+	gen    atomic.Uint64
+	// etag caches the formatted ETag of the current generation so the
+	// 304 fast path allocates nothing in steady state.
+	etag atomic.Pointer[etagEntry]
+
+	mu      sync.Mutex
+	body    []byte
+	bodyGen uint64
+}
+
+type etagEntry struct {
+	gen uint64
+	str string
+}
+
+// invalidate marks the resource changed; the next request re-renders.
+func (c *cachedResource) invalidate() { c.gen.Add(1) }
+
+// currentETag formats (and caches) the ETag of the current generation.
+func (c *cachedResource) currentETag() string {
+	g := c.gen.Load()
+	if e := c.etag.Load(); e != nil && e.gen == g {
+		return e.str
+	}
+	s := `"` + c.prefix + strconv.FormatUint(g, 10) + `"`
+	c.etag.Store(&etagEntry{gen: g, str: s})
+	return s
+}
+
+// etagMatch implements If-None-Match: a comma-separated list of entity
+// tags, or "*" for any. Weak tags (W/"...") compare by their opaque part
+// — for a 304 the weak comparison is the correct one.
+func etagMatch(header, etag string) bool {
+	for len(header) > 0 {
+		var field string
+		field, header, _ = strings.Cut(header, ",")
+		field = strings.TrimSpace(field)
+		field = strings.TrimPrefix(field, "W/")
+		if field == "*" || field == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// serve answers one request for the resource: a 304 when the client's
+// ETag is current (without rendering anything), otherwise the cached
+// body for the current generation, re-rendering it only when the
+// generation moved since the last render.
+func (c *cachedResource) serve(w http.ResponseWriter, r *http.Request, ctype string, render func() []byte) {
+	etag := c.currentETag()
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	c.mu.Lock()
+	if g := c.gen.Load(); c.body == nil || c.bodyGen != g {
+		c.body = render()
+		c.bodyGen = g
+	}
+	body := c.body
+	c.mu.Unlock()
+	// Cache-Control: no-cache makes clients revalidate (the cheap 304
+	// path) instead of reusing a possibly stale body without asking.
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Content-Type", ctype)
+	w.Write(body)
+}

@@ -1,0 +1,160 @@
+package export
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The SSE fan-out hub. Progress hooks run on the simulation and
+// projection goroutines — the measured path — so publishing must never
+// block there, whatever the subscribers do. The hub gives every
+// subscriber a bounded buffered channel and publishes with a non-blocking
+// send: a subscriber whose buffer is full is evicted on the spot (its
+// channel is closed and SlowDropped accounts for it) rather than ever
+// holding a send. When nobody is subscribed, Publish returns after one
+// atomic load, so an unwatched capture pays nothing for the hub's
+// existence. See DESIGN.md ("Live serving tier") for the policy
+// discussion.
+
+// DefaultEventBuffer is the per-subscriber event buffer when
+// StatusServer.SetEventBuffer was not called. A subscriber that falls
+// this many events behind the capture is dropped.
+const DefaultEventBuffer = 64
+
+// Event is one hub event: a name (the SSE event type), a JSON payload,
+// and a hub-wide monotonic sequence number (the SSE id).
+type Event struct {
+	Seq  uint64
+	Name string
+	Data []byte
+}
+
+// HubStats is the hub's lifetime accounting, served in /status.json's
+// "serving" section.
+type HubStats struct {
+	// Subscribers is the current subscriber count.
+	Subscribers int `json:"subscribers"`
+	// Published counts events accepted for fan-out (publishes while
+	// nobody was subscribed are not events and are not counted).
+	Published uint64 `json:"events_published"`
+	// SlowDropped counts subscribers evicted because their buffer was
+	// full when an event arrived.
+	SlowDropped uint64 `json:"slow_clients_dropped"`
+}
+
+// hub is the bounded fan-out hub behind /events.
+type hub struct {
+	// nsubs mirrors len(subs) so Publish can bail without the lock when
+	// nobody is listening.
+	nsubs atomic.Int32
+
+	mu          sync.Mutex
+	subs        map[*Subscription]struct{}
+	seq         uint64
+	published   uint64
+	slowDropped uint64
+	buffer      int
+	// onChange fires (outside the lock) whenever the subscriber set
+	// changes — the status cache includes the count, so it must
+	// invalidate.
+	onChange func()
+}
+
+func newHub(onChange func()) *hub {
+	return &hub{
+		subs:     make(map[*Subscription]struct{}),
+		buffer:   DefaultEventBuffer,
+		onChange: onChange,
+	}
+}
+
+// Subscription is one event subscriber — an /events HTTP client, or an
+// in-process consumer from StatusServer.Subscribe. Receive from C until
+// it is closed: a close without Close being called means the hub evicted
+// the subscriber as too slow.
+type Subscription struct {
+	// C delivers events in publish order.
+	C <-chan Event
+	h *hub
+	c chan Event
+}
+
+// active reports whether anyone is subscribed; callers use it to skip
+// payload marshaling entirely on the unwatched path.
+func (h *hub) active() bool { return h.nsubs.Load() > 0 }
+
+// subscribe registers a new subscriber with the hub's current buffer
+// bound.
+func (h *hub) subscribe() *Subscription {
+	h.mu.Lock()
+	s := &Subscription{h: h, c: make(chan Event, h.buffer)}
+	s.C = s.c
+	h.subs[s] = struct{}{}
+	h.nsubs.Store(int32(len(h.subs)))
+	h.mu.Unlock()
+	if h.onChange != nil {
+		h.onChange()
+	}
+	return s
+}
+
+// Close unsubscribes. Safe to call after eviction and more than once.
+func (s *Subscription) Close() {
+	h := s.h
+	h.mu.Lock()
+	_, present := h.subs[s]
+	if present {
+		delete(h.subs, s)
+		close(s.c)
+		h.nsubs.Store(int32(len(h.subs)))
+	}
+	h.mu.Unlock()
+	if present && h.onChange != nil {
+		h.onChange()
+	}
+}
+
+// publish fans one event out to every subscriber without ever blocking:
+// a full buffer evicts its subscriber (close + account) instead of
+// holding the send. Channel close happens under the same lock as every
+// send, so an evicted channel can never be sent to again.
+func (h *hub) publish(name string, data []byte) {
+	if !h.active() {
+		return
+	}
+	h.mu.Lock()
+	if len(h.subs) == 0 {
+		h.mu.Unlock()
+		return
+	}
+	h.seq++
+	h.published++
+	ev := Event{Seq: h.seq, Name: name, Data: data}
+	evicted := false
+	for s := range h.subs {
+		select {
+		case s.c <- ev:
+		default:
+			delete(h.subs, s)
+			close(s.c)
+			h.slowDropped++
+			evicted = true
+		}
+	}
+	h.nsubs.Store(int32(len(h.subs)))
+	h.mu.Unlock()
+	if evicted && h.onChange != nil {
+		h.onChange()
+	}
+}
+
+// stats reports the hub's lifetime accounting.
+func (h *hub) stats() HubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HubStats{
+		Subscribers: len(h.subs),
+		Published:   h.published,
+		SlowDropped: h.slowDropped,
+	}
+}

@@ -1,0 +1,152 @@
+// Hub-level concurrency battery: the bounded fan-out's eviction policy
+// (a stuck subscriber is dropped with accounting, never waited on), the
+// idle fast path (no subscribers, no work), and the subscriber-set
+// bookkeeping the status cache depends on.
+package export
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"kprof/internal/core"
+)
+
+// progressAt builds a distinct session progress snapshot — each call
+// through OnSessionProgress is one published event when subscribers are
+// connected.
+func progressAt(i int) core.Progress {
+	return core.Progress{Stored: i, Depth: 1 << 20, Gen: uint64(i + 1)}
+}
+
+// A subscriber that never receives is evicted the moment its buffer
+// overflows; the publisher never blocks, healthy subscribers are
+// untouched, and the eviction is accounted. This is the slow-client
+// test at the hub layer, where the property is exact: the stuck
+// subscriber holds precisely its buffer, the healthy one every event.
+func TestHubSlowSubscriberEvicted(t *testing.T) {
+	srv := NewStatusServer()
+	srv.SetEventBuffer(4)
+	stuck := srv.Subscribe()
+	srv.SetEventBuffer(2048) // future subscribers get the bigger bound
+	healthy := srv.Subscribe()
+
+	const events = 1000
+	for i := 0; i < events; i++ {
+		srv.OnSessionProgress(progressAt(i)) // must never block: no one is reading yet
+	}
+
+	st := srv.HubStats()
+	if st.SlowDropped != 1 || st.Subscribers != 1 || st.Published != events {
+		t.Fatalf("hub stats %+v, want 1 dropped, 1 subscriber, %d published", st, events)
+	}
+
+	// The stuck subscriber holds exactly its buffer, then a close.
+	got := 0
+	for range stuck.C {
+		got++
+	}
+	if got != 4 {
+		t.Fatalf("stuck subscriber buffered %d events, want its buffer of 4", got)
+	}
+	stuck.Close() // idempotent after eviction
+
+	// The healthy subscriber got every event, in order, with contiguous
+	// hub sequence numbers.
+	var last uint64
+	got = 0
+	healthy.Close()
+	for ev := range healthy.C {
+		if last != 0 && ev.Seq != last+1 {
+			t.Fatalf("event seq %d after %d, want contiguous", ev.Seq, last)
+		}
+		last = ev.Seq
+		got++
+	}
+	if got != events {
+		t.Fatalf("healthy subscriber got %d events, want %d", got, events)
+	}
+}
+
+// With no subscribers the hub does no work and counts nothing: the
+// unwatched capture path publishes into the void for free, and the
+// status snapshot omits the serving section entirely.
+func TestHubIdlePublishIsFree(t *testing.T) {
+	srv := NewStatusServer()
+	for i := 0; i < 100; i++ {
+		srv.OnSessionProgress(progressAt(i))
+	}
+	if st := srv.HubStats(); st != (HubStats{}) {
+		t.Fatalf("idle hub accounted %+v, want zero", st)
+	}
+	if snap := srv.Snapshot(); snap.Serving != nil {
+		t.Fatalf("idle snapshot grew a serving section: %+v", snap.Serving)
+	}
+}
+
+// Subscribe/Close bookkeeping: counts track the set, Close is
+// idempotent, and a subscriber who left stops receiving.
+func TestHubSubscribeClose(t *testing.T) {
+	srv := NewStatusServer()
+	a, b := srv.Subscribe(), srv.Subscribe()
+	if st := srv.HubStats(); st.Subscribers != 2 {
+		t.Fatalf("subscribers %d, want 2", st.Subscribers)
+	}
+	a.Close()
+	a.Close()
+	if st := srv.HubStats(); st.Subscribers != 1 {
+		t.Fatalf("subscribers %d after close, want 1", st.Subscribers)
+	}
+	srv.OnSessionProgress(progressAt(1))
+	if _, ok := <-a.C; ok {
+		t.Fatal("closed subscription still receives")
+	}
+	select {
+	case ev := <-b.C:
+		if ev.Name != "session" {
+			t.Fatalf("event name %q, want session", ev.Name)
+		}
+	default:
+		t.Fatal("live subscription got nothing")
+	}
+	b.Close()
+}
+
+// The HTTP-level slow-client test: an /events client that never reads
+// lets the socket, the handler and finally its hub buffer fill — at
+// which point the hub evicts it, while the goroutine doing the
+// publishing (standing in for the capture loop) sails through a bounded
+// number of events without ever blocking.
+func TestHubHTTPSlowClientEvicted(t *testing.T) {
+	srv := NewStatusServer()
+	srv.SetEventBuffer(8)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	resp, err := http.Get(hs.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() // never read from it
+
+	deadline := time.Now().Add(30 * time.Second)
+	published := 0
+	for srv.HubStats().SlowDropped == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no eviction after %d events published against a stuck client", published)
+		}
+		// Publish a batch from this goroutine: if the hub ever blocked on
+		// the stuck client, this loop — the stand-in capture path — would
+		// hang and the deadline above would fire.
+		for i := 0; i < 1000; i++ {
+			srv.OnSessionProgress(progressAt(published))
+			published++
+		}
+	}
+	st := srv.HubStats()
+	if st.SlowDropped != 1 {
+		t.Fatalf("hub stats %+v, want exactly one eviction", st)
+	}
+	t.Logf("stuck client evicted after %d events (socket+buffer capacity)", published)
+}

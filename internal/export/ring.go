@@ -1,0 +1,199 @@
+package export
+
+import "sync"
+
+// The time-series ring behind /timeseries.json: fixed-capacity history of
+// (a) closed fleet window summaries and (b) ingest load samples, so a
+// client joining mid-run can see the recent trend without having polled
+// from the start. Capacity is fixed up front and old points are
+// overwritten — a multi-day run holds the ring, not the run's history.
+//
+// Determinism contract: the windows series is a pure function of the
+// committed samples (window close order is deterministic), and a load
+// point is appended only when the staged or committed segment totals
+// changed — never for machine-completion or watermark-only progress
+// events, whose field values depend on goroutine interleaving. A load
+// point therefore carries only interleaving-independent fields, and
+// /timeseries.json is byte-identical for a seeded single-pipeline run no
+// matter how many subscribers watch (the battery asserts this).
+
+// TimeseriesSchema identifies the /timeseries.json document format.
+const TimeseriesSchema = "kprof-timeseries/1"
+
+// Default ring capacities (see SetRingCap).
+const (
+	DefaultWindowRing = 256
+	DefaultLoadRing   = 512
+)
+
+// WindowPoint is one closed fleet window in the time series. Seq is the
+// lifetime point index (0-based), so a ring that has wrapped still shows
+// how much history was discarded; the remaining fields mirror
+// fleet.WindowSummary with the per-window top function inlined.
+type WindowPoint struct {
+	Seq      int64  `json:"seq"`
+	Index    int64  `json:"index"`
+	StartUS  int64  `json:"start_us"`
+	EndUS    int64  `json:"end_us"`
+	Machines int    `json:"machines"`
+	Segments int    `json:"segments"`
+	Records  int    `json:"records"`
+	Dropped  uint64 `json:"dropped_strobes"`
+	// TopFn is the window's heaviest function by mean net time, with its
+	// cross-machine mean share of run time; absent for empty windows.
+	TopFn      string  `json:"top_fn,omitempty"`
+	TopFnPct   float64 `json:"top_fn_pct_net,omitempty"`
+	TopFnNetUS float64 `json:"top_fn_net_us_mean,omitempty"`
+}
+
+// LoadPoint is one ingest-pipeline load sample: backlog and throughput
+// at a staged- or committed-segment transition. Only
+// interleaving-independent fields are recorded (see the determinism
+// contract above).
+type LoadPoint struct {
+	Seq int64 `json:"seq"`
+	// Staged and Committed are lifetime segment totals; Backlog is
+	// staged-minus-committed, the staging-store occupancy.
+	Staged    int `json:"segments_staged"`
+	Committed int `json:"segments_committed"`
+	Backlog   int `json:"backlog"`
+	// Records and Dropped total the committed samples.
+	Records int    `json:"records_committed"`
+	Dropped uint64 `json:"dropped_strobes"`
+}
+
+// Timeseries is the /timeseries.json document: both rings oldest-first,
+// plus lifetime totals so a wrapped ring is recognizable (Seq of the
+// first point > 0, or total > len).
+type Timeseries struct {
+	Schema string `json:"schema"`
+	// WindowCap and LoadCap are the ring capacities.
+	WindowCap int `json:"window_cap"`
+	LoadCap   int `json:"load_cap"`
+	// WindowsTotal and LoadTotal count points ever appended, including
+	// ones the rings have since overwritten.
+	WindowsTotal int64 `json:"windows_total"`
+	LoadTotal    int64 `json:"load_total"`
+	// Windows and Load list the retained points, oldest first.
+	Windows []WindowPoint `json:"windows"`
+	Load    []LoadPoint   `json:"load"`
+}
+
+// ring is a fixed-capacity overwrite-oldest buffer.
+type ring[T any] struct {
+	buf   []T
+	next  int // buf index the next push writes
+	n     int // live entries, ≤ len(buf)
+	total int64
+}
+
+func newRing[T any](capacity int) ring[T] {
+	return ring[T]{buf: make([]T, capacity)}
+}
+
+func (r *ring[T]) push(v T) {
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.total++
+}
+
+// snapshot copies the live entries oldest-first.
+func (r *ring[T]) snapshot() []T {
+	out := make([]T, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// timeseries holds both rings and the load-coalescing state.
+type timeseries struct {
+	mu      sync.Mutex
+	windows ring[WindowPoint]
+	load    ring[LoadPoint]
+	// lastStaged/lastCommitted dedupe load points: only a staged or
+	// committed transition appends one.
+	lastStaged    int
+	lastCommitted int
+}
+
+func newTimeseries(windowCap, loadCap int) *timeseries {
+	return &timeseries{
+		windows: newRing[WindowPoint](windowCap),
+		load:    newRing[LoadPoint](loadCap),
+	}
+}
+
+// pushWindow appends a window point, assigning its Seq, and returns it.
+func (t *timeseries) pushWindow(p WindowPoint) WindowPoint {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p.Seq = t.windows.total
+	t.windows.push(p)
+	return p
+}
+
+// pushLoad appends a load point if the staged/committed totals moved
+// since the last one; reports whether it appended.
+func (t *timeseries) pushLoad(p LoadPoint) (LoadPoint, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.load.total > 0 && p.Staged == t.lastStaged && p.Committed == t.lastCommitted {
+		return LoadPoint{}, false
+	}
+	t.lastStaged = p.Staged
+	t.lastCommitted = p.Committed
+	p.Seq = t.load.total
+	t.load.push(p)
+	return p, true
+}
+
+// document assembles the /timeseries.json payload.
+func (t *timeseries) document() Timeseries {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	doc := Timeseries{
+		Schema:       TimeseriesSchema,
+		WindowCap:    len(t.windows.buf),
+		LoadCap:      len(t.load.buf),
+		WindowsTotal: t.windows.total,
+		LoadTotal:    t.load.total,
+		Windows:      t.windows.snapshot(),
+		Load:         t.load.snapshot(),
+	}
+	return doc
+}
+
+// sparkline renders vals as a block-character strip scaled to the
+// maximum value (the HTML page's trend view). Empty input renders empty.
+func sparkline(vals []int) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	max := 0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		if v < 0 {
+			v = 0
+		}
+		lv := 0
+		if max > 0 {
+			lv = v * (len(blocks) - 1) / max
+		}
+		out[i] = blocks[lv]
+	}
+	return string(out)
+}

@@ -1,0 +1,127 @@
+// Time-series ring battery: fixed-capacity bounds under wrap, the
+// load-point coalescing rule that keeps /timeseries.json deterministic,
+// and the sparkline rendering on the HTML page.
+package export
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"kprof/internal/fleet"
+)
+
+func windowAt(i int) fleet.WindowSummary {
+	return fleet.WindowSummary{
+		Index:   int64(i),
+		StartUS: int64(i) * 1000,
+		EndUS:   int64(i+1) * 1000,
+		Records: 100 + i,
+		Top:     []fleet.WindowFn{{Name: "tcp_input", PctNetMean: 12.5, NetUSMean: 40}},
+	}
+}
+
+// Overfilling both rings keeps exactly the newest cap entries, with
+// lifetime totals and Seq numbers that expose how much history fell off
+// the end.
+func TestTimeseriesRingBounds(t *testing.T) {
+	srv := NewStatusServer()
+	srv.SetRingCap(4, 3)
+	for i := 0; i < 10; i++ {
+		srv.OnFleetWindow(windowAt(i))
+		srv.OnFleetProgress(fleet.Progress{SegmentsStaged: i + 1, SegmentsCommitted: i, Backlog: 1})
+	}
+	doc := srv.Timeseries()
+	if doc.Schema != TimeseriesSchema || doc.WindowCap != 4 || doc.LoadCap != 3 {
+		t.Fatalf("doc header %+v", doc)
+	}
+	if doc.WindowsTotal != 10 || len(doc.Windows) != 4 {
+		t.Fatalf("windows: total %d, kept %d; want 10 total, 4 kept", doc.WindowsTotal, len(doc.Windows))
+	}
+	for i, p := range doc.Windows {
+		if want := int64(6 + i); p.Seq != want || p.Index != want {
+			t.Fatalf("window %d has seq %d index %d, want %d (oldest-first tail)", i, p.Seq, p.Index, want)
+		}
+		if p.TopFn != "tcp_input" || p.TopFnPct != 12.5 {
+			t.Fatalf("window %d top %q/%v, want tcp_input/12.5", i, p.TopFn, p.TopFnPct)
+		}
+	}
+	if doc.LoadTotal != 10 || len(doc.Load) != 3 {
+		t.Fatalf("load: total %d, kept %d; want 10 total, 3 kept", doc.LoadTotal, len(doc.Load))
+	}
+	if last := doc.Load[len(doc.Load)-1]; last.Staged != 10 || last.Seq != 9 {
+		t.Fatalf("newest load point %+v, want staged 10 seq 9", last)
+	}
+
+	// The HTTP document agrees with the direct accessor.
+	var served Timeseries
+	if err := json.Unmarshal(statusGet(t, srv, "/timeseries.json").Body.Bytes(), &served); err != nil {
+		t.Fatal(err)
+	}
+	if served.WindowsTotal != doc.WindowsTotal || len(served.Windows) != len(doc.Windows) ||
+		served.LoadTotal != doc.LoadTotal || len(served.Load) != len(doc.Load) {
+		t.Fatalf("served document %+v disagrees with Timeseries() %+v", served, doc)
+	}
+}
+
+// The coalescing rule: progress events that move neither the staged nor
+// the committed total (machine completions, watermark-only advances)
+// append nothing — they are the interleaving-dependent events, and
+// dropping them is what makes the load series deterministic.
+func TestLoadPointCoalescing(t *testing.T) {
+	srv := NewStatusServer()
+	srv.OnFleetProgress(fleet.Progress{SegmentsStaged: 1})                       // append
+	srv.OnFleetProgress(fleet.Progress{SegmentsStaged: 1, MachinesDone: 1})      // coalesced away
+	srv.OnFleetProgress(fleet.Progress{SegmentsStaged: 1, WatermarkUS: 999})     // coalesced away
+	srv.OnFleetProgress(fleet.Progress{SegmentsStaged: 1, SegmentsCommitted: 1}) // append
+	doc := srv.Timeseries()
+	if doc.LoadTotal != 2 || len(doc.Load) != 2 {
+		t.Fatalf("load series %+v, want exactly the 2 transitions", doc.Load)
+	}
+	if doc.Load[0].Staged != 1 || doc.Load[0].Committed != 0 ||
+		doc.Load[1].Staged != 1 || doc.Load[1].Committed != 1 {
+		t.Fatalf("load points %+v, want (1,0) then (1,1)", doc.Load)
+	}
+}
+
+// An empty document serves empty arrays, not nulls — clients can index
+// without nil checks.
+func TestTimeseriesEmptyArrays(t *testing.T) {
+	body := statusGet(t, NewStatusServer(), "/timeseries.json").Body.String()
+	for _, want := range []string{`"windows": []`, `"load": []`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("empty document missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil); got != "" {
+		t.Fatalf("sparkline(nil) = %q", got)
+	}
+	if got := sparkline([]int{0, 0}); got != "▁▁" {
+		t.Fatalf("sparkline zeros = %q", got)
+	}
+	if got := sparkline([]int{0, 50, 100}); got != "▁▄█" {
+		t.Fatalf("sparkline ramp = %q", got)
+	}
+	if got := sparkline([]int{-5, 100}); got != "▁█" {
+		t.Fatalf("sparkline with negative = %q", got)
+	}
+}
+
+// Rings fed with fleet data surface as sparklines and trend counts on
+// the HTML page.
+func TestHTMLSparklines(t *testing.T) {
+	srv := NewStatusServer()
+	for i := 0; i < 6; i++ {
+		srv.OnFleetWindow(windowAt(i))
+		srv.OnFleetProgress(fleet.Progress{SegmentsStaged: i + 1, SegmentsCommitted: i, Backlog: 1})
+	}
+	html := statusGet(t, srv, "/").Body.String()
+	for _, want := range []string{"trend", "window records", "ingest backlog", "█", "tcp_input", "timeseries.json", "/events", "/pprof", "/trace.json"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("HTML page missing %q:\n%s", want, html)
+		}
+	}
+}

@@ -1,26 +1,41 @@
 package export
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"html"
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
+	"kprof/internal/analyze"
 	"kprof/internal/core"
 	"kprof/internal/fleet"
 	"kprof/internal/sim"
 	"kprof/internal/sweep"
 )
 
-// The live status endpoint: a tiny HTTP server that renders whatever the
-// progress hooks on core.Session and sweep.Config last reported — capture
-// fill level, drained segments, dropped strobes, sweep worker progress —
-// as JSON (/status.json) and as a self-refreshing HTML page (/). It is
-// the observability half of the drain-and-stitch pipeline: a long
-// continuous capture or a big sweep is no longer a black box until the
-// report prints.
+// The live serving tier: an HTTP server fed by the progress hooks on
+// core.Session, sweep.Config and fleet.Config, built to fan one live
+// capture out to many concurrent clients without ever touching the
+// measured path. Four mechanisms carry it (see DESIGN.md, "Live serving
+// tier"):
+//
+//   - /status.json and / render whatever the hooks last reported, through
+//     a generation-counter ETag cache (cache.go): pollers revalidate with
+//     If-None-Match and in steady state get 304s that cost no render and
+//     no lock;
+//   - /events pushes every progress and aggregate delta over SSE through
+//     a bounded fan-out hub (hub.go) — slow subscribers are dropped, with
+//     accounting, never waited on;
+//   - /timeseries.json serves a fixed-capacity ring of recent fleet
+//     window summaries and ingest load samples (ring.go), the trend view
+//     a client joining mid-run has otherwise missed;
+//   - /pprof and /trace.json render the published live analysis through
+//     the existing exporter writers (pprof.go, trace.go), byte-identical
+//     to the file exports.
 
 // SessionStatus is the live view of one profiling session's capture
 // state, mirroring core.Progress. Loss-accounting field names follow the
@@ -43,6 +58,10 @@ type SessionStatus struct {
 	// stranded a bank, included in Dropped); absent when every drain read
 	// back clean.
 	DrainErrs int `json:"drain_errors,omitempty"`
+	// Gen is the session's snapshot sequence number (core.Progress.Gen):
+	// it increments by one per progress snapshot, so two equal Gens are
+	// the same snapshot.
+	Gen uint64 `json:"gen"`
 }
 
 // SweepStatus is the live view of a multi-seed sweep, mirroring
@@ -87,6 +106,9 @@ type StatusSnapshot struct {
 	Session *SessionStatus `json:"session,omitempty"`
 	Sweep   *SweepStatus   `json:"sweep,omitempty"`
 	Fleet   *FleetStatus   `json:"fleet,omitempty"`
+	// Serving is the SSE hub's fan-out accounting, present once /events
+	// has seen any activity.
+	Serving *HubStats `json:"serving,omitempty"`
 }
 
 // StatusServer serves the live capture status. Zero value is not usable;
@@ -98,19 +120,45 @@ type StatusSnapshot struct {
 //	url, stop, err := srv.Start(":6060")
 //
 // All methods are safe for concurrent use: the hooks run on simulation or
-// worker goroutines while HTTP handlers read.
+// worker goroutines while HTTP handlers read. The hooks build a fresh
+// immutable status struct and swap the pointer under the lock — handlers
+// and SSE marshaling only ever read published structs, never ones still
+// being written.
 type StatusServer struct {
-	mu   sync.RWMutex
-	snap StatusSnapshot
-	mux  *http.ServeMux
+	mu       sync.RWMutex
+	snap     StatusSnapshot
+	analysis *analyze.Analysis
+
+	mux *http.ServeMux
+	hub *hub
+	ts  atomic.Pointer[timeseries]
+
+	// One ETag generation per cacheable endpoint; every mutator bumps
+	// the generations of the resources it affects (see cache.go).
+	statusRes cachedResource
+	tsRes     cachedResource
+	pprofRes  cachedResource
+	traceRes  cachedResource
 }
 
 // NewStatusServer returns a server with an empty snapshot and State
 // "idle".
 func NewStatusServer() *StatusServer {
 	s := &StatusServer{snap: StatusSnapshot{State: "idle"}}
+	s.statusRes.prefix = "st-"
+	s.tsRes.prefix = "ts-"
+	s.pprofRes.prefix = "pp-"
+	s.traceRes.prefix = "tr-"
+	// Subscriber-set changes alter the "serving" section, so they
+	// invalidate the status resource.
+	s.hub = newHub(s.statusRes.invalidate)
+	s.ts.Store(newTimeseries(DefaultWindowRing, DefaultLoadRing))
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/status.json", s.serveJSON)
+	s.mux.HandleFunc("/timeseries.json", s.serveTimeseries)
+	s.mux.HandleFunc("/events", s.serveEvents)
+	s.mux.HandleFunc("/pprof", s.servePprof)
+	s.mux.HandleFunc("/trace.json", s.serveTrace)
 	s.mux.HandleFunc("/", s.serveHTML)
 	return s
 }
@@ -118,15 +166,34 @@ func NewStatusServer() *StatusServer {
 // SetScenario records the scenario name shown in the status.
 func (s *StatusServer) SetScenario(name string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.snap.Scenario = name
+	s.mu.Unlock()
+	s.publishState()
+	s.statusRes.invalidate()
 }
 
 // SetState records the run state ("running", "done", ...).
 func (s *StatusServer) SetState(state string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.snap.State = state
+	s.mu.Unlock()
+	s.publishState()
+	s.statusRes.invalidate()
+}
+
+// publishState pushes a "state" SSE event with the run identity.
+func (s *StatusServer) publishState() {
+	if !s.hub.active() {
+		return
+	}
+	s.mu.RLock()
+	p := struct {
+		Scenario string `json:"scenario,omitempty"`
+		State    string `json:"state"`
+	}{s.snap.Scenario, s.snap.State}
+	s.mu.RUnlock()
+	data, _ := json.Marshal(p)
+	s.hub.publish("state", data)
 }
 
 // OnSessionProgress is a core.Session progress hook: pass it to
@@ -148,9 +215,15 @@ func (s *StatusServer) OnSessionProgress(p core.Progress) {
 	if p.Depth > 0 {
 		st.FillPct = 100 * float64(p.Stored) / float64(p.Depth)
 	}
+	st.Gen = p.Gen
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.snap.Session = st
+	s.mu.Unlock()
+	if s.hub.active() {
+		data, _ := json.Marshal(st)
+		s.hub.publish("session", data)
+	}
+	s.statusRes.invalidate()
 }
 
 // OnSweepProgress is a sweep progress hook: assign it to
@@ -166,8 +239,13 @@ func (s *StatusServer) OnSweepProgress(p sweep.Progress) {
 		Dropped:  p.Dropped,
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.snap.Sweep = st
+	s.mu.Unlock()
+	if s.hub.active() {
+		data, _ := json.Marshal(st)
+		s.hub.publish("sweep", data)
+	}
+	s.statusRes.invalidate()
 }
 
 // OnFleetProgress is a fleet ingest-pipeline hook: assign it to
@@ -186,18 +264,42 @@ func (s *StatusServer) OnFleetProgress(p fleet.Progress) {
 		WindowsClosed:     p.WindowsClosed,
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.snap.Fleet = st
+	s.mu.Unlock()
+	// The load ring coalesces: only staged/committed transitions become
+	// points, and the point carries only interleaving-independent fields
+	// (see ring.go's determinism contract). SSE "fleet" events follow the
+	// same gate so a watched run streams one delta per real transition.
+	if lp, ok := s.ts.Load().pushLoad(LoadPoint{
+		Staged:    p.SegmentsStaged,
+		Committed: p.SegmentsCommitted,
+		Backlog:   p.Backlog,
+		Records:   p.RecordsCommitted,
+		Dropped:   p.Dropped,
+	}); ok {
+		s.tsRes.invalidate()
+		if s.hub.active() {
+			data, _ := json.Marshal(lp)
+			s.hub.publish("fleet", data)
+		}
+	}
+	s.statusRes.invalidate()
 }
 
-// Snapshot returns a copy of the current status.
+// Snapshot returns a copy of the current status, including the SSE
+// hub's accounting once it has seen any activity.
 func (s *StatusServer) Snapshot() StatusSnapshot {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.snap
+	snap := s.snap
+	s.mu.RUnlock()
+	if hs := s.hub.stats(); hs != (HubStats{}) {
+		snap.Serving = &hs
+	}
+	return snap
 }
 
-// Handler returns the HTTP handler serving / (HTML) and /status.json.
+// Handler returns the HTTP handler serving / (HTML), /status.json,
+// /timeseries.json, /events (SSE), /pprof and /trace.json.
 func (s *StatusServer) Handler() http.Handler { return s.mux }
 
 // Start listens on addr (e.g. ":6060") and serves the status in a
@@ -213,11 +315,16 @@ func (s *StatusServer) Start(addr string) (string, func() error, error) {
 	return "http://" + l.Addr().String(), srv.Close, nil
 }
 
-func (s *StatusServer) serveJSON(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+func (s *StatusServer) renderStatus() []byte {
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
 	enc.SetIndent("", "  ")
 	enc.Encode(s.Snapshot())
+	return b.Bytes()
+}
+
+func (s *StatusServer) serveJSON(w http.ResponseWriter, r *http.Request) {
+	s.statusRes.serve(w, r, "application/json", s.renderStatus)
 }
 
 func (s *StatusServer) serveHTML(w http.ResponseWriter, r *http.Request) {
@@ -232,8 +339,14 @@ func (s *StatusServer) serveHTML(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, "<style>body{font-family:monospace;margin:2em}table{border-collapse:collapse}")
 	fmt.Fprint(w, "td,th{border:1px solid #999;padding:.3em .8em;text-align:right}th{text-align:left}</style>")
 	fmt.Fprint(w, "</head><body><h1>kprof</h1>")
-	fmt.Fprintf(w, "<p>scenario <b>%s</b> — state <b>%s</b> — <a href=\"/status.json\">status.json</a></p>",
+	fmt.Fprintf(w, "<p>scenario <b>%s</b> — state <b>%s</b> — <a href=\"/status.json\">status.json</a>"+
+		" · <a href=\"/timeseries.json\">timeseries.json</a> · <a href=\"/events\">events</a>"+
+		" · <a href=\"/pprof\">pprof</a> · <a href=\"/trace.json\">trace.json</a></p>",
 		html.EscapeString(snap.Scenario), html.EscapeString(snap.State))
+	if hs := snap.Serving; hs != nil {
+		fmt.Fprintf(w, "<p>serving: %d subscriber(s), %d event(s) pushed, %d slow client(s) dropped</p>",
+			hs.Subscribers, hs.Published, hs.SlowDropped)
+	}
 	if st := snap.Session; st != nil {
 		fmt.Fprint(w, "<h2>capture</h2><table>")
 		fmt.Fprintf(w, "<tr><th>virtual time</th><td>%s</td></tr>", sim.Time(st.NowUS)*sim.Microsecond)
@@ -261,6 +374,30 @@ func (s *StatusServer) serveHTML(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "<tr><th>dropped strobes</th><td>%d</td></tr>", st.Dropped)
 		fmt.Fprintf(w, "<tr><th>watermark</th><td>%s</td></tr>", sim.Time(st.WatermarkUS)*sim.Microsecond)
 		fmt.Fprintf(w, "<tr><th>windows closed</th><td>%d</td></tr>", st.WindowsClosed)
+		fmt.Fprint(w, "</table>")
+	}
+	if doc := s.ts.Load().document(); len(doc.Windows) > 0 || len(doc.Load) > 0 {
+		fmt.Fprint(w, "<h2>trend</h2><table>")
+		if n := len(doc.Windows); n > 0 {
+			recs := make([]int, n)
+			for i, p := range doc.Windows {
+				recs[i] = p.Records
+			}
+			last := doc.Windows[n-1]
+			fmt.Fprintf(w, "<tr><th>window records</th><td>%s (%d windows, last: %d records", sparkline(recs), doc.WindowsTotal, last.Records)
+			if last.TopFn != "" {
+				fmt.Fprintf(w, ", top %s %.1f%%", html.EscapeString(last.TopFn), last.TopFnPct)
+			}
+			fmt.Fprint(w, ")</td></tr>")
+		}
+		if n := len(doc.Load); n > 0 {
+			backlog := make([]int, n)
+			for i, p := range doc.Load {
+				backlog[i] = p.Backlog
+			}
+			fmt.Fprintf(w, "<tr><th>ingest backlog</th><td>%s (%d samples, now %d)</td></tr>",
+				sparkline(backlog), doc.LoadTotal, doc.Load[n-1].Backlog)
+		}
 		fmt.Fprint(w, "</table>")
 	}
 	if st := snap.Sweep; st != nil {

@@ -24,17 +24,26 @@ func statusGet(t *testing.T, srv *StatusServer, path string) *httptest.ResponseR
 	return rec
 }
 
-// Only / and /status.json exist; everything else is a clean 404.
+// The served routes answer 200 (profile endpoints only once an analysis
+// is published); everything else is a clean 404. /events is exercised by
+// the SSE battery in serve_test.go — it streams, so it has no place in a
+// one-shot routing sweep.
 func TestStatusServerRouting(t *testing.T) {
 	srv := NewStatusServer()
-	for _, path := range []string{"/", "/status.json"} {
+	for _, path := range []string{"/", "/status.json", "/timeseries.json"} {
 		if rec := statusGet(t, srv, path); rec.Code != 200 {
 			t.Fatalf("GET %s = %d, want 200", path, rec.Code)
 		}
 	}
-	for _, path := range []string{"/nope", "/status", "/status.json/extra"} {
+	for _, path := range []string{"/nope", "/status", "/status.json/extra", "/pprof", "/trace.json"} {
 		if rec := statusGet(t, srv, path); rec.Code != 404 {
-			t.Fatalf("GET %s = %d, want 404", path, rec.Code)
+			t.Fatalf("GET %s = %d, want 404 (profile endpoints have no analysis yet)", path, rec.Code)
+		}
+	}
+	srv.PublishAnalysis(netrecvAnalysis(t, 42, 20*sim.Millisecond))
+	for _, path := range []string{"/pprof", "/trace.json"} {
+		if rec := statusGet(t, srv, path); rec.Code != 200 {
+			t.Fatalf("GET %s after publish = %d, want 200", path, rec.Code)
 		}
 	}
 }

@@ -101,6 +101,12 @@ type Config struct {
 	// under the store's lock — the callback must be fast and must not
 	// re-enter the fleet (it feeds export.StatusServer).
 	OnProgress func(Progress)
+	// OnWindow, when non-nil, observes every closed aggregation window at
+	// the moment it closes, in ascending index order — the summaries are
+	// exactly the ones Result.Windows will list. Like OnProgress, calls run
+	// under the store's lock: the callback must be fast and must not
+	// re-enter the fleet (it feeds export.StatusServer's time-series ring).
+	OnWindow func(WindowSummary)
 }
 
 // MachinesFromMix builds n machine configurations from a scenario-mix
@@ -182,7 +188,7 @@ func RunSources(cfg Config, sources []Source) (*Result, error) {
 	for i, src := range sources {
 		ids[i] = src.ID()
 	}
-	st, err := NewStore(cfg.Window, cfg.Staging, ids, cfg.OnProgress)
+	st, err := NewStore(cfg.Window, cfg.Staging, ids, cfg.OnProgress, cfg.OnWindow)
 	if err != nil {
 		return nil, err
 	}

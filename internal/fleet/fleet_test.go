@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -112,7 +113,7 @@ func TestFleetRestart(t *testing.T) {
 		t.Fatalf("fixture fleet produced only %d segments; restart test needs more", total)
 	}
 	for _, k := range []int{1, total / 2, total - 1} {
-		st, err := NewStore(testWindow, 4, []int{0, 1, 2}, nil)
+		st, err := NewStore(testWindow, 4, []int{0, 1, 2}, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -316,6 +317,38 @@ func TestFleetReportShape(t *testing.T) {
 	for _, want := range []string{`"schema": "kprof-fleet/1"`, `"watermark_us"`, `"windows"`, `"functions"`} {
 		if !strings.Contains(b.String(), want) {
 			t.Errorf("JSON report missing %q", want)
+		}
+	}
+}
+
+// TestFleetOnWindowHook: the window-close hook sees every summary the
+// final report lists, in close order — which is ascending index order,
+// whatever the worker count — and each summary equals its Result.Windows
+// entry field for field (the serving tier's time-series ring depends on
+// both properties).
+func TestFleetOnWindowHook(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var hooked []WindowSummary
+		res, err := RunSources(Config{
+			Machines: fixtureMachines,
+			Window:   testWindow,
+			Workers:  workers,
+			OnWindow: func(ws WindowSummary) { hooked = append(hooked, ws) },
+		}, fixture(t))
+		if err != nil {
+			t.Fatalf("RunSources(workers=%d): %v", workers, err)
+		}
+		if len(hooked) != len(res.Windows) {
+			t.Fatalf("workers=%d: hook fired %d times, result has %d windows", workers, len(hooked), len(res.Windows))
+		}
+		for i, ws := range hooked {
+			if i > 0 && ws.Index <= hooked[i-1].Index {
+				t.Fatalf("workers=%d: window %d closed out of order: index %d after %d",
+					workers, i, ws.Index, hooked[i-1].Index)
+			}
+			if !reflect.DeepEqual(ws, res.Windows[i]) {
+				t.Fatalf("workers=%d: hooked window %d is %+v, result lists %+v", workers, i, ws, res.Windows[i])
+			}
 		}
 	}
 }

@@ -102,11 +102,14 @@ type Store struct {
 
 	failed     error
 	onProgress func(Progress)
+	onWindow   func(WindowSummary)
 }
 
 // NewStore builds an empty staging store for the given machine IDs.
 // window and staging of 0 select DefaultWindow and DefaultStaging.
-func NewStore(window sim.Time, staging int, machineIDs []int, onProgress func(Progress)) (*Store, error) {
+// onProgress and onWindow mirror Config.OnProgress and Config.OnWindow;
+// either may be nil.
+func NewStore(window sim.Time, staging int, machineIDs []int, onProgress func(Progress), onWindow func(WindowSummary)) (*Store, error) {
 	if window <= 0 {
 		window = DefaultWindow
 	}
@@ -123,6 +126,7 @@ func NewStore(window sim.Time, staging int, machineIDs []int, onProgress func(Pr
 		windows:    make(map[int64]*windowState),
 		cum:        sweep.NewAggregator("fleet").Finish(),
 		onProgress: onProgress,
+		onWindow:   onWindow,
 	}
 	st.cond = sync.NewCond(&st.mu)
 	for _, id := range machineIDs {
@@ -383,6 +387,9 @@ func (st *Store) closeWindowLocked(idx int64) {
 	}
 	st.cum.Merge(wagg)
 	st.closed = append(st.closed, sum)
+	if st.onWindow != nil {
+		st.onWindow(sum)
+	}
 }
 
 func (st *Store) allCompleteLocked() bool {

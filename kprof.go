@@ -368,8 +368,14 @@ var ScenarioNames = workload.ScenarioNames
 type (
 	// PprofOptions tunes the pprof export (sampling period metadata).
 	PprofOptions = export.PprofOptions
-	// StatusServer serves live capture/sweep status as JSON and HTML,
-	// fed by Session.SetProgress and SweepConfig.OnProgress hooks.
+	// StatusServer is the live serving tier: /status.json and / (HTML)
+	// with ETag revalidation, /events (SSE push through a bounded
+	// fan-out hub that drops slow clients rather than block the capture
+	// path), /timeseries.json (fixed-capacity ring of recent fleet
+	// windows and load samples), and live /pprof + /trace.json rendered
+	// from a published analysis. Fed by Session.SetProgress,
+	// SweepConfig.OnProgress, FleetConfig.OnProgress and
+	// FleetConfig.OnWindow hooks.
 	StatusServer = export.StatusServer
 	// SessionProgress is one capture-state snapshot delivered to a
 	// Session.SetProgress hook.
@@ -377,7 +383,22 @@ type (
 	// SweepProgress is one scheduling event delivered to a
 	// SweepConfig.OnProgress hook.
 	SweepProgress = sweep.Progress
+	// ServingStats is the SSE hub's lifetime accounting: current
+	// subscribers, events published, slow clients dropped.
+	ServingStats = export.HubStats
+	// Timeseries is the /timeseries.json document: recent fleet window
+	// summaries and ingest load samples, oldest first, plus lifetime
+	// totals (schema kprof-timeseries/1).
+	Timeseries = export.Timeseries
+	// TimeseriesWindow is one closed fleet window in the time series.
+	TimeseriesWindow = export.WindowPoint
+	// TimeseriesLoad is one ingest load sample (backlog/throughput) in
+	// the time series.
+	TimeseriesLoad = export.LoadPoint
 )
+
+// TimeseriesSchema identifies the /timeseries.json document format.
+const TimeseriesSchema = export.TimeseriesSchema
 
 var (
 	// MarshalPprof encodes an Analysis as an uncompressed pprof protobuf
@@ -465,6 +486,7 @@ type (
 	FleetWindow = fleet.WindowSummary
 	// FleetProgress is a point-in-time view of the ingest pipeline
 	// (watermark, backlog, committed counts), fed to FleetConfig.OnProgress
+	// — window-close summaries flow separately to FleetConfig.OnWindow
 	// and to StatusServer.OnFleetProgress.
 	FleetProgress = fleet.Progress
 	// FleetSource is one machine's segment stream (live or replayed).

@@ -1,11 +1,12 @@
 #!/bin/sh
 # cover_check.sh — per-package statement-coverage floors for the packages
 # whose correctness claims rest on their test suites: the hardened decode
-# pipeline, the fault injector that attacks it, the workload drivers, and
-# the open-loop load generator. Floors sit a few points below the measured
-# baseline (analyze 91%, faults 98%, workload 89%, loadgen 94% at
-# introduction) so honest refactoring never trips them, but a change that
-# lands untested code in any of them does.
+# pipeline, the fault injector that attacks it, the workload drivers, the
+# open-loop load generator, and the live serving tier. Floors sit a few
+# points below the measured baseline (analyze 91%, faults 98%, workload
+# 89%, loadgen 94%, export 93% at introduction) so honest refactoring
+# never trips them, but a change that lands untested code in any of them
+# does.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,3 +33,4 @@ check ./internal/analyze 85
 check ./internal/faults 90
 check ./internal/workload 85
 check ./internal/loadgen 90
+check ./internal/export 85
