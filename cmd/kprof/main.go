@@ -37,6 +37,16 @@
 //
 //	kprof -fleet 6 -fleetmix netrecv=2,proday=1 -duration 200ms -window 50ms
 //	kprof -fleet 4 -fleetworkers 2 -fleetjson fleet.json -http :6060
+//
+// The profile-guided loop closes the paper's "before and after" cycle:
+// -budget solves which functions the next profile should instrument, and
+// -pgo applies each proposed kernel change, re-profiles under the
+// identical seed, and verifies the measured delta against the what-if
+// estimate:
+//
+//	kprof -scenario netrecv -budget 16 -budgetoverhead 5000
+//	kprof -scenario netrecv -pgo -duration 150ms -seed 1
+//	kprof -pgo -optimize recode-in-cksum,link-mbufs -seeds 1..8 -parallel 4
 package main
 
 import (
@@ -105,6 +115,10 @@ func main() {
 		fleetWrk   = flag.Int("fleetworkers", 0, "projection workers for -fleet (0 = GOMAXPROCS; the report bytes do not depend on it)")
 		window     = flag.Duration("window", 100*time.Millisecond, "fleet aggregation window in virtual time (needs -fleet)")
 		fleetJSON  = flag.String("fleetjson", "", "write the fleet report as JSON (schema kprof-fleet/1) to this file (- for stdout; needs -fleet)")
+		pgoRun     = flag.Bool("pgo", false, "profile-guided optimize-verify loop: profile the scenario, apply each proposed kernel change, re-profile under the identical seed, and verify the measured delta against the what-if estimate (with -seeds, prints the sweep-level verification table)")
+		optimize   = flag.String("optimize", "", "comma-separated proposed changes for -pgo, e.g. recode-in-cksum,cheaper-bcopy (empty = the full registry)")
+		budgetTags = flag.Int("budget", 0, "instrumentation tag budget: profile the scenario once, then print the optimal set of functions to instrument within this many tags")
+		budgetOvh  = flag.Int64("budgetoverhead", 0, "trigger-overhead budget in microseconds for -budget (0 = unconstrained)")
 	)
 	flag.Parse()
 
@@ -207,6 +221,21 @@ func main() {
 		}
 		faultCfg = &faults.Config{Seed: *faultSeed, Rate: *faultRate}
 	}
+	profileCfg := core.ProfileConfig{Mode: mode, Drain: drainCfg, Modules: mods, Depth: *depth, Faults: faultCfg}
+	if *budgetTags != 0 || *budgetOvh != 0 {
+		if err := runBudget(*scenario, *budgetTags, *budgetOvh, *seed, params, profileCfg); err != nil {
+			fmt.Fprintln(os.Stderr, "kprof:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	if *pgoRun {
+		if err := runPGO(*scenario, *seeds, *optimize, *parallel, *seed, params, profileCfg, *top); err != nil {
+			fmt.Fprintln(os.Stderr, "kprof:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
 	if *fleetN > 0 {
 		serveStatus(fmt.Sprintf("fleet of %d (%s)", *fleetN, *fleetMix))
 		var onProgress func(fleet.Progress)
@@ -260,9 +289,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	s, err := core.NewSession(m, core.ProfileConfig{
-		Mode: mode, Drain: drainCfg, Modules: mods, Depth: *depth, Faults: faultCfg,
-	})
+	s, err := core.NewSession(m, profileCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kprof:", err)
 		os.Exit(1)

@@ -190,3 +190,47 @@ func TestGoldenSweepAggregate(t *testing.T) {
 	}
 	golden(t, "sweep_netrecv_seeds1-4.txt", b.String())
 }
+
+// The optimize-verify loop's differential report is fully deterministic:
+// baseline and every re-profile boot from the same seed, so the estimate,
+// the verified delta, the bottleneck classifications and the mover tables
+// reproduce byte for byte.
+func TestGoldenPGOLoopReport(t *testing.T) {
+	r, err := kprof.RunPGOLoop(kprof.PGOLoopConfig{
+		Seed:   1,
+		Params: kprof.WorkloadParams{Duration: 150 * sim.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Confirmed() {
+		t.Fatal("loop did not confirm every registry change")
+	}
+	var b strings.Builder
+	if err := r.Write(&b, 6); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "pgo_loop_netrecv_seed1.txt", b.String())
+}
+
+// The instrumentation-budget plan from a profiled run is deterministic
+// too: same seed, same candidates, same exact optimum.
+func TestGoldenPGOBudgetPlan(t *testing.T) {
+	m := kprof.NewMachine(kprof.MachineConfig{Seed: 1})
+	s, err := kprof.NewSession(m, kprof.ProfileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arm()
+	if _, err := kprof.NetReceive(m, 100*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.Disarm()
+	cands := kprof.PGOCandidatesFromAnalysis(s.Analyze(), m.ModuleOf())
+	plan := kprof.OptimizeInstrumentation(cands, kprof.PGOBudget{Tags: 16, OverheadNs: 5_000_000})
+	var b strings.Builder
+	if err := plan.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "pgo_budget_netrecv_seed1.txt", b.String())
+}

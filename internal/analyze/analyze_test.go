@@ -333,6 +333,21 @@ func TestWhatIfEstimators(t *testing.T) {
 	}
 }
 
+func TestWhatIfFlatVerdict(t *testing.T) {
+	// A zero-delta estimate is a tie, not a regression.
+	w := WhatIf{Name: "no-op change", Baseline: 2000 * sim.Microsecond, Estimate: 2000 * sim.Microsecond}
+	if w.Improves() {
+		t.Fatalf("tie must not claim a win: %v", w)
+	}
+	if s := w.String(); !strings.Contains(s, "flat") || strings.Contains(s, "LOSS") {
+		t.Fatalf("tie verdict = %q, want flat", s)
+	}
+	loss := WhatIf{Name: "worse", Baseline: 2000 * sim.Microsecond, Estimate: 2001 * sim.Microsecond}
+	if s := loss.String(); !strings.Contains(s, "LOSS") {
+		t.Fatalf("loss verdict = %q", s)
+	}
+}
+
 func TestEmptyCapture(t *testing.T) {
 	a := analyzeCap(t, hw.Capture{})
 	if a.Elapsed() != 0 || len(a.Functions()) != 0 {

@@ -25,6 +25,12 @@ type Delta struct {
 	BeforeShare, AfterShare     float64  // net time / run time
 	BeforePerCall, AfterPerCall sim.Time // avg net per call
 	BeforeCalls, AfterCalls     int
+
+	// Added and Removed mark a function present in only one run: Added
+	// means it appears only in the after run, Removed only in the before
+	// run. The zero columns on the missing side mean "not instrumented
+	// there", not "measured at zero".
+	Added, Removed bool
 }
 
 // ShareChange is the movement in net share (negative = improvement for a
@@ -58,18 +64,24 @@ func Compare(before, after *Analysis) *Comparison {
 	if e := after.Elapsed(); e > 0 {
 		c.AfterIdle = float64(after.Idle) / float64(e)
 	}
-	share := func(a *Analysis, name string) (float64, sim.Time, int) {
+	share := func(a *Analysis, name string) (float64, sim.Time, int, bool) {
 		s, ok := a.Fn(name)
-		if !ok || a.RunTime() <= 0 {
-			return 0, 0, 0
+		if !ok {
+			return 0, 0, 0, false
 		}
-		return float64(s.Net) / float64(a.RunTime()), s.Avg(), s.Calls
+		if a.RunTime() <= 0 {
+			return 0, 0, 0, true
+		}
+		return float64(s.Net) / float64(a.RunTime()), s.Avg(), s.Calls, true
 	}
 	for name := range names {
 		var d Delta
+		var inBefore, inAfter bool
 		d.Name = name
-		d.BeforeShare, d.BeforePerCall, d.BeforeCalls = share(before, name)
-		d.AfterShare, d.AfterPerCall, d.AfterCalls = share(after, name)
+		d.BeforeShare, d.BeforePerCall, d.BeforeCalls, inBefore = share(before, name)
+		d.AfterShare, d.AfterPerCall, d.AfterCalls, inAfter = share(after, name)
+		d.Added = inAfter && !inBefore
+		d.Removed = inBefore && !inAfter
 		c.Deltas = append(c.Deltas, d)
 	}
 	sort.Slice(c.Deltas, func(i, j int) bool {
@@ -90,20 +102,41 @@ func abs64(x float64) float64 {
 	return x
 }
 
-// Write renders the biggest movers.
+// Write renders the biggest movers. Rows with no movement at all (both
+// shares and both call counts unchanged) are dropped before the top cut,
+// so a short report is all movers; functions present in only one run
+// render as "+new" / "gone" rather than a misleading 0.00%.
 func (c *Comparison) Write(w io.Writer, top int) error {
 	ew := &errWriter{w: w}
 	fmt.Fprintf(ew, "idle: %5.2f%% -> %5.2f%%\n", 100*c.BeforeIdle, 100*c.AfterIdle)
 	fmt.Fprintf(ew, "%-20s %9s %9s %8s %10s %10s\n",
 		"function", "before%", "after%", "change", "us/call", "->us/call")
-	deltas := c.Deltas
+	deltas := make([]Delta, 0, len(c.Deltas))
+	for _, d := range c.Deltas {
+		still := !d.Added && !d.Removed &&
+			d.BeforeShare == d.AfterShare && d.BeforeCalls == d.AfterCalls
+		if !still {
+			deltas = append(deltas, d)
+		}
+	}
 	if top > 0 && len(deltas) > top {
 		deltas = deltas[:top]
 	}
 	for _, d := range deltas {
-		fmt.Fprintf(ew, "%-20s %8.2f%% %8.2f%% %+7.2f%% %10d %10d\n",
-			d.Name, 100*d.BeforeShare, 100*d.AfterShare, 100*d.ShareChange(),
-			d.BeforePerCall.Micros(), d.AfterPerCall.Micros())
+		switch {
+		case d.Added:
+			fmt.Fprintf(ew, "%-20s %9s %8.2f%% %8s %10s %10d\n",
+				d.Name, "+new", 100*d.AfterShare, "+new", "-",
+				d.AfterPerCall.Micros())
+		case d.Removed:
+			fmt.Fprintf(ew, "%-20s %8.2f%% %9s %8s %10d %10s\n",
+				d.Name, 100*d.BeforeShare, "gone", "gone",
+				d.BeforePerCall.Micros(), "-")
+		default:
+			fmt.Fprintf(ew, "%-20s %8.2f%% %8.2f%% %+7.2f%% %10d %10d\n",
+				d.Name, 100*d.BeforeShare, 100*d.AfterShare, 100*d.ShareChange(),
+				d.BeforePerCall.Micros(), d.AfterPerCall.Micros())
+		}
 	}
 	return ew.err
 }

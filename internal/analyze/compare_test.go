@@ -49,16 +49,58 @@ func TestCompareHandlesAppearingAndVanishingFunctions(t *testing.T) {
 			if d.AfterShare != 0 || d.BeforeShare == 0 {
 				t.Fatalf("vanished a = %+v", d)
 			}
+			if !d.Removed || d.Added {
+				t.Fatalf("vanished a not marked Removed: %+v", d)
+			}
 		}
 		if d.Name == "b" {
 			sawB = true
 			if d.BeforeShare != 0 || d.AfterShare == 0 {
 				t.Fatalf("appeared b = %+v", d)
 			}
+			if !d.Added || d.Removed {
+				t.Fatalf("appeared b not marked Added: %+v", d)
+			}
 		}
 	}
 	if !sawA || !sawB {
 		t.Fatalf("deltas missing functions: %+v", c.Deltas)
+	}
+	// The report must say so, not print a 0.00% indistinguishable from
+	// "measured at zero".
+	out := c.String()
+	if !strings.Contains(out, "+new") || !strings.Contains(out, "gone") {
+		t.Fatalf("added/removed not marked in render:\n%s", out)
+	}
+}
+
+func TestCompareWriteFiltersNoMovementBeforeTop(t *testing.T) {
+	// Hand-build a comparison where a crowd of no-movement rows would,
+	// under truncate-then-filter, push the one real mover out of a short
+	// report.
+	c := &Comparison{}
+	for _, name := range []string{"idlezero1", "idlezero2", "idlezero3"} {
+		c.Deltas = append(c.Deltas, Delta{
+			Name:        name,
+			BeforeShare: 0.10, AfterShare: 0.10,
+			BeforeCalls: 7, AfterCalls: 7,
+		})
+	}
+	c.Deltas = append(c.Deltas, Delta{
+		Name:        "mover",
+		BeforeShare: 0.10, AfterShare: 0.1000001,
+		BeforeCalls: 7, AfterCalls: 8,
+	})
+	var b strings.Builder
+	if err := c.Write(&b, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "mover") {
+		t.Fatalf("no-movement rows crowded out the mover:\n%s", out)
+	}
+	if strings.Contains(out, "idlezero") {
+		t.Fatalf("no-movement row rendered:\n%s", out)
 	}
 }
 

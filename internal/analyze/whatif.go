@@ -41,11 +41,16 @@ func (w WhatIf) Delta() sim.Time { return w.Estimate - w.Baseline }
 // Improves reports whether the alternative is a win.
 func (w WhatIf) Improves() bool { return w.Estimate < w.Baseline }
 
-// String renders the estimate with its win/LOSS verdict.
+// String renders the estimate with its win/flat/LOSS verdict. A
+// zero-delta estimate is a tie, not a regression: it renders "flat" so
+// the optimize-verify loop never reports a no-op change as a LOSS.
 func (w WhatIf) String() string {
 	verdict := "LOSS"
-	if w.Improves() {
+	switch {
+	case w.Improves():
 		verdict = "win"
+	case w.Delta() == 0:
+		verdict = "flat"
 	}
 	return fmt.Sprintf("%-34s %6d us -> %6d us (%+d us, %s)",
 		w.Name, w.Baseline.Micros(), w.Estimate.Micros(), w.Delta().Micros(), verdict)

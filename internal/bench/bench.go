@@ -28,6 +28,7 @@ import (
 	"kprof/internal/fleet"
 	"kprof/internal/hw"
 	"kprof/internal/kernel"
+	"kprof/internal/pgo"
 	"kprof/internal/sim"
 	"kprof/internal/sweep"
 	"kprof/internal/workload"
@@ -392,6 +393,32 @@ func Run(cfg Config) (*Report, error) {
 	fleetRes := measure("fleet/ingest", fleetSegments, 1, fleetIters, fleetPass)
 	fleetRes.WallNoisy = true
 	rep.Benchmarks = append(rep.Benchmarks, fleetRes)
+
+	// pgo/plan: the instrumentation-budget optimizer — the exact
+	// branch-and-bound search choosing which functions the next profile
+	// should instrument — over the warm capture's full candidate set with
+	// both the tag and the trigger-overhead constraint active. The unit is
+	// one candidate function, so NsPerRecord reads as ns/candidate; the
+	// figure gates the solver staying interactive as the kernel's function
+	// census grows.
+	cands := pgo.CandidatesFromAnalysis(sink, nil)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("bench: pgo/plan has no candidates")
+	}
+	planIters := 300
+	if cfg.Quick {
+		planIters = 100
+	}
+	var plan *pgo.Plan
+	planPass := func() {
+		plan = pgo.Optimize(cands, pgo.Budget{Tags: 16, OverheadNs: 2_000_000})
+	}
+	planPass()
+	if plan == nil || len(plan.Picks) == 0 {
+		return nil, fmt.Errorf("bench: pgo/plan picked nothing")
+	}
+	rep.Benchmarks = append(rep.Benchmarks,
+		measure("pgo/plan", len(cands), 10, planIters, planPass))
 
 	// serve/*: the live serving tier — cached vs uncached status requests
 	// and SSE fan-out (serve.go).

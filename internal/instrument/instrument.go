@@ -24,6 +24,11 @@ type Options struct {
 	// Modules restricts instrumentation to these object modules; empty
 	// means every module (whole-kernel profiling).
 	Modules []string
+	// Functions restricts instrumentation to these individual functions,
+	// the granularity a budget optimizer works at. When set it composes
+	// with Modules: a function is instrumented only if it passes both
+	// filters. Empty means no per-function restriction.
+	Functions []string
 	// Tags is the existing name/tag file to extend; nil starts fresh.
 	Tags *tagfile.File
 	// ContextSwitchFns name the functions to mark '!' in the tag file;
@@ -74,9 +79,17 @@ func Instrument(k *kernel.Kernel, opts Options) (*Result, error) {
 	for _, m := range opts.Modules {
 		want[m] = true
 	}
+	wantFn := make(map[string]bool, len(opts.Functions))
+	for _, f := range opts.Functions {
+		wantFn[f] = true
+	}
 	res := &Result{Tags: tags, InlineTags: make(map[string]uint16)}
 	for _, fn := range k.Functions() {
 		if len(want) > 0 && !want[fn.Module] {
+			fn.ClearTriggers()
+			continue
+		}
+		if len(wantFn) > 0 && !wantFn[fn.Name] {
 			fn.ClearTriggers()
 			continue
 		}

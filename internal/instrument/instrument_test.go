@@ -241,3 +241,35 @@ func TestInstrumentWithExistingTagFileConflicts(t *testing.T) {
 		t.Fatalf("new tag below existing range: %d", e2.Tag)
 	}
 }
+
+func TestSelectiveFunctions(t *testing.T) {
+	k := newKernelWithFns()
+	res, err := Instrument(k, Options{Functions: []string{"ipintr", "bread"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Functions() != 2 {
+		t.Fatalf("instrumented %d functions, want 2", res.Functions())
+	}
+	for _, name := range []string{"ipintr", "bread"} {
+		if _, ok := res.Tags.Lookup(name); !ok {
+			t.Fatalf("selected function %s missing", name)
+		}
+	}
+	if _, ok := res.Tags.Lookup("splnet"); ok {
+		t.Fatal("unselected function instrumented")
+	}
+	// The function filter composes with the module filter: a function
+	// passes only if it satisfies both.
+	k2 := newKernelWithFns()
+	res2, err := Instrument(k2, Options{Modules: []string{"net"}, Functions: []string{"ipintr", "bread"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Functions() != 1 {
+		t.Fatalf("composed filters instrumented %d functions, want 1", res2.Functions())
+	}
+	if _, ok := res2.Tags.Lookup("bread"); ok {
+		t.Fatal("bread is outside the net module but was instrumented")
+	}
+}

@@ -117,6 +117,9 @@ type Kernel struct {
 	fnBcopyb    *Fn
 	fnBzero     *Fn
 
+	// bcopyScaleNum/Den rescale Bcopy charges (SetBcopyScale); 0 = off.
+	bcopyScaleNum, bcopyScaleDen int
+
 	// Stats are the kernel's own event counters — the coarse measurement
 	// facility the paper contrasts the Profiler with.
 	Stats Stats
@@ -232,7 +235,24 @@ func (k *Kernel) SwtchFn() *Fn { return k.fnSwtch }
 
 // Bcopy models the block-copy routine. cost accounts for the memory regions
 // involved; callers compute it with the bus package.
-func (k *Kernel) Bcopy(cost sim.Time) { k.CallCost(k.fnBcopy, cost) }
+func (k *Kernel) Bcopy(cost sim.Time) {
+	if k.bcopyScaleNum > 0 {
+		cost = cost * sim.Time(k.bcopyScaleNum) / sim.Time(k.bcopyScaleDen)
+	}
+	k.CallCost(k.fnBcopy, cost)
+}
+
+// SetBcopyScale rescales every subsequent Bcopy charge by num/den — the
+// seam for the "recode bcopy with string-move instructions" proposed
+// change: callers keep computing bus-accurate costs, and the kernel
+// models the cheaper copy loop on top. num <= 0 restores the identity.
+func (k *Kernel) SetBcopyScale(num, den int) {
+	if num <= 0 || den <= 0 {
+		k.bcopyScaleNum, k.bcopyScaleDen = 0, 0
+		return
+	}
+	k.bcopyScaleNum, k.bcopyScaleDen = num, den
+}
 
 // Bcopyb is the byte-wise variant used for console scrolling.
 func (k *Kernel) Bcopyb(cost sim.Time) { k.CallCost(k.fnBcopyb, cost) }

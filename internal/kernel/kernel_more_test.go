@@ -267,3 +267,23 @@ func TestRunUntilIdleWithSleepingForeverProc(t *testing.T) {
 		t.Fatalf("ran to cap: %v", end)
 	}
 }
+
+func TestSetBcopyScaleSeam(t *testing.T) {
+	k := New(Config{Seed: 1})
+	start := k.Now()
+	k.Bcopy(1000)
+	full := k.Now() - start
+	k.SetBcopyScale(1, 2)
+	start = k.Now()
+	k.Bcopy(1000)
+	if got := k.Now() - start; got != full-500 {
+		t.Fatalf("halved bcopy advanced %v, full charge was %v", got, full)
+	}
+	// num <= 0 restores the identity.
+	k.SetBcopyScale(0, 0)
+	start = k.Now()
+	k.Bcopy(1000)
+	if got := k.Now() - start; got != full {
+		t.Fatalf("restored bcopy advanced %v, want %v", got, full)
+	}
+}

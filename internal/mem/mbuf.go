@@ -80,6 +80,12 @@ type MbufPool struct {
 	// instrumentation pass for the MGET macro; 0 when not instrumented.
 	mgetInline uint32
 
+	// freeListDepth bounds the plain-mbuf free list; 0 means the Net/2
+	// default of freeListMax. Deepening it is the "mbuf pooling" proposed
+	// change: the list stops oscillating under bursty interrupt-side
+	// allocation, so the steady malloc/free traffic disappears.
+	freeListDepth int
+
 	// Statistics.
 	MGets, MFrees uint64
 	ClusterGets   uint64
@@ -118,6 +124,19 @@ func NewMbufPool(a *Allocator) *MbufPool {
 
 // SetMGetInline installs the inline trigger address for the MGET macro.
 func (p *MbufPool) SetMGetInline(addr uint32) { p.mgetInline = addr }
+
+// SetFreeListDepth rebounds the plain-mbuf free list; n <= 0 restores
+// the Net/2 default. Applying a deeper pool is a proposed kernel change
+// the optimize-verify loop can re-profile.
+func (p *MbufPool) SetFreeListDepth(n int) { p.freeListDepth = n }
+
+// freeListBound reports the active free-list bound.
+func (p *MbufPool) freeListBound() int {
+	if p.freeListDepth > 0 {
+		return p.freeListDepth
+	}
+	return freeListMax
+}
 
 // SetFrameRecycler installs f as the destination for Frame buffers carried
 // by freed mbufs (the netstack's frame pool).
@@ -200,7 +219,7 @@ func (p *MbufPool) MFree(m *Mbuf) {
 		}
 	}
 	if m.blk != nil {
-		if len(p.freeBlks) < freeListMax {
+		if len(p.freeBlks) < p.freeListBound() {
 			p.freeBlks = append(p.freeBlks, m.blk)
 		} else {
 			p.PoolFrees++

@@ -301,3 +301,37 @@ func TestAllocatorAccountingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFreeListDepthSeam(t *testing.T) {
+	_, a := newAlloc()
+	p := NewMbufPool(a)
+	// Default bound: the fifth free really frees.
+	var ms []*Mbuf
+	for i := 0; i < 6; i++ {
+		ms = append(ms, p.MGet())
+	}
+	for _, m := range ms {
+		p.MFree(m)
+	}
+	if p.FreeListLen() != 4 || p.PoolFrees != 2 {
+		t.Fatalf("default bound: list %d, pool frees %d", p.FreeListLen(), p.PoolFrees)
+	}
+	// A deeper pool swallows the same burst without real frees.
+	p2 := NewMbufPool(a)
+	p2.SetFreeListDepth(16)
+	ms = ms[:0]
+	for i := 0; i < 6; i++ {
+		ms = append(ms, p2.MGet())
+	}
+	for _, m := range ms {
+		p2.MFree(m)
+	}
+	if p2.FreeListLen() != 6 || p2.PoolFrees != 0 {
+		t.Fatalf("deep pool: list %d, pool frees %d", p2.FreeListLen(), p2.PoolFrees)
+	}
+	// n <= 0 restores the Net/2 default.
+	p2.SetFreeListDepth(0)
+	if p2.freeListBound() != 4 {
+		t.Fatalf("restored bound = %d", p2.freeListBound())
+	}
+}

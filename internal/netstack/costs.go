@@ -14,6 +14,19 @@ import "kprof/internal/sim"
 //   - function-body (net) times from Figure 4: weintr ≈50 µs, werint
 //     ≈70 µs, weread ≈11 µs, ipintr ≈55 µs, tcp_input ≈92 µs,
 //     in_pcblookup ≈9 µs, soreceive ≈98 µs (Figure 3 avg).
+//
+// The in_cksum cost model is exported for estimators (internal/pgo): a
+// what-if arithmetic that predicts the recode's effect needs the same
+// setup and per-byte figures the simulation charges.
+const (
+	// CksumSetup is the fixed per-call in_cksum entry cost.
+	CksumSetup = cksumSetup
+	// CksumNaivePerByte is the shipped C loop's per-byte cost.
+	CksumNaivePerByte = cksumNaivePerB
+	// CksumFastPerByte is the recoded (assembler-style) per-byte cost.
+	CksumFastPerByte = cksumFastPerB
+)
+
 const (
 	cksumSetup     = 8 * sim.Microsecond
 	cksumNaivePerB = 680 * sim.Nanosecond

@@ -1,0 +1,170 @@
+package pgo
+
+import (
+	"fmt"
+
+	"kprof/internal/analyze"
+	"kprof/internal/bus"
+	"kprof/internal/core"
+	"kprof/internal/netstack"
+)
+
+// Change is one proposed kernel cost change the optimize-verify loop can
+// apply to the simulated kernel and re-profile. Its estimator predicts
+// the effect from the baseline profile alone — the paper's what-if
+// arithmetic — and the loop then measures the truth under the same seed.
+type Change struct {
+	// Name is the registry key (-optimize selects by it).
+	Name string
+	// Summary is the one-line description reports carry.
+	Summary string
+	// TolerancePct declares how far (in percent of the estimated delta)
+	// the verified delta may stray while still counting as agreeing.
+	TolerancePct float64
+	// Apply mutates the simulated kernel before the re-profile run.
+	Apply func(m *core.Machine)
+	// Estimate predicts the per-work-unit effect from the baseline
+	// measurement; it fails when the profile lacks the functions the
+	// arithmetic needs.
+	Estimate func(base Measurement) (analyze.WhatIf, error)
+}
+
+// estimateFromSaved builds the per-unit what-if for a change expected to
+// shift the run's accumulated time by deltaNs (negative = saved).
+func estimateFromSaved(name string, base Measurement, deltaNs int64) analyze.WhatIf {
+	run := int64(base.A.RunTime())
+	return analyze.WhatIf{
+		Name:     name,
+		Baseline: base.PerUnit(),
+		Estimate: perUnit(run+deltaNs, base.Units),
+	}
+}
+
+// cksumByteNs reports the portion of the baseline's in_cksum net time
+// spent in the per-byte loop (net minus per-call setup), which the
+// estimators convert between per-byte rates.
+func cksumByteNs(base Measurement) (int64, error) {
+	s, ok := base.A.Fn("in_cksum")
+	if !ok {
+		return 0, fmt.Errorf("pgo: baseline profile has no in_cksum sample")
+	}
+	byteNs := int64(s.Net) - int64(s.Calls)*int64(netstack.CksumSetup)
+	if byteNs < 0 {
+		byteNs = 0
+	}
+	return byteNs, nil
+}
+
+// fnNet reports a function's net time in the baseline, zero when absent.
+func fnNet(base Measurement, name string) int64 {
+	if s, ok := base.A.Fn(name); ok {
+		return int64(s.Net)
+	}
+	return 0
+}
+
+// Registry returns the proposed kernel changes, headline first: the
+// paper's recommended in_cksum recode, the cheaper copy loop, deeper
+// mbuf pooling, and — deliberately included — the rejected mbuf-linking
+// design, so the loop demonstrates a verified LOSS as well as wins.
+func Registry() []Change {
+	return []Change{
+		{
+			Name:         "recode-in-cksum",
+			Summary:      "recode in_cksum at copy speed (assembler-style)",
+			TolerancePct: 20,
+			Apply:        func(m *core.Machine) { m.Net.CksumMode = netstack.CksumOptimized },
+			Estimate: func(base Measurement) (analyze.WhatIf, error) {
+				byteNs, err := cksumByteNs(base)
+				if err != nil {
+					return analyze.WhatIf{}, err
+				}
+				newByteNs := byteNs * int64(netstack.CksumFastPerByte) / int64(netstack.CksumNaivePerByte)
+				return estimateFromSaved("recode-in-cksum", base, newByteNs-byteNs), nil
+			},
+		},
+		{
+			Name:         "cheaper-bcopy",
+			Summary:      "recode bcopy with string-move instructions (2x)",
+			TolerancePct: 30,
+			Apply:        func(m *core.Machine) { m.K.SetBcopyScale(1, 2) },
+			Estimate: func(base Measurement) (analyze.WhatIf, error) {
+				saved := fnNet(base, "bcopy") / 2
+				if saved == 0 {
+					return analyze.WhatIf{}, fmt.Errorf("pgo: baseline profile has no bcopy sample")
+				}
+				return estimateFromSaved("cheaper-bcopy", base, -saved), nil
+			},
+		},
+		{
+			Name:         "mbuf-pooling",
+			Summary:      "deepen the mbuf free list (stop malloc/free churn)",
+			TolerancePct: 75,
+			Apply:        func(m *core.Machine) { m.Net.Pool().SetFreeListDepth(64) },
+			Estimate: func(base Measurement) (analyze.WhatIf, error) {
+				var saved int64
+				if s, ok := base.A.Fn("malloc"); ok {
+					saved += int64(base.PoolMallocs) * int64(s.Avg())
+				}
+				if s, ok := base.A.Fn("free"); ok {
+					saved += int64(base.PoolFrees) * int64(s.Avg())
+				}
+				if saved == 0 {
+					return analyze.WhatIf{}, fmt.Errorf("pgo: baseline shows no mbuf free-list misses to save")
+				}
+				return estimateFromSaved("mbuf-pooling", base, -saved), nil
+			},
+		},
+		{
+			// The estimate here is the paper's coarse two-penalty
+			// arithmetic; it overstates the damage (it cannot see the
+			// chaining work the linked path also saves), so the declared
+			// tolerance is wide. The sign — "would actually decrease the
+			// performance" — is the point being verified.
+			Name:         "link-mbufs",
+			Summary:      "link controller bufs into mbufs (the rejected design)",
+			TolerancePct: 80,
+			Apply:        func(m *core.Machine) { m.Net.ChecksumInController = true },
+			Estimate: func(base Measurement) (analyze.WhatIf, error) {
+				byteNs, err := cksumByteNs(base)
+				if err != nil {
+					return analyze.WhatIf{}, err
+				}
+				// The driver copy disappears, but the checksum and the
+				// copyout now read controller memory at the bus penalty —
+				// the paper's "would actually decrease the performance".
+				bytes := byteNs / int64(netstack.CksumNaivePerByte)
+				penalty := int64(bus.NsPerByte(bus.ISA8) - bus.NsPerByte(bus.MainMemory))
+				delta := 2*bytes*penalty - fnNet(base, "bcopy")
+				return estimateFromSaved("link-mbufs", base, delta), nil
+			},
+		},
+	}
+}
+
+// FindChanges resolves registry changes by name, preserving registry
+// order; unknown names are an error listing what exists.
+func FindChanges(names []string) ([]Change, error) {
+	reg := Registry()
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []Change
+	for _, c := range reg {
+		if want[c.Name] {
+			out = append(out, c)
+			delete(want, c.Name)
+		}
+	}
+	if len(want) > 0 {
+		have := make([]string, len(reg))
+		for i, c := range reg {
+			have[i] = c.Name
+		}
+		for n := range want {
+			return nil, fmt.Errorf("pgo: unknown change %q (have %v)", n, have)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package pgo
+
+import (
+	"fmt"
+
+	"kprof/internal/analyze"
+)
+
+// Bottleneck is a roofline-style classification of a profiled run, the
+// shape the ROCm profiler gives each kernel dispatch: a type, a
+// confidence, and concrete suggestions. The classes map onto this
+// machine's physics: "compute" means the CPU is burning cycles in
+// arithmetic loops (the naive in_cksum), "memory" means it is moving
+// bytes (bcopy and the copyin/copyout family), "latency" means it is
+// idle waiting on devices, "balanced" means no single class dominates.
+type Bottleneck struct {
+	// Type is one of "compute", "memory", "latency", "balanced".
+	Type string
+	// Confidence is the deterministic strength of the call in [0, 1]:
+	// the idle share for latency, the winning class's share of the
+	// compute+memory total otherwise, 0.5 for balanced.
+	Confidence float64
+
+	// ComputeShare, MemoryShare and IdleShare are the underlying
+	// fractions: arithmetic-loop net time and byte-moving net time as
+	// shares of run time, and idle as a share of elapsed time.
+	ComputeShare, MemoryShare, IdleShare float64
+
+	// Suggestions name registry changes (and traps) relevant to the
+	// classification.
+	Suggestions []string
+}
+
+// The classifier's function classes and thresholds. Deterministic by
+// construction: fixed sets, fixed cutoffs, no sampling.
+var (
+	// memoryFns move bytes: the copy/zero family.
+	memoryFns = []string{"bcopy", "bcopyb", "bzero", "copyin", "copyout", "copyinstr"}
+	// computeFns burn cycles in arithmetic loops.
+	computeFns = []string{"in_cksum"}
+)
+
+const (
+	// latencyIdleShare is the idle fraction above which the machine is
+	// classified as waiting, not working.
+	latencyIdleShare = 0.35
+	// classMinShare is the run-time share a class needs before it can be
+	// called the bottleneck at all.
+	classMinShare = 0.20
+	// classDominance is how much bigger the winning class must be than
+	// the runner-up (×1.25) to avoid the "balanced" verdict.
+	classDominance = 1.25
+)
+
+// Classify labels a profiled run with its bottleneck type.
+func Classify(a *analyze.Analysis) Bottleneck {
+	b := Bottleneck{}
+	if e := a.Elapsed(); e > 0 {
+		b.IdleShare = float64(a.Idle) / float64(e)
+	}
+	if run := a.RunTime(); run > 0 {
+		b.ComputeShare = shareOf(a, computeFns) / float64(run)
+		b.MemoryShare = shareOf(a, memoryFns) / float64(run)
+	}
+	switch {
+	case b.IdleShare >= latencyIdleShare:
+		b.Type = "latency"
+		b.Confidence = b.IdleShare
+	case b.ComputeShare >= classMinShare && b.ComputeShare >= classDominance*b.MemoryShare:
+		b.Type = "compute"
+		b.Confidence = b.ComputeShare / (b.ComputeShare + b.MemoryShare)
+	case b.MemoryShare >= classMinShare && b.MemoryShare >= classDominance*b.ComputeShare:
+		b.Type = "memory"
+		b.Confidence = b.MemoryShare / (b.ComputeShare + b.MemoryShare)
+	default:
+		b.Type = "balanced"
+		b.Confidence = 0.5
+	}
+	if b.Confidence > 1 {
+		b.Confidence = 1
+	}
+	b.Suggestions = suggestions[b.Type]
+	return b
+}
+
+// suggestions keys advice to the classification, naming registry changes
+// where one applies.
+var suggestions = map[string][]string{
+	"compute": {
+		"recode-in-cksum: the checksum loop dominates - recode it at copy speed",
+	},
+	"memory": {
+		"cheaper-bcopy: data copies dominate - recode the copy loop with string moves",
+		"avoid link-mbufs: moving the copies onto the ISA bus makes them slower, not fewer",
+	},
+	"latency": {
+		"the CPU is waiting, not working: overlap device I/O before recoding anything",
+	},
+	"balanced": {
+		"no single class dominates: re-profile with a budgeted plan to sharpen attribution",
+	},
+}
+
+// shareOf sums the net time of the named functions present in a.
+func shareOf(a *analyze.Analysis, names []string) float64 {
+	var total float64
+	for _, n := range names {
+		if s, ok := a.Fn(n); ok {
+			total += float64(s.Net)
+		}
+	}
+	return total
+}
+
+// String renders the classification on one line.
+func (b Bottleneck) String() string {
+	return fmt.Sprintf("%s (confidence %.2f; compute %.1f%%, memory %.1f%%, idle %.1f%%)",
+		b.Type, b.Confidence, 100*b.ComputeShare, 100*b.MemoryShare, 100*b.IdleShare)
+}

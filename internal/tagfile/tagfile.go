@@ -200,11 +200,13 @@ func (f *File) Add(e Entry) error { return f.add(e) }
 // NextTag reports the next even tag value automatic assignment would use:
 // the smallest even value above every tag currently in the file.
 func (f *File) NextTag() uint16 {
-	next := uint16(defaultFirstTag)
+	// Widened arithmetic: an entry at the top of the tag space would wrap
+	// top+1 past uint16 and restart assignment at 0.
+	next := int(defaultFirstTag)
 	for _, e := range f.entries {
-		top := e.Tag
+		top := int(e.Tag)
 		if !e.Inline {
-			top = e.Tag + 1
+			top++
 		}
 		if top >= next {
 			next = top + 1
@@ -213,7 +215,25 @@ func (f *File) NextTag() uint16 {
 	if next%2 != 0 {
 		next++
 	}
-	return next
+	if next > MaxTag {
+		// MaxTag is odd, so it can never be a legal entry tag: both assign
+		// paths read it as "space exhausted".
+		next = MaxTag
+	}
+	return uint16(next)
+}
+
+// PairsRemaining reports how many entry/exit tag pairs automatic
+// assignment can still fit below MaxTag — the tag budget an
+// instrumentation plan has left to spend. Because assignment is
+// append-only (NextTag never reuses holes), the remaining capacity is
+// exactly the pairs between NextTag and the top of the tag space.
+func (f *File) PairsRemaining() int {
+	next := f.NextTag()
+	if next > MaxTag-1 {
+		return 0
+	}
+	return int(MaxTag-1-next)/2 + 1
 }
 
 // Assign returns the existing entry for name, or extends the file with the

@@ -367,3 +367,49 @@ func TestParseFormatRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPairsRemaining(t *testing.T) {
+	f := New()
+	// Empty file: pairs from the default base 500 up to the 65534/65535
+	// pair inclusive.
+	want := (int(MaxTag)-1-500)/2 + 1
+	if got := f.PairsRemaining(); got != want {
+		t.Fatalf("empty file PairsRemaining = %d, want %d", got, want)
+	}
+	// Every assignment spends exactly one pair.
+	for i, name := range []string{"a", "b", "c"} {
+		if _, err := f.Assign(name); err != nil {
+			t.Fatal(err)
+		}
+		if got := f.PairsRemaining(); got != want-1-i {
+			t.Fatalf("after %d assigns PairsRemaining = %d, want %d", i+1, got, want-1-i)
+		}
+	}
+}
+
+func TestPairsRemainingAtTopOfTagSpace(t *testing.T) {
+	f, err := NewStartingAt(MaxTag - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.PairsRemaining(); got != 1 {
+		t.Fatalf("one pair left, PairsRemaining = %d", got)
+	}
+	e, err := f.Assign("last")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Tag != MaxTag-1 {
+		t.Fatalf("last pair tag = %d", e.Tag)
+	}
+	// The space is now full: no wraparound back to low tags.
+	if got := f.PairsRemaining(); got != 0 {
+		t.Fatalf("full file PairsRemaining = %d", got)
+	}
+	if next := f.NextTag(); next != MaxTag {
+		t.Fatalf("NextTag on full file = %d, want the MaxTag sentinel", next)
+	}
+	if _, err := f.Assign("overflow"); err == nil {
+		t.Fatal("assignment past the top of the tag space succeeded")
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"kprof/internal/kernel"
 	"kprof/internal/loadgen"
 	"kprof/internal/netstack"
+	"kprof/internal/pgo"
 	"kprof/internal/sampling"
 	"kprof/internal/sim"
 	"kprof/internal/snmp"
@@ -513,3 +514,75 @@ var (
 	// FleetReplaySource.
 	RecordFleetSource = fleet.Record
 )
+
+// Profile-guided optimization: the closing of the paper's loop. A captured
+// profile feeds back two ways — into the next measurement (the
+// instrumentation-budget optimizer chooses which functions to instrument
+// so the next run attributes the most net time within a tag or
+// trigger-overhead budget) and into the kernel itself (the optimize-verify
+// loop applies proposed cost changes, re-profiles under the identical
+// seed, and verifies the measured delta against the what-if estimate).
+// See internal/pgo.
+type (
+	// PGOCandidate is one function the budget optimizer may instrument,
+	// with its footprint in the prior profile.
+	PGOCandidate = pgo.Candidate
+	// PGOBudget bounds an instrumentation plan (tags, trigger overhead).
+	PGOBudget = pgo.Budget
+	// PGOPlan is a concrete instrumentation choice; Options converts it
+	// into instrument options for the next session.
+	PGOPlan = pgo.Plan
+	// PGOChange is one proposed kernel cost change the loop can apply and
+	// verify.
+	PGOChange = pgo.Change
+	// PGOMeasurement is one profiled run reduced to what the estimators
+	// and the per-unit verification metric need.
+	PGOMeasurement = pgo.Measurement
+	// PGOLoopConfig describes one optimize-verify run (scenario, seed,
+	// changes).
+	PGOLoopConfig = pgo.LoopConfig
+	// PGOLoopResult is a finished optimize-verify loop, rendered by
+	// Write/String.
+	PGOLoopResult = pgo.LoopResult
+	// PGOChangeOutcome is one change's verified result within a loop.
+	PGOChangeOutcome = pgo.ChangeOutcome
+	// PGOLoopSweep is the loop verified across a seed set, folded in seed
+	// order.
+	PGOLoopSweep = pgo.LoopSweep
+	// Bottleneck is the roofline-style classification of a profiled run:
+	// compute, memory, latency, or balanced, with a confidence and
+	// suggestions.
+	Bottleneck = pgo.Bottleneck
+)
+
+var (
+	// OptimizeInstrumentation solves the instrumentation-budget problem
+	// exactly: the candidate set maximizing attributed net time under the
+	// budget.
+	OptimizeInstrumentation = pgo.Optimize
+	// PGOCandidatesFromAnalysis extracts optimizer candidates from a prior
+	// profile (pair with Machine.ModuleOf for module labels).
+	PGOCandidatesFromAnalysis = pgo.CandidatesFromAnalysis
+	// PGOCandidatesFromAggregate extracts candidates from a cross-seed
+	// sweep aggregate.
+	PGOCandidatesFromAggregate = pgo.CandidatesFromAggregate
+	// PGORegistry returns the proposed kernel changes the loop knows.
+	PGORegistry = pgo.Registry
+	// FindPGOChanges resolves registry changes by name, registry order.
+	FindPGOChanges = pgo.FindChanges
+	// RunPGOLoop executes the optimize-verify loop for one seed.
+	RunPGOLoop = pgo.RunLoop
+	// RunPGOLoopSweep executes the loop across a seed set on a worker
+	// pool; the result is identical whatever the worker count.
+	RunPGOLoopSweep = pgo.RunLoopSweep
+	// ClassifyBottleneck labels a profiled run with its bottleneck type.
+	ClassifyBottleneck = pgo.Classify
+)
+
+// PGODefaultTriggerNs is the per-trigger cost the budget optimizer
+// assumes when none is given: ≈200 ns per EPROM-window load.
+const PGODefaultTriggerNs = pgo.DefaultTriggerNs
+
+// PGODefaultWorkFn is the work-unit function the loop's per-unit metric
+// normalizes by when none is named.
+const PGODefaultWorkFn = pgo.DefaultWorkFn

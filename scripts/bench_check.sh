@@ -14,7 +14,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-base=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+# Numeric sort on the artifact number: plain lexical sort would order
+# BENCH_10.json before BENCH_9.json and gate against a stale baseline.
+base=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
 if [ -z "$base" ]; then
 	echo "bench_check: no committed BENCH_*.json yet; run 'make bench' to create the baseline"
 	exit 1

@@ -75,6 +75,19 @@ if [ "${SKIP_RACE:-0}" != "1" ]; then
 		./internal/export/
 fi
 
+echo "== optimize-verify loop =="
+# The profile-guided loop must close on a real seed: every registry
+# change's measured per-unit delta agrees in sign with its what-if
+# estimate and lands within the declared tolerance, the differential
+# report reproduces byte for byte, and the budget optimizer stays exact
+# against brute force. The loop-sweep determinism test additionally runs
+# the whole loop across seeds on 1 and 3 workers and demands identical
+# bytes.
+go test -count=1 \
+	-run 'TestRunLoopVerifiesRegistry|TestRunLoopSweepDeterministicAcrossWorkers|TestOptimizeMatchesBruteForce' \
+	./internal/pgo/
+go test -count=1 -run 'TestGoldenPGO' .
+
 echo "== fuzz smoke =="
 go test -run 'FuzzDecodeUnwrap|FuzzSegmentBoundary|FuzzFaultedDecode|FuzzProdayDecode' ./internal/analyze/
 if [ "${SKIP_FUZZ:-0}" != "1" ]; then

@@ -2,7 +2,8 @@
 # cover_check.sh — per-package statement-coverage floors for the packages
 # whose correctness claims rest on their test suites: the hardened decode
 # pipeline, the fault injector that attacks it, the workload drivers, the
-# open-loop load generator, and the live serving tier. Floors sit a few
+# open-loop load generator, the live serving tier, and the
+# profile-guided optimize-verify loop. Floors sit a few
 # points below the measured baseline (analyze 91%, faults 98%, workload
 # 89%, loadgen 94%, export 93% at introduction) so honest refactoring
 # never trips them, but a change that lands untested code in any of them
@@ -34,3 +35,4 @@ check ./internal/faults 90
 check ./internal/workload 85
 check ./internal/loadgen 90
 check ./internal/export 85
+check ./internal/pgo 85
